@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fig. 1 reproduction: maximum level L and single-evk size vs dnum for
+ * N in {2^15..2^18} at the 128-bit security target, plus the "Max dnum"
+ * inset table.
+ */
+#include <cstdio>
+
+#include "hwparams/explorer.h"
+
+int
+main()
+{
+    using namespace bts::hw;
+    printf("=== Fig. 1(a): maximum level L vs dnum (128b target) ===\n");
+    printf("%-8s", "dnum");
+    for (int log_n = 15; log_n <= 18; ++log_n) {
+        printf("  N=2^%-4d", log_n);
+    }
+    printf("\n");
+    for (int dnum : {1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64}) {
+        printf("%-8d", dnum);
+        for (int log_n = 15; log_n <= 18; ++log_n) {
+            const int level = max_level_for(1ULL << log_n, dnum);
+            if (level >= dnum - 1) {
+                printf("  %-8d", level);
+            } else {
+                printf("  %-8s", "-");
+            }
+        }
+        printf("\n");
+    }
+    printf("(dotted line of the paper: L >= 11 needed to bootstrap)\n\n");
+
+    printf("=== Fig. 1(b): single evk size (GB) vs dnum ===\n");
+    printf("%-8s", "dnum");
+    for (int log_n = 15; log_n <= 18; ++log_n) printf("  N=2^%-6d", log_n);
+    printf("\n");
+    for (int dnum : {1, 2, 3, 4, 6, 8, 12, 16, 24, 32}) {
+        printf("%-8d", dnum);
+        for (int log_n = 15; log_n <= 18; ++log_n) {
+            const int level = max_level_for(1ULL << log_n, dnum);
+            if (level < std::max(1, dnum - 1)) {
+                printf("  %-10s", "-");
+                continue;
+            }
+            CkksInstance inst;
+            inst.n = 1ULL << log_n;
+            inst.max_level = level;
+            inst.dnum = dnum;
+            printf("  %-10.3f", inst.evk_total_bytes() / 1e9);
+        }
+        printf("\n");
+    }
+
+    printf("\n=== Fig. 1 inset: max dnum (paper: 14/29/60/121) ===\n");
+    for (int log_n = 15; log_n <= 18; ++log_n) {
+        printf("N=2^%d: max dnum = %d\n", log_n,
+               max_dnum_for(1ULL << log_n));
+    }
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Fig. 2 reproduction: security level vs minimum-bound T_mult,a/slot
+ * for every (N, L, dnum) at 1 TB/s, L_boot = 19.
+ *
+ * Expected shape: the N = 2^17 frontier dominates near lambda = 128;
+ * gains saturate at 2^18; high dnum costs superlinearly.
+ */
+#include <cstdio>
+
+#include "hwparams/explorer.h"
+
+int
+main()
+{
+    using namespace bts::hw;
+    printf("=== Fig. 2: lambda vs min-bound T_mult,a/slot (1TB/s) ===\n");
+    printf("%-22s %6s %5s %6s %9s %14s\n", "instance", "L", "dnum",
+           "k", "lambda", "Tmult(ns)");
+    for (const auto& p : fig2_sweep()) {
+        // Keep the printout readable: the paper plots every integer
+        // dnum; we list the small-dnum frontier.
+        if (p.instance.dnum > 3) continue;
+        printf("%-22s %6d %5d %6d %9.1f %14.2f\n", p.instance.name.c_str(),
+               p.instance.max_level, p.instance.dnum,
+               p.instance.num_special(), p.lambda, p.tmult_a_slot_ns);
+    }
+
+    printf("\n=== Paper's highlighted points (Section 3.4) ===\n");
+    printf("%-8s %18s %18s\n", "inst", "paper min-bound", "ours");
+    const double paper[3] = {27.7, 19.9, 22.1};
+    const CkksInstance insts[3] = {ins1(), ins2(), ins3()};
+    for (int i = 0; i < 3; ++i) {
+        printf("%-8s %15.1fns %15.1fns\n", insts[i].name.c_str(), paper[i],
+               min_bound_tmult_ns(insts[i]));
+    }
+    printf("\nEq. 10 check: minNTTU(INS-1) = %.0f (paper: 1,328; "
+           "BTS provisions 2,048)\n",
+           min_nttu(ins1()));
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Fig. 3(b) reproduction: computational-complexity breakdown of HMult
+ * (BConv / NTT / iNTT / others) across dnum values at N = 2^17,
+ * lambda = 128.
+ *
+ * Expected shape: BConv grows from ~12% at dnum = max to ~34% at
+ * dnum = 1 — the observation motivating the dedicated BConvU.
+ */
+#include <cstdio>
+
+#include "hwparams/explorer.h"
+
+int
+main()
+{
+    using namespace bts::hw;
+    printf("=== Fig. 3(b): HMult complexity breakdown, N=2^17 ===\n");
+    printf("%-6s %6s %8s %8s %8s %8s\n", "dnum", "L", "BConv%", "NTT%",
+           "iNTT%", "Others%");
+    const int max_dnum = max_dnum_for(1ULL << 17);
+    for (int dnum : {1, 3, 6, 14, max_dnum}) {
+        const int level = max_level_for(1ULL << 17, dnum);
+        if (level < 1) continue;
+        CkksInstance inst;
+        inst.name = dnum == max_dnum ? "max" : std::to_string(dnum);
+        inst.n = 1ULL << 17;
+        inst.max_level = level;
+        inst.dnum = dnum;
+        const ComplexityBreakdown b = hmult_complexity(inst);
+        printf("%-6s %6d %8.1f %8.1f %8.1f %8.1f\n", inst.name.c_str(),
+               level, b.bconv * 100, b.ntt * 100, b.intt * 100,
+               b.others * 100);
+    }
+    printf("\n(paper: BConv rises from 12%% at dnum=max to 34%% at "
+           "dnum=1)\n");
+    return 0;
+}

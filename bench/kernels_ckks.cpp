@@ -1,0 +1,187 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the CKKS library kernels: NTT,
+ * base conversion, encoding, HMult, rotation, rescale, and a full
+ * (small-instance) bootstrap. These measure the *functional* library on
+ * the host CPU — the numbers the accelerator is designed to beat.
+ */
+#include <benchmark/benchmark.h>
+
+#include "ckks/bootstrapper.h"
+#include "ckks/decryptor.h"
+#include "ckks/encryptor.h"
+#include "ckks/keygen.h"
+#include "common/bit_ops.h"
+#include "math/prime_gen.h"
+
+namespace {
+
+using namespace bts;
+
+struct Env
+{
+    explicit Env(CkksParams p)
+        : params(p),
+          ctx(p),
+          encoder(ctx),
+          eval(ctx, encoder),
+          keygen(ctx, 1),
+          encryptor(ctx, 2),
+          decryptor(ctx)
+    {
+        sk = keygen.gen_secret_key();
+        mult_key = keygen.gen_mult_key(sk);
+        rot_key = keygen.gen_rotation_key(sk, 1);
+        const auto z =
+            std::vector<Complex>(ctx.n() / 2, Complex(0.5, 0.25));
+        ct = encryptor.encrypt_symmetric(
+            encoder.encode(z, ctx.delta(), ctx.max_level()), sk);
+    }
+
+    CkksParams params;
+    CkksContext ctx;
+    CkksEncoder encoder;
+    Evaluator eval;
+    KeyGenerator keygen;
+    Encryptor encryptor;
+    Decryptor decryptor;
+    SecretKey sk;
+    EvalKey mult_key;
+    EvalKey rot_key;
+    Ciphertext ct;
+};
+
+Env&
+env()
+{
+    static Env* e = [] {
+        CkksParams p;
+        p.n = 1 << 12;
+        p.max_level = 8;
+        p.dnum = 3;
+        return new Env(p);
+    }();
+    return *e;
+}
+
+void
+BM_Ntt(benchmark::State& state)
+{
+    const std::size_t n = state.range(0);
+    const u64 prime = generate_ntt_primes(50, 2 * n, 1)[0];
+    const NttTables tables(n, prime);
+    Sampler s(1);
+    auto data = s.uniform_poly(n, prime);
+    for (auto _ : state) {
+        tables.forward(data.data());
+        benchmark::DoNotOptimize(data.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n / 2 *
+                            log2_exact(n));
+}
+BENCHMARK(BM_Ntt)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16);
+
+void
+BM_BaseConv(benchmark::State& state)
+{
+    auto& e = env();
+    const auto src = e.ctx.level_primes(e.ctx.max_level());
+    const std::vector<u64> tgt = e.ctx.p_primes();
+    const auto& conv = e.ctx.converter(src, tgt);
+    Sampler s(2);
+    RnsPoly poly(e.ctx.n(), src, Domain::kCoeff);
+    for (std::size_t i = 0; i < src.size(); ++i) {
+        poly.component(i) = s.uniform_poly(e.ctx.n(), src[i]);
+    }
+    for (auto _ : state) {
+        auto out = conv.convert(poly);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_BaseConv);
+
+void
+BM_Encode(benchmark::State& state)
+{
+    auto& e = env();
+    const auto z = std::vector<Complex>(e.ctx.n() / 2, Complex(0.3, 0.1));
+    for (auto _ : state) {
+        auto pt = e.encoder.encode(z, e.ctx.delta(), e.ctx.max_level());
+        benchmark::DoNotOptimize(pt);
+    }
+}
+BENCHMARK(BM_Encode);
+
+void
+BM_HMult(benchmark::State& state)
+{
+    auto& e = env();
+    for (auto _ : state) {
+        auto out = e.eval.mult(e.ct, e.ct, e.mult_key);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_HMult);
+
+void
+BM_HRot(benchmark::State& state)
+{
+    auto& e = env();
+    for (auto _ : state) {
+        auto out = e.eval.rotate(e.ct, 1, e.rot_key);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_HRot);
+
+void
+BM_Rescale(benchmark::State& state)
+{
+    auto& e = env();
+    for (auto _ : state) {
+        state.PauseTiming();
+        Ciphertext prod = e.eval.mult(e.ct, e.ct, e.mult_key);
+        state.ResumeTiming();
+        e.eval.rescale_inplace(prod);
+        benchmark::DoNotOptimize(prod);
+    }
+}
+BENCHMARK(BM_Rescale);
+
+void
+BM_Bootstrap(benchmark::State& state)
+{
+    // A full small-instance bootstrap — the operation the accelerator
+    // exists to make cheap. Single iteration: this is seconds on a CPU.
+    CkksParams p;
+    p.n = 1 << 11;
+    p.max_level = 14;
+    p.dnum = 3;
+    p.q0_bits = 50;
+    p.hamming_weight = 32;
+    static Env* be = new Env(p);
+    static Bootstrapper* boot = nullptr;
+    static RotationKeys rot_keys;
+    if (!boot) {
+        BootstrapConfig cfg;
+        cfg.slots = 512;
+        cfg.sine_degree = 159;
+        boot = new Bootstrapper(be->ctx, be->encoder, be->eval, cfg);
+        rot_keys = be->keygen.gen_rotation_keys(
+            be->sk, boot->required_rotations());
+        static EvalKey conj = be->keygen.gen_conjugation_key(be->sk);
+        boot->set_keys(&be->mult_key, &rot_keys, &conj);
+    }
+    const auto z = std::vector<Complex>(512, Complex(0.2, 0.1));
+    Ciphertext ct = be->encryptor.encrypt_symmetric(
+        be->encoder.encode(z, be->ctx.delta(), 0), be->sk);
+    for (auto _ : state) {
+        auto fresh = boot->bootstrap(ct);
+        benchmark::DoNotOptimize(fresh);
+    }
+}
+BENCHMARK(BM_Bootstrap)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Table 4 reproduction: the CKKS instances used for evaluation, with
+ * derived sizes (log PQ, lambda, ciphertext/evk/temporary data).
+ */
+#include <cstdio>
+
+#include "hwparams/explorer.h"
+
+int
+main()
+{
+    using namespace bts::hw;
+    printf("=== Table 4: evaluation instances ===\n");
+    printf("%-8s %10s %4s %5s %8s %8s %10s %9s %9s\n", "inst", "N", "L",
+           "dnum", "logPQ", "lambda", "temp(MB)", "ct(MiB)", "evk(MiB)");
+    for (const auto& inst : table4_instances()) {
+        printf("%-8s %10zu %4d %5d %8.0f %8.1f %10.0f %9.0f %9.0f\n",
+               inst.name.c_str(), inst.n, inst.max_level, inst.dnum,
+               inst.log_pq(), inst.lambda(), inst.temp_bytes() / 1e6,
+               inst.ct_bytes(inst.max_level) / (1 << 20),
+               inst.evk_bytes(inst.max_level) / (1 << 20));
+    }
+    printf("\npaper: INS-1 (3090, 133.4, 183MB), INS-2 (3210, 128.7, "
+           "304MB), INS-3 (3160, 130.8, 365MB);\n"
+           "ct @ max level 56 MiB, INS-1 evk 112 MiB.\n");
+    printf("\nBootstrapping plan: %d key-switches per bootstrap, "
+           "%d levels consumed.\n",
+           bootstrap_keyswitch_count(ins1()), ins1().boot_levels);
+    return 0;
+}

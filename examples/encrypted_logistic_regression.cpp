@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Encrypted logistic-regression inference — the workload class HELR
+ * (Table 5 of the paper) trains. A plaintext-trained model scores
+ * *encrypted* feature vectors: inner product via rotations, then a
+ * degree-3 polynomial sigmoid, all under CKKS.
+ */
+#include <cmath>
+#include <cstdio>
+
+#include "ckks/decryptor.h"
+#include "ckks/encryptor.h"
+#include "ckks/evaluator.h"
+#include "ckks/keygen.h"
+
+int
+main()
+{
+    using namespace bts;
+
+    CkksParams params;
+    params.n = 1 << 12;
+    params.max_level = 8;
+    params.dnum = 2;
+    const CkksContext ctx(params);
+    const CkksEncoder encoder(ctx);
+    KeyGenerator keygen(ctx, 11);
+    const SecretKey sk = keygen.gen_secret_key();
+    const EvalKey mult_key = keygen.gen_mult_key(sk);
+    Encryptor encryptor(ctx, 12);
+    const Decryptor decryptor(ctx);
+    const Evaluator eval(ctx, encoder);
+
+    // 16 features packed per 16-slot block; 64 samples in 1024 slots.
+    constexpr int kFeatures = 16;
+    constexpr int kSamples = 64;
+    constexpr std::size_t kSlots = kFeatures * kSamples;
+
+    // A fixed "trained" model and synthetic patient features.
+    std::vector<double> weights(kFeatures);
+    for (int f = 0; f < kFeatures; ++f) {
+        weights[f] = 0.2 * std::sin(0.7 * f) - 0.05;
+    }
+    Xoshiro256 rng(99);
+    std::vector<Complex> features(kSlots);
+    for (auto& v : features) {
+        v = Complex(2 * rng.uniform_real() - 1, 0);
+    }
+
+    // Encrypt the features; the model stays in plaintext.
+    const Ciphertext ct = encryptor.encrypt_symmetric(
+        encoder.encode(features, ctx.delta(), ctx.max_level()), sk);
+    std::vector<Complex> w_packed(kSlots);
+    for (std::size_t i = 0; i < kSlots; ++i) {
+        w_packed[i] = Complex(weights[i % kFeatures], 0);
+    }
+    const Plaintext w_pt =
+        encoder.encode(w_packed, ctx.delta(), ctx.max_level());
+
+    // Inner product: elementwise w*x, then log2(16) rotate-and-add.
+    std::vector<int> amounts;
+    for (int r = 1; r < kFeatures; r <<= 1) amounts.push_back(r);
+    const RotationKeys rot_keys = keygen.gen_rotation_keys(sk, amounts);
+
+    Ciphertext acc = eval.mult_plain(ct, w_pt);
+    eval.rescale_inplace(acc);
+    for (int r = 1; r < kFeatures; r <<= 1) {
+        acc = eval.add(acc, eval.rotate(acc, r, rot_keys.at(r)));
+    }
+
+    // Degree-3 sigmoid approximation 0.5 + 0.15*z - 0.0015*z^3
+    // (the HELR polynomial family) on the accumulated logits.
+    Ciphertext z = acc;
+    Ciphertext z2 = eval.square(z, mult_key);
+    eval.rescale_inplace(z2);
+    Ciphertext z3 = eval.mult(z2, z, mult_key);
+    eval.rescale_inplace(z3);
+    Ciphertext term3 = eval.mult_const_to_scale(z3, -0.0015, z3.scale);
+    Ciphertext term1 = eval.mult_const_to_scale(z, 0.15, term3.scale);
+    Ciphertext sig = eval.add(term1, term3);
+    eval.add_const_inplace(sig, Complex(0.5, 0.0));
+
+    // Decrypt the scores at the block heads and compare.
+    const auto scores = encoder.decode(decryptor.decrypt(sig, sk));
+    printf("sample   encrypted-score   plaintext-score\n");
+    double worst = 0;
+    for (int s = 0; s < kSamples; ++s) {
+        double logit = 0;
+        for (int f = 0; f < kFeatures; ++f) {
+            logit +=
+                weights[f] * features[s * kFeatures + f].real();
+        }
+        const double expect =
+            0.5 + 0.15 * logit - 0.0015 * logit * logit * logit;
+        const double got = scores[s * kFeatures].real();
+        if (s < 5) printf("%4d %17.6f %17.6f\n", s, got, expect);
+        worst = std::max(worst, std::abs(got - expect));
+    }
+    printf("...\nmax |error| over %d samples: %.2e\n", kSamples, worst);
+    printf(worst < 1e-3 ? "OK\n" : "FAILED\n");
+    return worst < 1e-3 ? 0 : 1;
+}

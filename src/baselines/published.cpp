@@ -1,0 +1,79 @@
+#include "baselines/published.h"
+
+namespace bts::baselines {
+
+Baseline
+lattigo_cpu()
+{
+    Baseline b;
+    b.name = "Lattigo";
+    b.platform = "CPU (Xeon Platinum 8160, 256GB DDR4)";
+    b.lambda_bits = 128;
+    // Fig. 6: BTS best (45.5ns) is 2237x better.
+    b.tmult_a_slot_ns = 45.5 * 2237;
+    b.helr_iter_ms = 37050;
+    b.resnet20_s = 10602; // Lee et al. [59] CPU implementation
+    b.sorting_s = 23066;  // Hong et al. [42] CPU implementation
+    b.bootstrappable = true;
+    b.refreshed_slots = 32768;
+    return b;
+}
+
+Baseline
+gpu_100x()
+{
+    Baseline b;
+    b.name = "100x";
+    b.platform = "GPU (NVIDIA V100)";
+    b.lambda_bits = 97; // the reported best point is 97-bit secure
+    b.tmult_a_slot_ns = 743;
+    b.helr_iter_ms = 775;
+    b.bootstrappable = true;
+    b.refreshed_slots = 65536;
+    return b;
+}
+
+Baseline
+f1()
+{
+    Baseline b;
+    b.name = "F1";
+    b.platform = "ASIC (12/14nm, 151.4mm^2)";
+    b.lambda_bits = 128;
+    // F1 is 2.5x slower than Lattigo once single-slot bootstrapping is
+    // amortized (Section 6.3).
+    b.tmult_a_slot_ns = 45.5 * 2237 * 2.5;
+    b.helr_iter_ms = 1024; // estimated end-to-end (Section 6.3)
+    b.bootstrappable = true; // partially: single-slot only
+    b.refreshed_slots = 1;
+    return b;
+}
+
+Baseline
+f1_plus()
+{
+    Baseline b;
+    b.name = "F1+";
+    b.platform = "ASIC (F1 area-scaled to 7nm / BTS budget)";
+    b.lambda_bits = 128;
+    // Fig. 6: 824x slower than BTS's best 45.5ns.
+    b.tmult_a_slot_ns = 45.5 * 824;
+    b.helr_iter_ms = 148;
+    b.bootstrappable = true;
+    b.refreshed_slots = 1;
+    return b;
+}
+
+std::vector<Baseline>
+all_baselines()
+{
+    return {lattigo_cpu(), gpu_100x(), f1(), f1_plus()};
+}
+
+PaperBts
+paper_bts()
+{
+    return PaperBts{};
+}
+
+} // namespace bts::baselines

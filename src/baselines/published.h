@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Published baseline performance (Table 1, Table 5, Table 6, Fig. 6).
+ *
+ * The paper compares BTS against *reported* numbers for the CPU
+ * (Lattigo on a Xeon 8160), GPU (100x on a V100), the F1 ASIC, and F1+
+ * (F1 optimistically area-scaled to BTS's 7nm budget). We follow the
+ * identical methodology: these structs carry the published values, and
+ * the benches print BTS-vs-baseline ratios from them.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bts::baselines {
+
+/** One comparison platform. */
+struct Baseline
+{
+    std::string name;
+    std::string platform;
+    double lambda_bits = 128;       //!< security of the compared config
+    double tmult_a_slot_ns = 0;     //!< amortized mult per slot (Fig. 6)
+    double helr_iter_ms = 0;        //!< Table 5 (0: not reported)
+    double resnet20_s = 0;          //!< Table 6
+    double sorting_s = 0;           //!< Table 6
+    bool bootstrappable = false;    //!< Table 1
+    int refreshed_slots = 0;        //!< slots per bootstrap (Table 1)
+};
+
+/** Lattigo v2.3 on Xeon Platinum 8160 (Table 1/5/6, Fig. 6). */
+Baseline lattigo_cpu();
+/** Jung et al. "over 100x" on V100 (97-bit-secure parameter set). */
+Baseline gpu_100x();
+/** F1 (MICRO'21 ASIC), single-slot bootstrapping only. */
+Baseline f1();
+/** F1+, the paper's area-scaled F1 variant. */
+Baseline f1_plus();
+
+/** All four, in the paper's presentation order. */
+std::vector<Baseline> all_baselines();
+
+/**
+ * The paper's headline BTS results, used by tests to pin the expected
+ * *shape* of our reproduction (who wins, roughly by how much).
+ */
+struct PaperBts
+{
+    double tmult_ins1_ns = 68.5; //!< derived: min-bound 27.7 at 512MB ~2x
+    double tmult_ins2_ns = 45.5; //!< Fig. 6 best point
+    double helr_ins2_ms = 28.4;  //!< Table 5
+    double resnet_ins1_s = 1.91; //!< Table 6
+    double sorting_ins1_s = 15.6;
+    int resnet_bootstraps_ins1 = 53;
+    int resnet_bootstraps_ins2 = 22;
+    int resnet_bootstraps_ins3 = 19;
+    int sorting_bootstraps_ins1 = 521;
+    int sorting_bootstraps_ins2 = 306;
+    int sorting_bootstraps_ins3 = 229;
+};
+PaperBts paper_bts();
+
+} // namespace bts::baselines

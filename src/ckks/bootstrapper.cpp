@@ -1,0 +1,199 @@
+#include "ckks/bootstrapper.h"
+
+#include <cmath>
+#include <set>
+
+#include "common/bit_ops.h"
+#include "common/check.h"
+
+namespace bts {
+
+namespace {
+
+/** The special Fourier matrix A: A[t][k] = zeta^{5^t * k}, zeta the
+ *  primitive 4n-th root of unity (see encoder.cpp for the derivation). */
+std::vector<std::vector<Complex>>
+special_fourier_matrix(std::size_t n)
+{
+    const u64 m = 4 * static_cast<u64>(n);
+    std::vector<std::vector<Complex>> a(n, std::vector<Complex>(n));
+    u64 rot = 1;
+    for (std::size_t t = 0; t < n; ++t) {
+        for (std::size_t k = 0; k < n; ++k) {
+            const u64 idx = (rot * k) % m;
+            const double angle = 2.0 * M_PI * static_cast<double>(idx) /
+                                 static_cast<double>(m);
+            a[t][k] = Complex(std::cos(angle), std::sin(angle));
+        }
+        rot = (rot * 5) % m;
+    }
+    return a;
+}
+
+} // namespace
+
+Bootstrapper::Bootstrapper(const CkksContext& ctx, const CkksEncoder& encoder,
+                           const Evaluator& eval,
+                           const BootstrapConfig& config)
+    : ctx_(ctx),
+      encoder_(encoder),
+      eval_(eval),
+      config_(config),
+      gap_(ctx.n() / 2 / config.slots),
+      sine_series_(ChebyshevSeries::interpolate(
+          [](double u) { return std::sin(2.0 * M_PI * u) / (2.0 * M_PI); },
+          -config.k_range, config.k_range, config.sine_degree))
+{
+    BTS_CHECK(is_power_of_two(config_.slots) &&
+                  config_.slots <= ctx.n() / 2,
+              "slots must be a power of two <= N/2");
+    const std::size_t n = config_.slots;
+    const auto a_matrix = special_fourier_matrix(n);
+
+    // CoeffToSlot matrix: (1/(2n)) * A^dagger. The 1/2 folds the later
+    // real/imag split. SubSum's gap amplification must NOT be divided
+    // out here: EvalMod needs slots of the exact form (gap*m + q0*I)/q0
+    // with integer I — the 1/gap is folded into the scale metadata after
+    // EvalMod instead (stage_eval_mod).
+    std::vector<std::vector<Complex>> cts_matrix(
+        n, std::vector<Complex>(n));
+    const double scale = 1.0 / (2.0 * static_cast<double>(n));
+    for (std::size_t t = 0; t < n; ++t) {
+        for (std::size_t k = 0; k < n; ++k) {
+            cts_matrix[t][k] = std::conj(a_matrix[k][t]) * scale;
+        }
+    }
+    cts_ = std::make_unique<LinearTransform>(ctx_, encoder_, cts_matrix,
+                                             ctx_.max_level());
+}
+
+std::vector<int>
+Bootstrapper::required_rotations() const
+{
+    std::set<int> amounts;
+    for (int r : cts_->required_rotations()) amounts.insert(r);
+    // SlotToCoeff uses the same BSGS geometry on a dense matrix, so its
+    // rotation set is a subset of CoeffToSlot's; include it explicitly
+    // once compiled, and conservatively reuse the CtS set beforehand.
+    if (stc_) {
+        for (int r : stc_->required_rotations()) amounts.insert(r);
+    }
+    // SubSum amounts: slots, 2*slots, ..., N/4.
+    for (std::size_t r = config_.slots; r < ctx_.n() / 2; r *= 2) {
+        amounts.insert(static_cast<int>(r));
+    }
+    return {amounts.begin(), amounts.end()};
+}
+
+void
+Bootstrapper::set_keys(const EvalKey* mult_key, const RotationKeys* rot_keys,
+                       const EvalKey* conj_key)
+{
+    mult_key_ = mult_key;
+    rot_keys_ = rot_keys;
+    conj_key_ = conj_key;
+}
+
+Ciphertext
+Bootstrapper::stage_raise_and_subsum(const Ciphertext& ct) const
+{
+    BTS_CHECK(ct.level == 0, "bootstrap input must be exhausted (level 0)");
+    Ciphertext raised = eval_.mod_raise(ct);
+
+    // SubSum: project onto the packing subring (message *= gap).
+    for (std::size_t r = config_.slots; r < ctx_.n() / 2; r *= 2) {
+        const auto it = rot_keys_->find(static_cast<int>(r));
+        BTS_CHECK(it != rot_keys_->end(),
+                  "missing SubSum rotation key " << r);
+        // Rotation in the full-packing slot space; operate on a view
+        // with full slot metadata.
+        Ciphertext view = raised;
+        view.slots = ctx_.n() / 2;
+        Ciphertext rotated =
+            eval_.rotate(view, static_cast<int>(r), it->second);
+        raised.b.add_inplace(rotated.b);
+        raised.a.add_inplace(rotated.a);
+    }
+
+    // Reinterpret at scale q0: slots now read (gap*m + q0*I)/q0.
+    raised.scale = static_cast<double>(ctx_.q_primes()[0]);
+    raised.slots = config_.slots;
+    return raised;
+}
+
+std::pair<Ciphertext, Ciphertext>
+Bootstrapper::stage_coeff_to_slot(const Ciphertext& raised) const
+{
+    Ciphertext t = cts_->apply(eval_, raised, *rot_keys_);
+    Ciphertext tc = eval_.conjugate(t, *conj_key_);
+
+    // u_re = t + conj(t), u_im = i*(conj(t) - t); the 1/2 was folded
+    // into the CtS matrix and multiplication by i is the exact monomial.
+    Ciphertext u_re = t;
+    u_re.b.add_inplace(tc.b);
+    u_re.a.add_inplace(tc.a);
+
+    Ciphertext diff = tc;
+    diff.b.sub_inplace(t.b);
+    diff.a.sub_inplace(t.a);
+    Ciphertext u_im = eval_.mult_by_i(diff);
+    return {std::move(u_re), std::move(u_im)};
+}
+
+Ciphertext
+Bootstrapper::stage_eval_mod(const Ciphertext& u) const
+{
+    const ChebyshevEvaluator cheby(eval_);
+    Ciphertext v = cheby.evaluate(u, sine_series_, *mult_key_);
+    // The sine output is gap*m_k/q0 in value; fold gap, Delta and q0
+    // back into the scale metadata so the slots read message
+    // coefficients at the canonical scale.
+    const double q0 = static_cast<double>(ctx_.q_primes()[0]);
+    v.scale = v.scale * static_cast<double>(gap_) * ctx_.delta() / q0;
+    return v;
+}
+
+Ciphertext
+Bootstrapper::stage_slot_to_coeff(const Ciphertext& v_re,
+                                  const Ciphertext& v_im) const
+{
+    Ciphertext w = v_re;
+    Ciphertext im = eval_.mult_by_i(v_im);
+    eval_.drop_level_inplace(w, std::min(w.level, im.level));
+    eval_.drop_level_inplace(im, w.level);
+    w.b.add_inplace(im.b);
+    w.a.add_inplace(im.a);
+
+    if (!stc_) {
+        BTS_CHECK(w.level >= 1, "no level left for SlotToCoeff");
+        const std::size_t n = config_.slots;
+        auto a_matrix = special_fourier_matrix(n);
+        stc_ = std::make_unique<LinearTransform>(ctx_, encoder_, a_matrix,
+                                                 w.level);
+    }
+    Ciphertext out = stc_->apply(eval_, w, *rot_keys_);
+    return out;
+}
+
+Ciphertext
+Bootstrapper::bootstrap(const Ciphertext& ct) const
+{
+    BTS_CHECK(mult_key_ && rot_keys_ && conj_key_,
+              "bootstrapper keys not installed (call set_keys)");
+    BTS_CHECK(ct.slots == config_.slots,
+              "ciphertext packing does not match the bootstrapper");
+
+    Ciphertext raised = stage_raise_and_subsum(ct);
+    auto [u_re, u_im] = stage_coeff_to_slot(raised);
+    Ciphertext v_re = stage_eval_mod(u_re);
+    Ciphertext v_im = stage_eval_mod(u_im);
+    Ciphertext out = stage_slot_to_coeff(v_re, v_im);
+
+    if (config_.normalize_output_scale && out.level >= 1) {
+        out = eval_.mult_const_to_scale(out, 1.0, ctx_.delta());
+    }
+    output_level_ = out.level;
+    return out;
+}
+
+} // namespace bts

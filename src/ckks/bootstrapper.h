@@ -1,0 +1,94 @@
+/**
+ * @file
+ * CKKS bootstrapping (Section 2.4 of the paper).
+ *
+ * Pipeline (Cheon et al. / Han-Ki, the algorithm family the paper's
+ * L_boot = 19 instance uses):
+ *
+ *   1. ModRaise   — reinterpret the exhausted level-0 ciphertext modulo
+ *                   Q_L; the message becomes m + q_0 * I.
+ *   2. SubSum     — for sparsely packed ciphertexts, the partial trace
+ *                   (log2(gap) rotations) projects onto the packing
+ *                   subring, scaling the message by gap = N/(2*slots).
+ *   3. CoeffToSlot— homomorphic linear transform (1/2n * A^dagger)
+ *                   moving coefficients into slots; a conjugation splits
+ *                   real and imaginary parts.
+ *   4. EvalMod    — approximate modular reduction by q_0 via the scaled
+ *                   sine sin(2*pi*u)/(2*pi), evaluated as a Chebyshev
+ *                   series on [-K, K].
+ *   5. SlotToCoeff— the inverse transform A.
+ *
+ * The heavy cost structure the paper accelerates — hundreds of HMult and
+ * HRot ops, each streaming an evk — comes from steps 3-5.
+ */
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ckks/chebyshev.h"
+#include "ckks/linear_transform.h"
+
+namespace bts {
+
+/** Tunables for bootstrapping. */
+struct BootstrapConfig
+{
+    std::size_t slots = 64;   //!< packing width of bootstrappable inputs
+    double k_range = 12.0;    //!< EvalMod interval [-K, K] (|I| bound)
+    int sine_degree = 119;    //!< Chebyshev degree for the scaled sine
+    bool normalize_output_scale = true; //!< end at the canonical scale
+};
+
+/** One-time-setup bootstrapper bound to a context and key set. */
+class Bootstrapper
+{
+  public:
+    Bootstrapper(const CkksContext& ctx, const CkksEncoder& encoder,
+                 const Evaluator& eval, const BootstrapConfig& config);
+
+    /** All rotation amounts the caller must generate keys for. */
+    std::vector<int> required_rotations() const;
+
+    /** Install the key material (borrowed; must outlive this object). */
+    void set_keys(const EvalKey* mult_key, const RotationKeys* rot_keys,
+                  const EvalKey* conj_key);
+
+    /**
+     * Refresh @p ct (level 0, canonical scale) to a high level.
+     * @return a ciphertext of the same message with fresh levels.
+     */
+    Ciphertext bootstrap(const Ciphertext& ct) const;
+
+    /** Levels available after bootstrapping (set after the first run). */
+    int output_level() const { return output_level_; }
+
+    const ChebyshevSeries& sine_series() const { return sine_series_; }
+    const BootstrapConfig& config() const { return config_; }
+
+    // Individual stages, exposed for tests and diagnostics.
+    Ciphertext stage_raise_and_subsum(const Ciphertext& ct) const;
+    std::pair<Ciphertext, Ciphertext> stage_coeff_to_slot(
+        const Ciphertext& raised) const;
+    Ciphertext stage_eval_mod(const Ciphertext& u) const;
+    Ciphertext stage_slot_to_coeff(const Ciphertext& v_re,
+                                   const Ciphertext& v_im) const;
+
+  private:
+    const CkksContext& ctx_;
+    const CkksEncoder& encoder_;
+    const Evaluator& eval_;
+    BootstrapConfig config_;
+
+    std::size_t gap_;        // N/2 / slots
+    ChebyshevSeries sine_series_;
+    std::unique_ptr<LinearTransform> cts_;
+    mutable std::unique_ptr<LinearTransform> stc_; // lazily compiled
+    mutable int output_level_ = -1;
+
+    const EvalKey* mult_key_ = nullptr;
+    const RotationKeys* rot_keys_ = nullptr;
+    const EvalKey* conj_key_ = nullptr;
+};
+
+} // namespace bts

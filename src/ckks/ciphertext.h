@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Plaintext and ciphertext value types.
+ *
+ * A ciphertext is a pair (b, a) of level-l polynomials (two N x (l+1)
+ * residue matrices, Section 2.2) satisfying b = -a*s + m + e. Both the
+ * current multiplicative level and the scaling factor travel with the
+ * ciphertext; `slots` records the (possibly sparse) packing width.
+ */
+#pragma once
+
+#include "rns/rns_poly.h"
+
+namespace bts {
+
+/** An encoded (unencrypted) message polynomial. */
+struct Plaintext
+{
+    RnsPoly poly;       //!< kept in the NTT domain at rest
+    double scale = 1.0; //!< scaling factor Delta applied at encode time
+    int level = 0;      //!< number of usable rescales remaining
+    std::size_t slots = 0;
+
+    int num_primes() const { return static_cast<int>(poly.num_primes()); }
+};
+
+/** An encryption of a Plaintext. */
+struct Ciphertext
+{
+    RnsPoly b; //!< the "body" component (holds the message)
+    RnsPoly a; //!< the "mask" component
+    double scale = 1.0;
+    int level = 0;
+    std::size_t slots = 0;
+
+    int num_primes() const { return static_cast<int>(b.num_primes()); }
+};
+
+} // namespace bts

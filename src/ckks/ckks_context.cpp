@@ -1,0 +1,159 @@
+#include "ckks/ckks_context.h"
+
+#include <cmath>
+
+#include "common/bit_ops.h"
+#include "common/check.h"
+#include "math/mod_arith.h"
+#include "math/prime_gen.h"
+
+namespace bts {
+
+CkksContext::CkksContext(const CkksParams& params)
+    : params_(params),
+      alpha_(static_cast<int>(
+          ceil_div(static_cast<u64>(params.max_level + 1),
+                   static_cast<u64>(params.dnum)))),
+      delta_(std::ldexp(1.0, params.scale_bits))
+{
+    BTS_CHECK(is_power_of_two(params.n), "N must be a power of two");
+    BTS_CHECK(params.n >= 8, "N too small");
+    BTS_CHECK(params.max_level >= 0, "L must be nonnegative");
+    BTS_CHECK(params.dnum >= 1 && params.dnum <= params.max_level + 1,
+              "dnum must lie in [1, L+1]");
+
+    const u64 two_n = 2 * static_cast<u64>(params.n);
+
+    // Base prime q_0, then L scale primes, then alpha special primes.
+    // All must be distinct and == 1 mod 2N.
+    q_primes_ = generate_ntt_primes(params.q0_bits, two_n, 1);
+    if (params.max_level > 0) {
+        auto scale = generate_ntt_primes(params.scale_bits, two_n,
+                                         params.max_level, q_primes_);
+        q_primes_.insert(q_primes_.end(), scale.begin(), scale.end());
+    }
+    p_primes_ = generate_ntt_primes(params.special_bits, two_n, alpha_,
+                                    q_primes_);
+
+    full_primes_ = q_primes_;
+    full_primes_.insert(full_primes_.end(), p_primes_.begin(),
+                        p_primes_.end());
+
+    // NTT tables for every prime.
+    for (u64 p : full_primes_) {
+        ntt_tables_.emplace(p, std::make_unique<NttTables>(params.n, p));
+    }
+
+    // Level bases (prefixes of the q chain).
+    q_bases_.reserve(params.max_level + 1);
+    for (int l = 0; l <= params.max_level; ++l) {
+        q_bases_.emplace_back(std::vector<u64>(q_primes_.begin(),
+                                               q_primes_.begin() + l + 1));
+    }
+    p_base_ = RnsBase(p_primes_);
+
+    log_pq_bits_ = q_bases_.back().product().bit_length() +
+                   p_base_.product().bit_length();
+
+    // P >= Q_j for every modulus factor is required by generalized
+    // key-switching (Section 2.5); with equal widths and k = alpha primes
+    // this holds by construction, but verify.
+    for (int j = 0; j < params.dnum; ++j) {
+        auto [b, e] = slice_range(j, params.max_level);
+        if (b >= e) continue;
+        const BigUInt qj = BigUInt::product(std::vector<u64>(
+            q_primes_.begin() + b, q_primes_.begin() + e));
+        BTS_CHECK(p_base_.product() >= qj,
+                  "special-prime product P must dominate every Q_j");
+    }
+}
+
+std::vector<u64>
+CkksContext::level_primes(int level) const
+{
+    BTS_CHECK(level >= 0 && level <= params_.max_level, "level out of range");
+    return std::vector<u64>(q_primes_.begin(),
+                            q_primes_.begin() + level + 1);
+}
+
+std::vector<u64>
+CkksContext::extended_primes(int level) const
+{
+    auto out = level_primes(level);
+    out.insert(out.end(), p_primes_.begin(), p_primes_.end());
+    return out;
+}
+
+const RnsBase&
+CkksContext::q_base(int level) const
+{
+    BTS_CHECK(level >= 0 && level <= params_.max_level, "level out of range");
+    return q_bases_[level];
+}
+
+const NttTables&
+CkksContext::tables(u64 prime) const
+{
+    const auto it = ntt_tables_.find(prime);
+    BTS_CHECK(it != ntt_tables_.end(), "unknown prime");
+    return *it->second;
+}
+
+std::vector<const NttTables*>
+CkksContext::tables_for(const std::vector<u64>& primes) const
+{
+    std::vector<const NttTables*> out;
+    out.reserve(primes.size());
+    for (u64 p : primes) out.push_back(&tables(p));
+    return out;
+}
+
+std::vector<const NttTables*>
+CkksContext::tables_for(const RnsPoly& poly) const
+{
+    return tables_for(poly.primes());
+}
+
+std::pair<int, int>
+CkksContext::slice_range(int slice, int level) const
+{
+    const int begin = slice * alpha_;
+    const int end = std::min(level + 1, (slice + 1) * alpha_);
+    return {begin, std::max(begin, end)};
+}
+
+int
+CkksContext::num_slices(int level) const
+{
+    return static_cast<int>(ceil_div(static_cast<u64>(level + 1),
+                                     static_cast<u64>(alpha_)));
+}
+
+u64
+CkksContext::p_mod(u64 q) const
+{
+    return p_base_.product_mod(q);
+}
+
+u64
+CkksContext::p_inv_mod(u64 q) const
+{
+    return inv_mod(p_mod(q), q);
+}
+
+const BaseConverter&
+CkksContext::converter(const std::vector<u64>& source,
+                       const std::vector<u64>& target) const
+{
+    const auto key = std::make_pair(source, target);
+    auto it = converters_.find(key);
+    if (it == converters_.end()) {
+        it = converters_
+                 .emplace(key, std::make_unique<BaseConverter>(
+                                   RnsBase(source), RnsBase(target)))
+                 .first;
+    }
+    return *it->second;
+}
+
+} // namespace bts

@@ -1,0 +1,27 @@
+#include "ckks/decryptor.h"
+
+#include "common/check.h"
+
+namespace bts {
+
+Plaintext
+Decryptor::decrypt(const Ciphertext& ct, const SecretKey& sk) const
+{
+    BTS_CHECK(ct.b.domain() == Domain::kNtt, "ciphertext must be in NTT");
+
+    RnsPoly s = sk.s_ntt;
+    s.truncate(ct.b.num_primes());
+
+    RnsPoly m = ct.a;
+    m.mul_inplace(s);
+    m.add_inplace(ct.b);
+
+    Plaintext pt;
+    pt.poly = std::move(m);
+    pt.scale = ct.scale;
+    pt.level = ct.level;
+    pt.slots = ct.slots;
+    return pt;
+}
+
+} // namespace bts

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Decryption: m' = b + a*s mod Q_l (Section 2.2).
+ */
+#pragma once
+
+#include "ckks/ciphertext.h"
+#include "ckks/ckks_context.h"
+#include "ckks/keys.h"
+
+namespace bts {
+
+/** Recovers (noisy) plaintexts from ciphertexts with the secret key. */
+class Decryptor
+{
+  public:
+    explicit Decryptor(const CkksContext& ctx) : ctx_(ctx) {}
+
+    /** @return the plaintext underlying @p ct (message plus LWE noise). */
+    Plaintext decrypt(const Ciphertext& ct, const SecretKey& sk) const;
+
+  private:
+    const CkksContext& ctx_;
+};
+
+} // namespace bts

@@ -1,0 +1,93 @@
+#include "ckks/encryptor.h"
+
+#include "common/check.h"
+#include "math/mod_arith.h"
+
+namespace bts {
+
+Encryptor::Encryptor(const CkksContext& ctx, u64 seed)
+    : ctx_(ctx), sampler_(seed)
+{}
+
+namespace {
+
+RnsPoly
+small_poly_ntt(Sampler& sampler, const CkksContext& ctx,
+               const std::vector<u64>& primes, bool ternary)
+{
+    const auto vals = ternary ? sampler.ternary_poly(ctx.n())
+                              : sampler.gaussian_poly(ctx.n());
+    RnsPoly out(ctx.n(), primes, Domain::kCoeff);
+    for (std::size_t i = 0; i < primes.size(); ++i) {
+        auto& comp = out.component(i);
+        for (std::size_t c = 0; c < ctx.n(); ++c) {
+            comp[c] = signed_to_mod(vals[c], primes[i]);
+        }
+    }
+    out.to_ntt(ctx.tables_for(primes));
+    return out;
+}
+
+} // namespace
+
+Ciphertext
+Encryptor::encrypt_symmetric(const Plaintext& pt, const SecretKey& sk)
+{
+    BTS_CHECK(pt.poly.domain() == Domain::kNtt, "plaintext must be in NTT");
+    const auto primes = ctx_.level_primes(pt.level);
+
+    RnsPoly a(ctx_.n(), primes, Domain::kNtt);
+    for (std::size_t i = 0; i < primes.size(); ++i) {
+        a.component(i) = sampler_.uniform_poly(ctx_.n(), primes[i]);
+    }
+    RnsPoly e = small_poly_ntt(sampler_, ctx_, primes, /*ternary=*/false);
+
+    RnsPoly s = sk.s_ntt;
+    s.truncate(primes.size());
+
+    RnsPoly b = a;
+    b.mul_inplace(s);
+    b.negate_inplace();
+    b.add_inplace(e);
+    b.add_inplace(pt.poly);
+
+    Ciphertext ct;
+    ct.b = std::move(b);
+    ct.a = std::move(a);
+    ct.scale = pt.scale;
+    ct.level = pt.level;
+    ct.slots = pt.slots;
+    return ct;
+}
+
+Ciphertext
+Encryptor::encrypt_public(const Plaintext& pt, const PublicKey& pk)
+{
+    BTS_CHECK(pt.poly.domain() == Domain::kNtt, "plaintext must be in NTT");
+    const auto primes = ctx_.level_primes(pt.level);
+
+    RnsPoly v = small_poly_ntt(sampler_, ctx_, primes, /*ternary=*/true);
+    RnsPoly e0 = small_poly_ntt(sampler_, ctx_, primes, /*ternary=*/false);
+    RnsPoly e1 = small_poly_ntt(sampler_, ctx_, primes, /*ternary=*/false);
+
+    RnsPoly b = pk.b;
+    b.truncate(primes.size());
+    b.mul_inplace(v);
+    b.add_inplace(e0);
+    b.add_inplace(pt.poly);
+
+    RnsPoly a = pk.a;
+    a.truncate(primes.size());
+    a.mul_inplace(v);
+    a.add_inplace(e1);
+
+    Ciphertext ct;
+    ct.b = std::move(b);
+    ct.a = std::move(a);
+    ct.scale = pt.scale;
+    ct.level = pt.level;
+    ct.slots = pt.slots;
+    return ct;
+}
+
+} // namespace bts

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Encryption: symmetric (secret-key) and public-key paths.
+ */
+#pragma once
+
+#include "ckks/ciphertext.h"
+#include "ckks/ckks_context.h"
+#include "ckks/keys.h"
+#include "common/random.h"
+
+namespace bts {
+
+/** Produces fresh encryptions ct = (b, a), b = -a*s + m + e. */
+class Encryptor
+{
+  public:
+    Encryptor(const CkksContext& ctx, u64 seed);
+
+    /** Symmetric encryption under the secret key. */
+    Ciphertext encrypt_symmetric(const Plaintext& pt, const SecretKey& sk);
+
+    /** Public-key encryption: ct = v*pk + (m + e0, e1). */
+    Ciphertext encrypt_public(const Plaintext& pt, const PublicKey& pk);
+
+  private:
+    const CkksContext& ctx_;
+    Sampler sampler_;
+};
+
+} // namespace bts

@@ -1,0 +1,633 @@
+#include "ckks/evaluator.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "math/mod_arith.h"
+
+namespace bts {
+
+Evaluator::Evaluator(const CkksContext& ctx, const CkksEncoder& encoder)
+    : ctx_(ctx), encoder_(encoder)
+{}
+
+namespace {
+
+void
+check_scale_match(double s1, double s2)
+{
+    BTS_CHECK(std::abs(s1 / s2 - 1.0) < Evaluator::kScaleTolerance,
+              "operand scales differ beyond tolerance: " << s1 << " vs "
+                                                         << s2);
+}
+
+} // namespace
+
+void
+Evaluator::drop_level_inplace(Ciphertext& ct, int target_level) const
+{
+    BTS_CHECK(target_level >= 0 && target_level <= ct.level,
+              "cannot raise level by dropping");
+    ct.b.truncate(target_level + 1);
+    ct.a.truncate(target_level + 1);
+    ct.level = target_level;
+}
+
+void
+Evaluator::align_levels(Ciphertext& a, Ciphertext& b) const
+{
+    const int target = std::min(a.level, b.level);
+    drop_level_inplace(a, target);
+    drop_level_inplace(b, target);
+}
+
+Ciphertext
+Evaluator::add(const Ciphertext& a, const Ciphertext& b) const
+{
+    Ciphertext x = a, y = b;
+    align_levels(x, y);
+    check_scale_match(x.scale, y.scale);
+    x.b.add_inplace(y.b);
+    x.a.add_inplace(y.a);
+    return x;
+}
+
+Ciphertext
+Evaluator::sub(const Ciphertext& a, const Ciphertext& b) const
+{
+    Ciphertext x = a, y = b;
+    align_levels(x, y);
+    check_scale_match(x.scale, y.scale);
+    x.b.sub_inplace(y.b);
+    x.a.sub_inplace(y.a);
+    return x;
+}
+
+Ciphertext
+Evaluator::negate(const Ciphertext& a) const
+{
+    Ciphertext out = a;
+    out.b.negate_inplace();
+    out.a.negate_inplace();
+    return out;
+}
+
+RnsPoly
+Evaluator::gather_evk(const RnsPoly& key_poly, int level) const
+{
+    // evk polynomials live over {q_0..q_L, p_0..p_{k-1}}; at level l we
+    // need {q_0..q_l, p_0..p_{k-1}}.
+    const auto ext = ctx_.extended_primes(level);
+    const int L = ctx_.max_level();
+    RnsPoly out(ctx_.n(), ext, Domain::kNtt);
+    for (int i = 0; i <= level; ++i) {
+        out.component(i) = key_poly.component(i);
+    }
+    for (int t = 0; t < ctx_.num_special(); ++t) {
+        out.component(level + 1 + t) = key_poly.component(L + 1 + t);
+    }
+    return out;
+}
+
+std::pair<RnsPoly, RnsPoly>
+Evaluator::key_switch(const RnsPoly& d, const EvalKey& evk, int level) const
+{
+    BTS_CHECK(d.domain() == Domain::kNtt, "key_switch expects NTT domain");
+    BTS_CHECK(static_cast<int>(d.num_primes()) == level + 1,
+              "polynomial does not match the stated level");
+    BTS_CHECK(!evk.empty(), "evaluation key is empty");
+
+    const auto ext = ctx_.extended_primes(level);
+    const auto ext_tables = ctx_.tables_for(ext);
+    const auto q_primes = ctx_.level_primes(level);
+
+    RnsPoly acc_b(ctx_.n(), ext, Domain::kNtt);
+    RnsPoly acc_a(ctx_.n(), ext, Domain::kNtt);
+
+    const int slices = ctx_.num_slices(level);
+    BTS_CHECK(slices <= static_cast<int>(evk.slices.size()),
+              "evaluation key has too few slices");
+
+    for (int j = 0; j < slices; ++j) {
+        const auto [begin, end] = ctx_.slice_range(j, level);
+
+        // ModUp: iNTT the slice, base-convert to the complement + P, NTT.
+        std::vector<u64> src(q_primes.begin() + begin,
+                             q_primes.begin() + end);
+        std::vector<u64> tgt;
+        for (int i = 0; i <= level; ++i) {
+            if (i < begin || i >= end) tgt.push_back(q_primes[i]);
+        }
+        tgt.insert(tgt.end(), ctx_.p_primes().begin(),
+                   ctx_.p_primes().end());
+
+        RnsPoly d_slice(ctx_.n(), src, Domain::kNtt);
+        for (int i = begin; i < end; ++i) {
+            d_slice.component(i - begin) = d.component(i);
+        }
+        d_slice.to_coeff(ctx_.tables_for(src));
+
+        RnsPoly converted = ctx_.converter(src, tgt).convert(d_slice);
+        converted.to_ntt(ctx_.tables_for(tgt));
+
+        // Reassemble the extended polynomial: slice components stay in
+        // the NTT domain untouched; converted components fill the rest.
+        RnsPoly f(ctx_.n(), ext, Domain::kNtt);
+        std::size_t conv_idx = 0;
+        for (std::size_t i = 0; i < ext.size(); ++i) {
+            const int ii = static_cast<int>(i);
+            if (ii >= begin && ii < end && ii <= level) {
+                f.component(i) = d.component(i);
+            } else {
+                f.component(i) = converted.component(conv_idx++);
+            }
+        }
+
+        // Inner product with the key slice.
+        RnsPoly kb = gather_evk(evk.slices[j].first, level);
+        RnsPoly ka = gather_evk(evk.slices[j].second, level);
+        kb.mul_inplace(f);
+        ka.mul_inplace(f);
+        acc_b.add_inplace(kb);
+        acc_a.add_inplace(ka);
+    }
+
+    mod_down_inplace(acc_b, level);
+    mod_down_inplace(acc_a, level);
+    (void)ext_tables;
+    return {std::move(acc_b), std::move(acc_a)};
+}
+
+void
+Evaluator::mod_down_inplace(RnsPoly& acc, int level) const
+{
+    // ModDown: divide the accumulated polynomial by P (subtract the
+    // P-residue lift, then multiply by P^{-1} mod q_i) — the SSA step
+    // of Fig. 3a.
+    const auto q_primes = ctx_.level_primes(level);
+    const int k = ctx_.num_special();
+    RnsPoly p_part(ctx_.n(), ctx_.p_primes(), Domain::kNtt);
+    for (int t = 0; t < k; ++t) {
+        p_part.component(t) = acc.component(level + 1 + t);
+    }
+    p_part.to_coeff(ctx_.tables_for(ctx_.p_primes()));
+    RnsPoly lifted =
+        ctx_.converter(ctx_.p_primes(), q_primes).convert(p_part);
+    lifted.to_ntt(ctx_.tables_for(q_primes));
+
+    acc.truncate(level + 1);
+    acc.sub_inplace(lifted);
+    std::vector<u64> p_inv(level + 1);
+    for (int i = 0; i <= level; ++i) {
+        p_inv[i] = ctx_.p_inv_mod(q_primes[i]);
+    }
+    acc.mul_scalar_inplace(p_inv);
+}
+
+std::vector<RnsPoly>
+Evaluator::mod_up_slices(const RnsPoly& d_ntt, int level) const
+{
+    BTS_CHECK(d_ntt.domain() == Domain::kNtt, "expects NTT input");
+    const auto ext = ctx_.extended_primes(level);
+    const auto q_primes = ctx_.level_primes(level);
+
+    RnsPoly d = d_ntt;
+    d.to_coeff(ctx_.tables_for(d));
+
+    std::vector<RnsPoly> slices;
+    const int count = ctx_.num_slices(level);
+    for (int j = 0; j < count; ++j) {
+        const auto [begin, end] = ctx_.slice_range(j, level);
+        std::vector<u64> src(q_primes.begin() + begin,
+                             q_primes.begin() + end);
+        std::vector<u64> tgt;
+        for (int i = 0; i <= level; ++i) {
+            if (i < begin || i >= end) tgt.push_back(q_primes[i]);
+        }
+        tgt.insert(tgt.end(), ctx_.p_primes().begin(),
+                   ctx_.p_primes().end());
+
+        RnsPoly d_slice(ctx_.n(), src, Domain::kCoeff);
+        for (int i = begin; i < end; ++i) {
+            d_slice.component(i - begin) = d.component(i);
+        }
+        RnsPoly converted = ctx_.converter(src, tgt).convert(d_slice);
+
+        RnsPoly f(ctx_.n(), ext, Domain::kCoeff);
+        std::size_t conv_idx = 0;
+        for (std::size_t i = 0; i < ext.size(); ++i) {
+            const int ii = static_cast<int>(i);
+            if (ii >= begin && ii < end && ii <= level) {
+                f.component(i) = d.component(i);
+            } else {
+                f.component(i) = converted.component(conv_idx++);
+            }
+        }
+        slices.push_back(std::move(f));
+    }
+    return slices;
+}
+
+std::vector<Ciphertext>
+Evaluator::rotate_hoisted(const Ciphertext& ct,
+                          const std::vector<int>& amounts,
+                          const RotationKeys& keys) const
+{
+    const int level = ct.level;
+    const auto ext = ctx_.extended_primes(level);
+    const auto ext_tables = ctx_.tables_for(ext);
+    const u64 two_n = 2 * static_cast<u64>(ctx_.n());
+    const u64 order = ctx_.n() / 2;
+
+    // Shared prefix: one decompose + ModUp of the mask polynomial (the
+    // automorphism commutes with BConv because base conversion is
+    // coefficient-wise).
+    const std::vector<RnsPoly> slices = mod_up_slices(ct.a, level);
+    RnsPoly b_coeff = ct.b;
+    b_coeff.to_coeff(ctx_.tables_for(b_coeff));
+
+    std::vector<Ciphertext> out;
+    out.reserve(amounts.size());
+    for (int r : amounts) {
+        if (r == 0) {
+            out.push_back(ct);
+            continue;
+        }
+        const u64 amount =
+            ((static_cast<i64>(r) % static_cast<i64>(order)) + order) %
+            order;
+        const u64 exp = pow_mod(5, amount, two_n);
+        const auto it = keys.find(r);
+        BTS_CHECK(it != keys.end(), "missing rotation key " << r);
+        const EvalKey& key = it->second;
+        BTS_CHECK(key.galois_exp == exp, "rotation key mismatch");
+        BTS_CHECK(ctx_.num_slices(level) <=
+                      static_cast<int>(key.slices.size()),
+                  "rotation key has too few slices");
+
+        RnsPoly acc_b(ctx_.n(), ext, Domain::kNtt);
+        RnsPoly acc_a(ctx_.n(), ext, Domain::kNtt);
+        for (std::size_t j = 0; j < slices.size(); ++j) {
+            RnsPoly f = slices[j].automorphism(exp);
+            f.to_ntt(ext_tables);
+            RnsPoly kb = gather_evk(key.slices[j].first, level);
+            RnsPoly ka = gather_evk(key.slices[j].second, level);
+            kb.mul_inplace(f);
+            ka.mul_inplace(f);
+            acc_b.add_inplace(kb);
+            acc_a.add_inplace(ka);
+        }
+        mod_down_inplace(acc_b, level);
+        mod_down_inplace(acc_a, level);
+
+        RnsPoly b_rot = b_coeff.automorphism(exp);
+        b_rot.to_ntt(ctx_.tables_for(b_rot));
+        acc_b.add_inplace(b_rot);
+
+        Ciphertext res;
+        res.b = std::move(acc_b);
+        res.a = std::move(acc_a);
+        res.scale = ct.scale;
+        res.level = ct.level;
+        res.slots = ct.slots;
+        out.push_back(std::move(res));
+    }
+    return out;
+}
+
+Ciphertext
+Evaluator::mult(const Ciphertext& a, const Ciphertext& b,
+                const EvalKey& mult_key) const
+{
+    Ciphertext x = a, y = b;
+    align_levels(x, y);
+    BTS_CHECK(x.slots == y.slots, "slot count mismatch");
+
+    // Tensor product (Eq. 3).
+    RnsPoly d0 = x.b;
+    d0.mul_inplace(y.b);
+    RnsPoly d1 = x.a;
+    d1.mul_inplace(y.b);
+    RnsPoly d1b = x.b;
+    d1b.mul_inplace(y.a);
+    d1.add_inplace(d1b);
+    RnsPoly d2 = x.a;
+    d2.mul_inplace(y.a);
+
+    // Key-switching (Eq. 4).
+    auto [kb, ka] = key_switch(d2, mult_key, x.level);
+
+    Ciphertext out;
+    d0.add_inplace(kb);
+    d1.add_inplace(ka);
+    out.b = std::move(d0);
+    out.a = std::move(d1);
+    out.scale = x.scale * y.scale;
+    out.level = x.level;
+    out.slots = x.slots;
+    return out;
+}
+
+Ciphertext
+Evaluator::square(const Ciphertext& a, const EvalKey& mult_key) const
+{
+    return mult(a, a, mult_key);
+}
+
+void
+Evaluator::rescale_poly(RnsPoly& poly) const
+{
+    const std::size_t count = poly.num_primes();
+    BTS_CHECK(count >= 2, "cannot rescale a level-0 polynomial");
+    const u64 q_last = poly.prime(count - 1);
+
+    // Bring the top component to the coefficient domain.
+    std::vector<u64> last = poly.component(count - 1);
+    ctx_.tables(q_last).inverse(last.data());
+
+    const u64 half = q_last >> 1;
+    for (std::size_t i = 0; i + 1 < count; ++i) {
+        const u64 qi = poly.prime(i);
+        const Barrett barrett(qi);
+        // Centered lift of the top residue into Z_qi.
+        std::vector<u64> lifted(last.size());
+        const u64 q_last_mod_qi = q_last % qi;
+        for (std::size_t c = 0; c < last.size(); ++c) {
+            u64 v = last[c] % qi;
+            if (last[c] > half) v = sub_mod(v, q_last_mod_qi, qi);
+            lifted[c] = v;
+        }
+        ctx_.tables(qi).forward(lifted.data());
+
+        const ShoupMul inv(inv_mod(q_last_mod_qi, qi), qi);
+        auto& comp = poly.component(i);
+        for (std::size_t c = 0; c < comp.size(); ++c) {
+            comp[c] = inv.mul(sub_mod(comp[c], lifted[c], qi), qi);
+        }
+    }
+    poly.pop_component();
+}
+
+void
+Evaluator::rescale_inplace(Ciphertext& ct) const
+{
+    BTS_CHECK(ct.level >= 1, "no level left to rescale");
+    const u64 q_last = ct.b.prime(ct.level);
+    rescale_poly(ct.b);
+    rescale_poly(ct.a);
+    ct.level -= 1;
+    ct.scale /= static_cast<double>(q_last);
+}
+
+Ciphertext
+Evaluator::apply_galois(const Ciphertext& ct, u64 galois_exp,
+                        const EvalKey& key) const
+{
+    BTS_CHECK(key.galois_exp == galois_exp,
+              "evaluation key does not match the automorphism");
+    const auto tables = ctx_.tables_for(ct.b);
+
+    RnsPoly b = ct.b;
+    b.to_coeff(tables);
+    b = b.automorphism(galois_exp);
+    b.to_ntt(tables);
+
+    RnsPoly a = ct.a;
+    a.to_coeff(tables);
+    a = a.automorphism(galois_exp);
+    a.to_ntt(tables);
+
+    auto [kb, ka] = key_switch(a, key, ct.level);
+    b.add_inplace(kb);
+
+    Ciphertext out;
+    out.b = std::move(b);
+    out.a = std::move(ka);
+    out.scale = ct.scale;
+    out.level = ct.level;
+    out.slots = ct.slots;
+    return out;
+}
+
+Ciphertext
+Evaluator::switch_key(const Ciphertext& ct, const EvalKey& rekey_key) const
+{
+    // ct = (b, a) with b + a*s_from = m; key-switch the mask so the
+    // result satisfies b' + a'*s_to = m.
+    auto [kb, ka] = key_switch(ct.a, rekey_key, ct.level);
+    Ciphertext out;
+    kb.add_inplace(ct.b);
+    out.b = std::move(kb);
+    out.a = std::move(ka);
+    out.scale = ct.scale;
+    out.level = ct.level;
+    out.slots = ct.slots;
+    return out;
+}
+
+Ciphertext
+Evaluator::rotate(const Ciphertext& ct, int r, const EvalKey& rot_key) const
+{
+    if (r == 0) return ct;
+    const u64 two_n = 2 * static_cast<u64>(ctx_.n());
+    const u64 order = ctx_.n() / 2;
+    const u64 amount =
+        ((static_cast<i64>(r) % static_cast<i64>(order)) + order) % order;
+    const u64 exp = pow_mod(5, amount, two_n);
+    return apply_galois(ct, exp, rot_key);
+}
+
+Ciphertext
+Evaluator::conjugate(const Ciphertext& ct, const EvalKey& conj_key) const
+{
+    return apply_galois(ct, 2 * static_cast<u64>(ctx_.n()) - 1, conj_key);
+}
+
+Ciphertext
+Evaluator::mult_plain(const Ciphertext& ct, const Plaintext& pt) const
+{
+    BTS_CHECK(pt.num_primes() >= ct.level + 1,
+              "plaintext level too low for the ciphertext");
+    RnsPoly m = pt.poly;
+    m.truncate(ct.level + 1);
+
+    Ciphertext out = ct;
+    out.b.mul_inplace(m);
+    out.a.mul_inplace(m);
+    out.scale = ct.scale * pt.scale;
+    return out;
+}
+
+Ciphertext
+Evaluator::add_plain(const Ciphertext& ct, const Plaintext& pt) const
+{
+    check_scale_match(ct.scale, pt.scale);
+    BTS_CHECK(pt.num_primes() >= ct.level + 1,
+              "plaintext level too low for the ciphertext");
+    RnsPoly m = pt.poly;
+    m.truncate(ct.level + 1);
+    Ciphertext out = ct;
+    out.b.add_inplace(m);
+    return out;
+}
+
+Ciphertext
+Evaluator::sub_plain(const Ciphertext& ct, const Plaintext& pt) const
+{
+    check_scale_match(ct.scale, pt.scale);
+    BTS_CHECK(pt.num_primes() >= ct.level + 1,
+              "plaintext level too low for the ciphertext");
+    RnsPoly m = pt.poly;
+    m.truncate(ct.level + 1);
+    Ciphertext out = ct;
+    out.b.sub_inplace(m);
+    return out;
+}
+
+Ciphertext
+Evaluator::mult_const(const Ciphertext& ct, double c,
+                      double const_scale) const
+{
+    const double scaled = c * const_scale;
+    BTS_CHECK(std::abs(scaled) < 0x1.0p62, "constant overflows 62 bits");
+    const i64 iv = static_cast<i64>(std::llround(scaled));
+
+    Ciphertext out = ct;
+    std::vector<u64> scalars(ct.level + 1);
+    for (int i = 0; i <= ct.level; ++i) {
+        scalars[i] = signed_to_mod(iv, ct.b.prime(i));
+    }
+    out.b.mul_scalar_inplace(scalars);
+    out.a.mul_scalar_inplace(scalars);
+    out.scale = ct.scale * const_scale;
+    return out;
+}
+
+Ciphertext
+Evaluator::mult_const_complex(const Ciphertext& ct, Complex c,
+                              double const_scale) const
+{
+    if (c.imag() == 0.0) return mult_const(ct, c.real(), const_scale);
+    // ct*(x + iy) = x*ct + y*(i*ct); the i factor is the exact monomial
+    // X^{N/2}, so only real CMults are needed.
+    Ciphertext re = mult_const(ct, c.real(), const_scale);
+    Ciphertext im = mult_const(mult_by_i(ct), c.imag(), const_scale);
+    re.b.add_inplace(im.b);
+    re.a.add_inplace(im.a);
+    return re;
+}
+
+Ciphertext
+Evaluator::mult_const_to_scale(const Ciphertext& ct, double c,
+                               double target_scale_after_rescale) const
+{
+    BTS_CHECK(ct.level >= 1, "needs one level for the rescale");
+    const double q_top = static_cast<double>(ct.b.prime(ct.level));
+    const double const_scale = target_scale_after_rescale * q_top / ct.scale;
+    Ciphertext out = mult_const(ct, c, const_scale);
+    rescale_inplace(out);
+    out.scale = target_scale_after_rescale; // kill double rounding drift
+    return out;
+}
+
+const std::vector<u64>&
+Evaluator::monomial_ntt(u64 prime, std::size_t power) const
+{
+    const auto key = std::make_pair(prime, power);
+    auto it = monomial_cache_.find(key);
+    if (it == monomial_cache_.end()) {
+        std::vector<u64> mono(ctx_.n(), 0);
+        mono[power] = 1;
+        ctx_.tables(prime).forward(mono.data());
+        it = monomial_cache_.emplace(key, std::move(mono)).first;
+    }
+    return it->second;
+}
+
+Ciphertext
+Evaluator::mult_by_i(const Ciphertext& ct) const
+{
+    Ciphertext out = ct;
+    const std::size_t power = ctx_.n() / 2;
+    for (int i = 0; i <= ct.level; ++i) {
+        const u64 q = ct.b.prime(i);
+        const Barrett barrett(q);
+        const auto& mono = monomial_ntt(q, power);
+        for (auto* poly : {&out.b, &out.a}) {
+            auto& comp = poly->component(i);
+            for (std::size_t c = 0; c < comp.size(); ++c) {
+                comp[c] = barrett.mul(comp[c], mono[c]);
+            }
+        }
+    }
+    return out;
+}
+
+void
+Evaluator::add_const_inplace(Ciphertext& ct, Complex c) const
+{
+    const double re = c.real() * ct.scale;
+    const double im = c.imag() * ct.scale;
+    BTS_CHECK(std::abs(re) < 0x1.0p62 && std::abs(im) < 0x1.0p62,
+              "constant overflows 62 bits");
+    const i64 ire = static_cast<i64>(std::llround(re));
+    const i64 iim = static_cast<i64>(std::llround(im));
+
+    if (iim == 0) {
+        // A real constant polynomial is constant across NTT points.
+        for (int i = 0; i <= ct.level; ++i) {
+            const u64 q = ct.b.prime(i);
+            const u64 v = signed_to_mod(ire, q);
+            for (auto& x : ct.b.component(i)) x = add_mod(x, v, q);
+        }
+        return;
+    }
+    // Complex constant: re + im * X^{N/2}, built in coeff domain.
+    RnsPoly delta(ctx_.n(), ct.b.primes(), Domain::kCoeff);
+    for (int i = 0; i <= ct.level; ++i) {
+        const u64 q = ct.b.prime(i);
+        delta.component(i)[0] = signed_to_mod(ire, q);
+        delta.component(i)[ctx_.n() / 2] = signed_to_mod(iim, q);
+    }
+    delta.to_ntt(ctx_.tables_for(delta));
+    ct.b.add_inplace(delta);
+}
+
+Ciphertext
+Evaluator::mod_raise(const Ciphertext& ct) const
+{
+    BTS_CHECK(ct.level == 0, "mod_raise expects a level-0 ciphertext");
+    const u64 q0 = ctx_.q_primes()[0];
+    const u64 half = q0 >> 1;
+    const auto primes = ctx_.level_primes(ctx_.max_level());
+
+    auto raise_poly = [&](const RnsPoly& src_ntt) {
+        RnsPoly src = src_ntt;
+        src.to_coeff(ctx_.tables_for(src));
+        RnsPoly out(ctx_.n(), primes, Domain::kCoeff);
+        const auto& base = src.component(0);
+        for (std::size_t i = 0; i < primes.size(); ++i) {
+            const u64 qi = primes[i];
+            const u64 q0_mod_qi = q0 % qi;
+            auto& comp = out.component(i);
+            for (std::size_t c = 0; c < base.size(); ++c) {
+                // Centered lift of the mod-q0 residue into Z_qi.
+                u64 v = base[c] % qi;
+                if (base[c] > half) v = sub_mod(v, q0_mod_qi, qi);
+                comp[c] = v;
+            }
+        }
+        out.to_ntt(ctx_.tables_for(primes));
+        return out;
+    };
+
+    Ciphertext out;
+    out.b = raise_poly(ct.b);
+    out.a = raise_poly(ct.a);
+    out.scale = ct.scale;
+    out.level = ctx_.max_level();
+    out.slots = ct.slots;
+    return out;
+}
+
+} // namespace bts

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Homomorphic evaluator: the primitive CKKS ops of Section 2.3 of the
+ * paper (HAdd, HMult, HRot, HRescale, CAdd/CMult, PAdd/PMult) plus the
+ * key-switching engine they share (Fig. 3a):
+ *
+ *   iNTT -> BConv (ModUp) -> NTT -> evk inner product -> iNTT -> BConv
+ *   (ModDown) -> NTT -> subtract-scale-add (SSA)
+ *
+ * Ciphertexts and plaintexts are kept in the NTT domain at rest, exactly
+ * as BTS does on-chip; only BConv and the automorphism drop back to the
+ * coefficient domain (Section 4.1).
+ */
+#pragma once
+
+#include <map>
+
+#include "ckks/ciphertext.h"
+#include "ckks/ckks_context.h"
+#include "ckks/encoder.h"
+#include "ckks/keys.h"
+
+namespace bts {
+
+/** Stateless (except precompute caches) CKKS op engine. */
+class Evaluator
+{
+  public:
+    Evaluator(const CkksContext& ctx, const CkksEncoder& encoder);
+
+    const CkksContext& context() const { return ctx_; }
+
+    // ----- additive ops -----
+    Ciphertext add(const Ciphertext& a, const Ciphertext& b) const;
+    Ciphertext sub(const Ciphertext& a, const Ciphertext& b) const;
+    Ciphertext negate(const Ciphertext& a) const;
+
+    // ----- multiplicative ops -----
+    /** HMult (Eq. 3-4): tensor product + relinearizing key-switch.
+     *  Result scale is scale(a)*scale(b); caller rescales. */
+    Ciphertext mult(const Ciphertext& a, const Ciphertext& b,
+                    const EvalKey& mult_key) const;
+
+    Ciphertext square(const Ciphertext& a, const EvalKey& mult_key) const;
+
+    /** HRescale: divide by the top prime, dropping one level. */
+    void rescale_inplace(Ciphertext& ct) const;
+
+    // ----- rotations -----
+    /** HRot by @p r slots (Eq. 5-6); key must match the amount. */
+    Ciphertext rotate(const Ciphertext& ct, int r,
+                      const EvalKey& rot_key) const;
+
+    /** Complex conjugation of every slot. */
+    Ciphertext conjugate(const Ciphertext& ct,
+                         const EvalKey& conj_key) const;
+
+    /** Generic Galois automorphism + key-switch (internal to HRot). */
+    Ciphertext apply_galois(const Ciphertext& ct, u64 galois_exp,
+                            const EvalKey& key) const;
+
+    /**
+     * Hoisted rotations (Halevi-Shoup / Bossuat et al. [12], the trick
+     * bootstrapping's rotation batteries rely on): compute the
+     * decompose+ModUp of the input ONCE and share it across all
+     * @p amounts, paying only an automorphism + NTT + inner product +
+     * ModDown per rotation. Exactly equivalent to calling rotate() per
+     * amount, at a fraction of the iNTT/BConv work.
+     */
+    std::vector<Ciphertext> rotate_hoisted(const Ciphertext& ct,
+                                           const std::vector<int>& amounts,
+                                           const RotationKeys& keys) const;
+
+    /**
+     * Re-key a ciphertext to another party's secret using a key from
+     * KeyGenerator::gen_rekey_key (server-side proxy re-encryption).
+     */
+    Ciphertext switch_key(const Ciphertext& ct,
+                          const EvalKey& rekey_key) const;
+
+    // ----- plaintext ops -----
+    /** PMult; result scale is scale(ct)*scale(pt). */
+    Ciphertext mult_plain(const Ciphertext& ct, const Plaintext& pt) const;
+    /** PAdd; scales must agree (within tolerance). */
+    Ciphertext add_plain(const Ciphertext& ct, const Plaintext& pt) const;
+    Ciphertext sub_plain(const Ciphertext& ct, const Plaintext& pt) const;
+
+    // ----- constant ops -----
+    /** CMult by a real constant, encoded at @p const_scale. */
+    Ciphertext mult_const(const Ciphertext& ct, double c,
+                          double const_scale) const;
+    /** CMult by a complex constant (uses the exact X^{N/2} monomial for
+     *  the imaginary unit, so no extra level is consumed for i). */
+    Ciphertext mult_const_complex(const Ciphertext& ct, Complex c,
+                                  double const_scale) const;
+    /**
+     * Multiply by a real constant with the encode scale chosen so that
+     * the product, after one rescale, lands exactly on
+     * @p target_scale_after_rescale. The workhorse for scale-aligned
+     * linear combinations (Chebyshev evaluation, linear transforms).
+     */
+    Ciphertext mult_const_to_scale(const Ciphertext& ct, double c,
+                                   double target_scale_after_rescale) const;
+
+    /** CAdd of a real or complex constant (no scale change). */
+    void add_const_inplace(Ciphertext& ct, Complex c) const;
+
+    /** Exact multiplication of every slot by i (monomial X^{N/2}). */
+    Ciphertext mult_by_i(const Ciphertext& ct) const;
+
+    // ----- level management -----
+    /** Drop to @p target_level by discarding residue polynomials. */
+    void drop_level_inplace(Ciphertext& ct, int target_level) const;
+
+    /** Drop whichever operand is higher so both match. */
+    void align_levels(Ciphertext& a, Ciphertext& b) const;
+
+    /**
+     * ModRaise for bootstrapping: reinterpret a level-0 ciphertext modulo
+     * the full Q_L (the message becomes m + q_0 * I, Section 2.4).
+     */
+    Ciphertext mod_raise(const Ciphertext& ct) const;
+
+    /**
+     * Key-switch polynomial @p d (NTT domain, level-l base) with @p evk:
+     * ModUp each dnum slice, inner-product with the key, ModDown by P.
+     * @return the (b, a) correction pair on the level-l base.
+     */
+    std::pair<RnsPoly, RnsPoly> key_switch(const RnsPoly& d,
+                                           const EvalKey& evk,
+                                           int level) const;
+
+    /** Relative scale mismatch tolerated by additions. */
+    static constexpr double kScaleTolerance = 1e-6;
+
+  private:
+    /** Gather evk slice components onto the level-l extended base. */
+    RnsPoly gather_evk(const RnsPoly& key_poly, int level) const;
+
+    /** Decompose + ModUp: per-slice extended polynomials over
+     *  {q_0..q_l, p_*}, returned in the COEFFICIENT domain (the shared
+     *  prefix of hoisted rotations). */
+    std::vector<RnsPoly> mod_up_slices(const RnsPoly& d_ntt,
+                                       int level) const;
+
+    /** ModDown by P: acc (extended base, NTT) -> level-l base. */
+    void mod_down_inplace(RnsPoly& acc, int level) const;
+
+    /** Rescale one polynomial of a ciphertext by its top prime. */
+    void rescale_poly(RnsPoly& poly) const;
+
+    /** NTT image of the monomial X^power over the given primes. */
+    const std::vector<u64>& monomial_ntt(u64 prime, std::size_t power) const;
+
+    const CkksContext& ctx_;
+    const CkksEncoder& encoder_;
+    mutable std::map<std::pair<u64, std::size_t>, std::vector<u64>>
+        monomial_cache_;
+};
+
+} // namespace bts

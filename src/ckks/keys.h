@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Key material: secret key, public key and evaluation keys.
+ *
+ * Evaluation keys implement generalized (dnum) key-switching (Eq. 7 of
+ * the paper): one R^2_{PQ} pair per modulus factor Q_j, so an evk is a
+ * pair of N x (k + L + 1) matrices per slice. HMult uses the key for
+ * s^2; each rotation amount r needs its own key for s(X^{5^r}); the
+ * conjugation key targets s(X^{2N-1}).
+ */
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "rns/rns_poly.h"
+
+namespace bts {
+
+/** The secret key s(X), a sparse ternary polynomial. */
+struct SecretKey
+{
+    RnsPoly s_coeff; //!< coefficient domain over {q_0..q_L, p_0..p_{k-1}}
+    RnsPoly s_ntt;   //!< the same key in the NTT domain
+    int hamming_weight = 0;
+};
+
+/** Public encryption key (one RLWE sample of the secret under Q_L). */
+struct PublicKey
+{
+    RnsPoly b; //!< -a*s + e (NTT domain, level L)
+    RnsPoly a;
+};
+
+/** One generalized key-switching key (dnum slices over the evk base). */
+struct EvalKey
+{
+    /** slice j holds (b_j, a_j) with b_j = -a_j*s + e_j + [P]*g_j*s_src. */
+    std::vector<std::pair<RnsPoly, RnsPoly>> slices;
+
+    /** Galois exponent this key switches from (0 for the HMult key). */
+    u64 galois_exp = 0;
+
+    bool empty() const { return slices.empty(); }
+};
+
+/** Rotation-key container indexed by rotation amount. */
+using RotationKeys = std::map<int, EvalKey>;
+
+} // namespace bts

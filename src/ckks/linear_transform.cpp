@@ -1,0 +1,149 @@
+#include "ckks/linear_transform.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/bit_ops.h"
+#include "common/check.h"
+
+namespace bts {
+
+LinearTransform::LinearTransform(
+    const CkksContext& ctx, const CkksEncoder& encoder,
+    const std::vector<std::vector<Complex>>& matrix, int level,
+    double bsgs_ratio)
+    : ctx_(ctx), encoder_(encoder), n_(matrix.size()), level_(level)
+{
+    BTS_CHECK(is_power_of_two(n_), "matrix dimension must be a power of two");
+    BTS_CHECK(level >= 1, "transform needs one level headroom");
+    for (const auto& row : matrix) {
+        BTS_CHECK(row.size() == n_, "matrix must be square");
+    }
+
+    // Extract nonzero diagonals: diag_d[j] = M[j][(j + d) mod n].
+    std::vector<int> shifts;
+    std::vector<std::vector<Complex>> diagonals;
+    for (std::size_t d = 0; d < n_; ++d) {
+        std::vector<Complex> diag(n_);
+        bool nonzero = false;
+        for (std::size_t j = 0; j < n_; ++j) {
+            diag[j] = matrix[j][(j + d) % n_];
+            if (std::abs(diag[j]) > 1e-14) nonzero = true;
+        }
+        if (nonzero) {
+            shifts.push_back(static_cast<int>(d));
+            diagonals.push_back(std::move(diag));
+        }
+    }
+    BTS_CHECK(!shifts.empty(), "matrix is identically zero");
+
+    // Giant-step width: ~sqrt(#diagonals * ratio), a power of two.
+    const double target =
+        std::sqrt(static_cast<double>(diagonals.size()) * bsgs_ratio);
+    g_ = 1;
+    while (g_ * 2 <= target && g_ * 2 < static_cast<int>(n_)) g_ *= 2;
+
+    // Diagonal plaintexts are encoded once, at the level's top prime, so
+    // the final rescale of apply() restores the input scale exactly.
+    const double pt_scale = static_cast<double>(ctx_.q_primes()[level_]);
+
+    std::set<int> rotations;
+    for (std::size_t idx = 0; idx < shifts.size(); ++idx) {
+        Diag entry;
+        entry.shift = shifts[idx];
+        entry.baby = shifts[idx] % g_;
+        entry.giant = shifts[idx] / g_;
+        // Pre-rotate by -g*i so the giant-step rotation distributes over
+        // the inner sum.
+        const int gi = entry.giant * g_;
+        std::vector<Complex> rotated(n_);
+        for (std::size_t j = 0; j < n_; ++j) {
+            rotated[j] = diagonals[idx][(j + n_ - gi % n_) % n_];
+        }
+        entry.plaintext = encoder_.encode(rotated, pt_scale, level_);
+        if (entry.baby != 0) rotations.insert(entry.baby);
+        if (gi != 0) rotations.insert(gi % static_cast<int>(n_));
+        diag_values_.push_back(std::move(entry));
+    }
+    required_rotations_.assign(rotations.begin(), rotations.end());
+}
+
+Ciphertext
+LinearTransform::apply(const Evaluator& eval, const Ciphertext& ct,
+                       const RotationKeys& rot_keys) const
+{
+    BTS_CHECK(ct.slots == n_, "slot count does not match the transform");
+    Ciphertext input = ct;
+    BTS_CHECK(input.level >= level_,
+              "ciphertext level below the transform's compiled level");
+    if (input.level > level_) eval.drop_level_inplace(input, level_);
+
+    // Baby-step rotations of the input, hoisted: all amounts share a
+    // single decompose+ModUp of the input's mask polynomial.
+    std::vector<int> baby_amounts;
+    for (const auto& d : diag_values_) {
+        if (d.baby != 0 &&
+            std::find(baby_amounts.begin(), baby_amounts.end(), d.baby) ==
+                baby_amounts.end()) {
+            baby_amounts.push_back(d.baby);
+        }
+    }
+    std::vector<Ciphertext> baby(g_);
+    baby[0] = input;
+    {
+        auto rotated = eval.rotate_hoisted(input, baby_amounts, rot_keys);
+        for (std::size_t i = 0; i < baby_amounts.size(); ++i) {
+            baby[baby_amounts[i]] = std::move(rotated[i]);
+        }
+    }
+
+    // Giant steps: inner sums of plaintext products, then one rotation.
+    const int max_giant = diag_values_.back().giant;
+    Ciphertext acc;
+    bool acc_set = false;
+    for (int i = 0; i <= max_giant; ++i) {
+        Ciphertext inner;
+        bool inner_set = false;
+        for (const auto& d : diag_values_) {
+            if (d.giant != i) continue;
+            Ciphertext term = eval.mult_plain(baby[d.baby], d.plaintext);
+            if (!inner_set) {
+                inner = std::move(term);
+                inner_set = true;
+            } else {
+                inner.b.add_inplace(term.b);
+                inner.a.add_inplace(term.a);
+            }
+        }
+        if (!inner_set) continue;
+        const int gi = (i * g_) % static_cast<int>(n_);
+        if (gi != 0) {
+            const auto it = rot_keys.find(gi);
+            BTS_CHECK(it != rot_keys.end(), "missing rotation key " << gi);
+            inner = eval.rotate(inner, gi, it->second);
+        }
+        if (!acc_set) {
+            acc = std::move(inner);
+            acc_set = true;
+        } else {
+            acc.b.add_inplace(inner.b);
+            acc.a.add_inplace(inner.a);
+        }
+    }
+    BTS_ASSERT(acc_set, "linear transform accumulated nothing");
+
+    eval.rescale_inplace(acc);
+    acc.scale = ct.scale; // exact: plaintexts were encoded at the top prime
+    return acc;
+}
+
+std::vector<std::vector<Complex>>
+scaled_identity_matrix(std::size_t n, Complex s)
+{
+    std::vector<std::vector<Complex>> m(n, std::vector<Complex>(n, 0));
+    for (std::size_t i = 0; i < n; ++i) m[i][i] = s;
+    return m;
+}
+
+} // namespace bts

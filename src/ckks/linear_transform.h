@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Homomorphic linear transforms via the baby-step/giant-step (BSGS)
+ * diagonal method.
+ *
+ * A dense n x n complex matrix M applied to the slot vector decomposes
+ * into diagonals: out = sum_d diag_d (*) rot_d(in). BSGS groups d =
+ * g*i + j so only O(sqrt(n)) rotations are needed per application —
+ * this is the op structure of bootstrapping's CoeffToSlot/SlotToCoeff,
+ * which dominates the HRot count the paper's Section 3.3 discusses
+ * (the "more than 40 evks" workload).
+ */
+#pragma once
+
+#include <vector>
+
+#include "ckks/encoder.h"
+#include "ckks/evaluator.h"
+#include "ckks/keys.h"
+
+namespace bts {
+
+/** A precompiled homomorphic matrix-vector product. */
+class LinearTransform
+{
+  public:
+    /**
+     * Compile @p matrix (n x n, row-major: out_j = sum_k M[j][k] in_k)
+     * for application at ciphertext level @p level. Diagonal plaintexts
+     * are encoded once at construction (the hardware analogue: BTS keeps
+     * PMult operands resident as plaintexts).
+     *
+     * @param bsgs_ratio giant-step width g is ~sqrt(n * bsgs_ratio).
+     */
+    LinearTransform(const CkksContext& ctx, const CkksEncoder& encoder,
+                    const std::vector<std::vector<Complex>>& matrix,
+                    int level, double bsgs_ratio = 1.0);
+
+    /** Rotation amounts (all positive, < n) this transform needs. */
+    const std::vector<int>& required_rotations() const
+    {
+        return required_rotations_;
+    }
+
+    /**
+     * Apply to @p ct. Consumes exactly one level (the final rescale);
+     * the output keeps the input's scale.
+     */
+    Ciphertext apply(const Evaluator& eval, const Ciphertext& ct,
+                     const RotationKeys& rot_keys) const;
+
+    std::size_t dimension() const { return n_; }
+    int num_diagonals() const { return static_cast<int>(diag_values_.size()); }
+    int baby_steps() const { return g_; }
+
+  private:
+    const CkksContext& ctx_;
+    const CkksEncoder& encoder_;
+    std::size_t n_;
+    int level_;
+    int g_; // giant-step width (number of baby rotations)
+    /** Nonzero diagonals: shift -> pre-rotated slot values. Stored as
+     *  (shift, giant index, values rotated by -g*i). */
+    struct Diag
+    {
+        int shift;           // d in [0, n)
+        int baby;            // j = d mod g
+        int giant;           // i = d / g
+        Plaintext plaintext; // diagonal pre-rotated by -g*i, encoded
+    };
+    std::vector<Diag> diag_values_;
+    std::vector<int> required_rotations_;
+};
+
+/** Build the n x n identity-scaled matrix (testing helper). */
+std::vector<std::vector<Complex>> scaled_identity_matrix(std::size_t n,
+                                                         Complex s);
+
+} // namespace bts

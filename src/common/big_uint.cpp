@@ -1,0 +1,195 @@
+#include "common/big_uint.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace bts {
+
+BigUInt::BigUInt(u64 value)
+{
+    if (value != 0) limbs_.push_back(value);
+}
+
+void
+BigUInt::trim()
+{
+    while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+int
+BigUInt::bit_length() const
+{
+    if (limbs_.empty()) return 0;
+    int bits = 64 * static_cast<int>(limbs_.size() - 1);
+    u64 top = limbs_.back();
+    while (top) {
+        ++bits;
+        top >>= 1;
+    }
+    return bits;
+}
+
+BigUInt
+BigUInt::add(const BigUInt& other) const
+{
+    BigUInt out;
+    const std::size_t n = std::max(limbs_.size(), other.limbs_.size());
+    out.limbs_.resize(n + 1, 0);
+    u128 carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        u128 sum = carry;
+        if (i < limbs_.size()) sum += limbs_[i];
+        if (i < other.limbs_.size()) sum += other.limbs_[i];
+        out.limbs_[i] = static_cast<u64>(sum);
+        carry = sum >> 64;
+    }
+    out.limbs_[n] = static_cast<u64>(carry);
+    out.trim();
+    return out;
+}
+
+BigUInt
+BigUInt::sub(const BigUInt& other) const
+{
+    BTS_ASSERT(compare(other) >= 0, "BigUInt::sub would underflow");
+    BigUInt out;
+    out.limbs_.resize(limbs_.size(), 0);
+    i128 borrow = 0;
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        i128 diff = static_cast<i128>(limbs_[i]) - borrow;
+        if (i < other.limbs_.size()) diff -= other.limbs_[i];
+        if (diff < 0) {
+            diff += (static_cast<i128>(1) << 64);
+            borrow = 1;
+        } else {
+            borrow = 0;
+        }
+        out.limbs_[i] = static_cast<u64>(diff);
+    }
+    out.trim();
+    return out;
+}
+
+BigUInt
+BigUInt::mul(const BigUInt& other) const
+{
+    if (is_zero() || other.is_zero()) return BigUInt();
+    BigUInt out;
+    out.limbs_.assign(limbs_.size() + other.limbs_.size(), 0);
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        u128 carry = 0;
+        for (std::size_t j = 0; j < other.limbs_.size(); ++j) {
+            u128 cur = static_cast<u128>(limbs_[i]) * other.limbs_[j] +
+                       out.limbs_[i + j] + carry;
+            out.limbs_[i + j] = static_cast<u64>(cur);
+            carry = cur >> 64;
+        }
+        std::size_t k = i + other.limbs_.size();
+        while (carry) {
+            u128 cur = static_cast<u128>(out.limbs_[k]) + carry;
+            out.limbs_[k] = static_cast<u64>(cur);
+            carry = cur >> 64;
+            ++k;
+        }
+    }
+    out.trim();
+    return out;
+}
+
+BigUInt
+BigUInt::mul_word(u64 scalar) const
+{
+    return mul(BigUInt(scalar));
+}
+
+u64
+BigUInt::mod_word(u64 m) const
+{
+    BTS_CHECK(m != 0, "modulus must be nonzero");
+    u128 rem = 0;
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+        rem = ((rem << 64) | limbs_[i]) % m;
+    }
+    return static_cast<u64>(rem);
+}
+
+std::pair<BigUInt, u64>
+BigUInt::divmod_word(u64 divisor) const
+{
+    BTS_CHECK(divisor != 0, "division by zero");
+    BigUInt quot;
+    quot.limbs_.assign(limbs_.size(), 0);
+    u128 rem = 0;
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+        u128 cur = (rem << 64) | limbs_[i];
+        quot.limbs_[i] = static_cast<u64>(cur / divisor);
+        rem = cur % divisor;
+    }
+    quot.trim();
+    return {quot, static_cast<u64>(rem)};
+}
+
+int
+BigUInt::compare(const BigUInt& other) const
+{
+    if (limbs_.size() != other.limbs_.size()) {
+        return limbs_.size() < other.limbs_.size() ? -1 : 1;
+    }
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+        if (limbs_[i] != other.limbs_[i]) {
+            return limbs_[i] < other.limbs_[i] ? -1 : 1;
+        }
+    }
+    return 0;
+}
+
+BigUInt
+BigUInt::half() const
+{
+    BigUInt out;
+    out.limbs_.assign(limbs_.size(), 0);
+    u64 carry = 0;
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+        out.limbs_[i] = (limbs_[i] >> 1) | (carry << 63);
+        carry = limbs_[i] & 1;
+    }
+    out.trim();
+    return out;
+}
+
+double
+BigUInt::to_double() const
+{
+    double out = 0.0;
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+        out = out * 0x1.0p64 + static_cast<double>(limbs_[i]);
+    }
+    return out;
+}
+
+std::string
+BigUInt::to_string() const
+{
+    if (is_zero()) return "0";
+    BigUInt cur = *this;
+    std::string digits;
+    while (!cur.is_zero()) {
+        auto [q, r] = cur.divmod_word(10);
+        digits.push_back(static_cast<char>('0' + r));
+        cur = q;
+    }
+    std::reverse(digits.begin(), digits.end());
+    return digits;
+}
+
+BigUInt
+BigUInt::product(const std::vector<u64>& factors)
+{
+    BigUInt out(1);
+    for (u64 f : factors) out = out.mul_word(f);
+    return out;
+}
+
+} // namespace bts

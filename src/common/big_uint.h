@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Minimal arbitrary-precision unsigned integer.
+ *
+ * CKKS parameter machinery needs exact arithmetic on modulus products
+ * (log PQ > 3000 bits for the paper's instances, Table 4): computing
+ * Q = prod(q_i), the punctured products q_hat_j = Q / q_j, CRT
+ * composition in tests, and decryption-side big-coefficient decoding at
+ * small test scales. This class implements exactly the operations those
+ * call sites need — it is not a general bignum library.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace bts {
+
+/** Little-endian base-2^64 arbitrary-precision unsigned integer. */
+class BigUInt
+{
+  public:
+    /** Zero. */
+    BigUInt() = default;
+
+    /** From a single machine word. */
+    explicit BigUInt(u64 value);
+
+    /** @return true iff the value is zero. */
+    bool is_zero() const { return limbs_.empty(); }
+
+    /** Number of significant bits (0 for zero). */
+    int bit_length() const;
+
+    /** @return this + other. */
+    BigUInt add(const BigUInt& other) const;
+
+    /** @return this - other; requires this >= other. */
+    BigUInt sub(const BigUInt& other) const;
+
+    /** @return this * other (schoolbook; operand sizes here are small). */
+    BigUInt mul(const BigUInt& other) const;
+
+    /** @return this * scalar word. */
+    BigUInt mul_word(u64 scalar) const;
+
+    /** @return this mod m for a word-sized modulus. */
+    u64 mod_word(u64 m) const;
+
+    /** @return (quotient, remainder) of division by a word. */
+    std::pair<BigUInt, u64> divmod_word(u64 divisor) const;
+
+    /** Three-way comparison: -1, 0, +1. */
+    int compare(const BigUInt& other) const;
+
+    bool operator==(const BigUInt& other) const { return compare(other) == 0; }
+    bool operator<(const BigUInt& other) const { return compare(other) < 0; }
+    bool operator<=(const BigUInt& other) const { return compare(other) <= 0; }
+    bool operator>(const BigUInt& other) const { return compare(other) > 0; }
+    bool operator>=(const BigUInt& other) const { return compare(other) >= 0; }
+
+    /** @return floor(this / 2). */
+    BigUInt half() const;
+
+    /** Approximate conversion to double (may overflow to inf). */
+    double to_double() const;
+
+    /** Decimal string, for diagnostics. */
+    std::string to_string() const;
+
+    /** Product of a list of word-sized factors. */
+    static BigUInt product(const std::vector<u64>& factors);
+
+    /** Raw limb access (little-endian), used by CRT helpers. */
+    const std::vector<u64>& limbs() const { return limbs_; }
+
+  private:
+    void trim();
+
+    std::vector<u64> limbs_;
+};
+
+} // namespace bts

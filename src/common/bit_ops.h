@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Bit-twiddling helpers used by the NTT, encoder and simulator.
+ */
+#pragma once
+
+#include <bit>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace bts {
+
+/** @return true iff @p x is a power of two (and nonzero). */
+constexpr bool
+is_power_of_two(u64 x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** @return floor(log2(x)); @p x must be nonzero. */
+constexpr int
+log2_floor(u64 x)
+{
+    return 63 - std::countl_zero(x);
+}
+
+/** @return log2(x) for a power-of-two @p x. */
+constexpr int
+log2_exact(u64 x)
+{
+    return log2_floor(x);
+}
+
+/** @return ceil(log2(x)); log2_ceil(1) == 0. */
+constexpr int
+log2_ceil(u64 x)
+{
+    return x <= 1 ? 0 : log2_floor(x - 1) + 1;
+}
+
+/** @return ceil(a / b) for positive integers. */
+constexpr u64
+ceil_div(u64 a, u64 b)
+{
+    return (a + b - 1) / b;
+}
+
+/**
+ * Reverse the low @p bits bits of @p x (used for bit-reversed NTT
+ * twiddle-factor tables and the encoder's special FFT).
+ */
+constexpr u64
+bit_reverse(u64 x, int bits)
+{
+    u64 r = 0;
+    for (int i = 0; i < bits; ++i) {
+        r = (r << 1) | ((x >> i) & 1);
+    }
+    return r;
+}
+
+/**
+ * Apply the bit-reversal permutation in place to a power-of-two-sized
+ * array view.
+ */
+template <typename T>
+void
+bit_reverse_permute(T* data, std::size_t n)
+{
+    const int bits = log2_exact(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t j = bit_reverse(i, bits);
+        if (i < j) std::swap(data[i], data[j]);
+    }
+}
+
+} // namespace bts

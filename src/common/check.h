@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Error-reporting helpers, in the spirit of gem5's fatal()/panic() split.
+ *
+ * - BTS_CHECK / bts::fatal: user-facing argument validation (invalid
+ *   parameters, impossible configuration). Throws std::invalid_argument.
+ * - BTS_ASSERT / bts::panic: internal invariants that should never fail
+ *   regardless of user input. Throws std::logic_error.
+ */
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace bts {
+
+[[noreturn]] inline void
+fatal(const std::string& msg)
+{
+    throw std::invalid_argument("bts: " + msg);
+}
+
+[[noreturn]] inline void
+panic(const std::string& msg)
+{
+    throw std::logic_error("bts internal error: " + msg);
+}
+
+} // namespace bts
+
+#define BTS_CHECK(cond, msg)                                                \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            std::ostringstream oss_;                                        \
+            oss_ << msg << " [" << #cond << " @ " << __FILE__ << ":"        \
+                 << __LINE__ << "]";                                        \
+            ::bts::fatal(oss_.str());                                       \
+        }                                                                   \
+    } while (0)
+
+#define BTS_ASSERT(cond, msg)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            std::ostringstream oss_;                                        \
+            oss_ << msg << " [" << #cond << " @ " << __FILE__ << ":"        \
+                 << __LINE__ << "]";                                        \
+            ::bts::panic(oss_.str());                                       \
+        }                                                                   \
+    } while (0)

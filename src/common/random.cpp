@@ -1,0 +1,118 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace bts {
+
+namespace {
+
+u64
+splitmix64(u64& state)
+{
+    u64 z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+constexpr u64
+rotl(u64 x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Xoshiro256::Xoshiro256(u64 seed)
+{
+    u64 sm = seed;
+    for (auto& s : s_) s = splitmix64(sm);
+}
+
+u64
+Xoshiro256::next()
+{
+    const u64 result = rotl(s_[1] * 5, 7) * 9;
+    const u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+u64
+Xoshiro256::uniform(u64 bound)
+{
+    BTS_ASSERT(bound > 0, "uniform bound must be positive");
+    // Rejection sampling on the top of the range removes modulo bias.
+    const u64 threshold = (0 - bound) % bound;
+    for (;;) {
+        const u64 r = next();
+        if (r >= threshold) return r % bound;
+    }
+}
+
+double
+Xoshiro256::uniform_real()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::vector<u64>
+Sampler::uniform_poly(std::size_t n, u64 modulus)
+{
+    std::vector<u64> out(n);
+    for (auto& c : out) c = rng_.uniform(modulus);
+    return out;
+}
+
+std::vector<i64>
+Sampler::gaussian_poly(std::size_t n, double sigma)
+{
+    std::vector<i64> out(n);
+    for (std::size_t i = 0; i < n; i += 2) {
+        // Box-Muller transform; draw two at a time.
+        double u1 = rng_.uniform_real();
+        while (u1 == 0.0) u1 = rng_.uniform_real();
+        const double u2 = rng_.uniform_real();
+        const double mag = sigma * std::sqrt(-2.0 * std::log(u1));
+        out[i] = static_cast<i64>(std::llround(mag * std::cos(2 * M_PI * u2)));
+        if (i + 1 < n) {
+            out[i + 1] =
+                static_cast<i64>(std::llround(mag * std::sin(2 * M_PI * u2)));
+        }
+    }
+    return out;
+}
+
+std::vector<i64>
+Sampler::ternary_poly(std::size_t n)
+{
+    std::vector<i64> out(n);
+    for (auto& c : out) c = static_cast<i64>(rng_.uniform(3)) - 1;
+    return out;
+}
+
+std::vector<i64>
+Sampler::sparse_ternary_poly(std::size_t n, int hamming_weight)
+{
+    BTS_CHECK(hamming_weight >= 0 &&
+              static_cast<std::size_t>(hamming_weight) <= n,
+              "hamming weight out of range");
+    std::vector<i64> out(n, 0);
+    int placed = 0;
+    while (placed < hamming_weight) {
+        const std::size_t pos = rng_.uniform(n);
+        if (out[pos] != 0) continue;
+        out[pos] = (rng_.next() & 1) ? 1 : -1;
+        ++placed;
+    }
+    return out;
+}
+
+} // namespace bts

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation and the samplers used by
+ * CKKS key generation and encryption.
+ *
+ * CKKS needs three distributions (Section 2.2 of the paper):
+ *  - uniform residues mod q (the `a` polynomial of fresh ciphertexts/keys),
+ *  - a small discrete Gaussian error e(X) (sigma = 3.2, the HE-standard
+ *    value),
+ *  - ternary secrets {-1, 0, 1}, optionally with a fixed Hamming weight
+ *    (sparse secrets, which bound the bootstrapping modular-reduction
+ *    range K).
+ *
+ * A xoshiro256** generator keeps the whole library reproducible without
+ * depending on platform <random> implementation details.
+ */
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace bts {
+
+/** xoshiro256** 1.0 generator (public-domain algorithm by Blackman/Vigna). */
+class Xoshiro256
+{
+  public:
+    /** Seed via splitmix64 expansion of @p seed. */
+    explicit Xoshiro256(u64 seed = 0x9e3779b97f4a7c15ULL);
+
+    /** @return next 64 uniform random bits. */
+    u64 next();
+
+    /** @return uniform value in [0, bound) without modulo bias. */
+    u64 uniform(u64 bound);
+
+    /** @return uniform double in [0, 1). */
+    double uniform_real();
+
+  private:
+    u64 s_[4];
+};
+
+/** Samplers for the CKKS-specific distributions. */
+class Sampler
+{
+  public:
+    explicit Sampler(u64 seed) : rng_(seed) {}
+
+    /** Uniform residues in [0, modulus). */
+    std::vector<u64> uniform_poly(std::size_t n, u64 modulus);
+
+    /**
+     * Discrete Gaussian with standard deviation @p sigma, returned as
+     * signed values (Box-Muller + rounding; exactness of the tail is not
+     * security-relevant for a research reproduction).
+     */
+    std::vector<i64> gaussian_poly(std::size_t n, double sigma = 3.2);
+
+    /** Uniform ternary {-1, 0, 1} secret. */
+    std::vector<i64> ternary_poly(std::size_t n);
+
+    /**
+     * Sparse ternary secret with exactly @p hamming_weight nonzero
+     * (+-1) entries, as used by sparse-secret CKKS instances.
+     */
+    std::vector<i64> sparse_ternary_poly(std::size_t n, int hamming_weight);
+
+    /** Direct access for ad-hoc draws. */
+    Xoshiro256& rng() { return rng_; }
+
+  private:
+    Xoshiro256 rng_;
+};
+
+} // namespace bts

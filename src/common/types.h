@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Fundamental fixed-width types shared by every BTS module.
+ *
+ * The whole library works on 64-bit machine words (the word size of BTS,
+ * Section 5 of the paper); 128-bit intermediates are used for modular
+ * multiplication before Barrett reduction.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bts {
+
+using u8 = std::uint8_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+using i64 = std::int64_t;
+using i128 = __int128;
+
+/** Maximum supported modulus width: primes must fit in 61 bits so that
+ *  lazy accumulation of a few products never overflows 128 bits. */
+inline constexpr int kMaxModulusBits = 61;
+
+} // namespace bts

@@ -1,0 +1,136 @@
+#include "hwparams/instance.h"
+
+#include <algorithm>
+
+#include "common/bit_ops.h"
+#include "common/check.h"
+#include "hwparams/security.h"
+
+namespace bts::hw {
+
+int
+CkksInstance::num_special() const
+{
+    return static_cast<int>(ceil_div(static_cast<u64>(max_level + 1),
+                                     static_cast<u64>(dnum)));
+}
+
+int
+CkksInstance::num_slices(int level) const
+{
+    const int alpha = num_special();
+    return static_cast<int>(ceil_div(static_cast<u64>(level + 1),
+                                     static_cast<u64>(alpha)));
+}
+
+double
+CkksInstance::log_q() const
+{
+    return q0_bits + static_cast<double>(max_level) * scale_bits;
+}
+
+double
+CkksInstance::log_p() const
+{
+    return static_cast<double>(num_special()) * special_bits;
+}
+
+double
+CkksInstance::log_pq() const
+{
+    return log_q() + log_p();
+}
+
+double
+CkksInstance::lambda() const
+{
+    return estimate_lambda(n, log_pq());
+}
+
+double
+CkksInstance::ct_bytes(int level) const
+{
+    BTS_CHECK(level >= 0 && level <= max_level, "level out of range");
+    return 2.0 * static_cast<double>(n) * (level + 1) * 8.0;
+}
+
+double
+CkksInstance::evk_bytes(int level) const
+{
+    // Only the slices live at this level stream in, each restricted to
+    // the k + l + 1 active primes.
+    return 2.0 * num_slices(level) *
+           static_cast<double>(num_special() + level + 1) *
+           static_cast<double>(n) * 8.0;
+}
+
+double
+CkksInstance::evk_total_bytes() const
+{
+    return 2.0 * static_cast<double>(n) * (max_level + 1) * (dnum + 1) * 8.0;
+}
+
+double
+CkksInstance::temp_bytes() const
+{
+    const double words = static_cast<double>(n) * 8.0;
+    const int ext = num_special() + max_level + 1; // k + L + 1
+    // ModUp-extended d2 slices plus the two extended accumulators, plus
+    // the d0/d1 tensor halves net of the slice already resident (they
+    // overlap the first ModUp slice's Q-part). Reproduces Table 4's
+    // "Temp data" column within 4%: 176/293/377 MB vs 183/304/365 MB.
+    const double modup_and_acc =
+        (static_cast<double>(dnum) + 2.0) * ext * words;
+    const double tensor =
+        2.0 * (max_level + 1 - num_special()) * words;
+    return modup_and_acc + std::max(0.0, tensor);
+}
+
+CkksInstance
+ins1()
+{
+    CkksInstance i;
+    i.name = "INS-1";
+    i.max_level = 27;
+    i.dnum = 1;
+    return i;
+}
+
+CkksInstance
+ins2()
+{
+    CkksInstance i;
+    i.name = "INS-2";
+    i.max_level = 39;
+    i.dnum = 2;
+    return i;
+}
+
+CkksInstance
+ins3()
+{
+    CkksInstance i;
+    i.name = "INS-3";
+    i.max_level = 44;
+    i.dnum = 3;
+    return i;
+}
+
+CkksInstance
+ins_lattigo()
+{
+    CkksInstance i;
+    i.name = "INS-Lattigo";
+    i.n = 1ULL << 16;
+    i.max_level = 21; // max 128-bit-secure level budget at N=2^16
+    i.dnum = 3;
+    return i;
+}
+
+std::vector<CkksInstance>
+table4_instances()
+{
+    return {ins1(), ins2(), ins3()};
+}
+
+} // namespace bts::hw

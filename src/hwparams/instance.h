@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Full-scale CKKS instance descriptors (Table 4 of the paper).
+ *
+ * These describe the N = 2^17 parameter sets the accelerator targets —
+ * as *metadata* for the simulator and parameter analysis, independent of
+ * the functional library (which runs the same algorithms at test-scale
+ * N). Prime widths follow the paper: a 60-bit base prime, 50-bit scale
+ * primes, 60-bit special primes, which reproduces Table 4's log(PQ)
+ * values exactly (e.g. INS-1: 60 + 27*50 + 28*60 = 3090).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace bts::hw {
+
+/** A full-scale CKKS parameter set, as the accelerator sees it. */
+struct CkksInstance
+{
+    std::string name;
+    std::size_t n = 1ULL << 17; //!< polynomial degree N
+    int max_level = 27;         //!< L
+    int dnum = 1;               //!< decomposition number
+    int boot_levels = 19;       //!< L_boot consumed by bootstrapping
+    int q0_bits = 60;
+    int scale_bits = 50;
+    int special_bits = 60;
+
+    /** Special prime count k = ceil((L+1)/dnum). */
+    int num_special() const;
+
+    /** Number of key-switching slices live at level l. */
+    int num_slices(int level) const;
+
+    /** log2 of Q = q_0 * q_1^L (bits). */
+    double log_q() const;
+    /** log2 of P (bits). */
+    double log_p() const;
+    /** log2 of PQ (bits) — the security-determining size. */
+    double log_pq() const;
+
+    /** Estimated security level of this instance. */
+    double lambda() const;
+
+    /** Ciphertext size in bytes at level l (pair of N x (l+1), 8B words). */
+    double ct_bytes(int level) const;
+
+    /** Evaluation-key size in bytes at level l (Eq. 10 denominator). */
+    double evk_bytes(int level) const;
+
+    /** Aggregate evk footprint: 2 N (L+1) (dnum+1) words (Section 2.5). */
+    double evk_total_bytes() const;
+
+    /**
+     * Peak temporary working set of a max-level HMult: the ModUp
+     * outputs, the two extended accumulators and the tensor results
+     * (Table 4 "Temp data" column).
+     */
+    double temp_bytes() const;
+
+    /** Levels usable between bootstrappings: L - L_boot. */
+    int usable_levels() const { return max_level - boot_levels; }
+
+    /** Slots per fully packed ciphertext, N/2. */
+    std::size_t slots() const { return n / 2; }
+};
+
+/** Table 4's INS-1: (N, L, dnum) = (2^17, 27, 1). */
+CkksInstance ins1();
+/** Table 4's INS-2: (2^17, 39, 2). */
+CkksInstance ins2();
+/** Table 4's INS-3: (2^17, 44, 3). */
+CkksInstance ins3();
+/** The Lattigo-preset-like instance used by the Fig. 9 ablation
+ *  (N = 2^16, the largest 128-bit-secure level budget at dnum 3). */
+CkksInstance ins_lattigo();
+
+/** All three Table 4 instances. */
+std::vector<CkksInstance> table4_instances();
+
+} // namespace bts::hw

@@ -1,0 +1,27 @@
+#include "hwparams/security.h"
+
+#include "common/check.h"
+
+namespace bts::hw {
+
+namespace {
+// Linear fit to the paper's Table 4 anchors (see header).
+constexpr double kSlope = 2.9704;
+constexpr double kIntercept = 7.39;
+} // namespace
+
+double
+estimate_lambda(std::size_t n, double log_pq)
+{
+    BTS_CHECK(n > 0 && log_pq > 0, "invalid security query");
+    return kSlope * (static_cast<double>(n) / log_pq) + kIntercept;
+}
+
+double
+max_log_pq(std::size_t n, double lambda_target)
+{
+    BTS_CHECK(lambda_target > kIntercept, "target below model range");
+    return static_cast<double>(n) * kSlope / (lambda_target - kIntercept);
+}
+
+} // namespace bts::hw

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Security-level model lambda(N, log PQ).
+ *
+ * The paper (Section 2.5) uses the SparseLWE-estimator [77] and states
+ * that lambda is a strictly increasing function of N / log(PQ) [30].
+ * We model that curve with a linear fit anchored to the paper's own
+ * published (N, logPQ, lambda) triples (Table 4):
+ *
+ *   (2^17, 3090) -> 133.4     (2^17, 3210) -> 128.7
+ *   (2^17, 3160) -> 130.8
+ *
+ * The fit lambda = 2.9704 * (N/logPQ) + 7.39 reproduces all three
+ * anchors to within 0.3 bits, which is what matters here: the paper
+ * only uses lambda as a feasibility constraint (lambda >= 128) carving
+ * out the parameter space of Figs. 1-2.
+ */
+#pragma once
+
+#include "common/types.h"
+
+namespace bts::hw {
+
+/** Estimated security (bits) for ring degree @p n and @p log_pq bits. */
+double estimate_lambda(std::size_t n, double log_pq);
+
+/** Largest log(PQ) meeting @p lambda_target at ring degree @p n. */
+double max_log_pq(std::size_t n, double lambda_target);
+
+/** The paper's target security level. */
+inline constexpr double kTargetLambda = 128.0;
+
+} // namespace bts::hw

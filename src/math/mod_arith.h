@@ -1,0 +1,123 @@
+/**
+ * @file
+ * 64-bit modular arithmetic.
+ *
+ * BTS's word size is 64 bits; modular-reduction units in the hardware use
+ * Barrett reduction to bring 128-bit products back to the word size
+ * (Section 5). This module provides the software equivalents: plain
+ * 128-bit reduction, a Barrett reducer with precomputed constant, and
+ * Shoup multiplication for the hot NTT path where one operand (the
+ * twiddle factor) is fixed.
+ */
+#pragma once
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace bts {
+
+/** @return (a + b) mod m; inputs must already be reduced. */
+inline u64
+add_mod(u64 a, u64 b, u64 m)
+{
+    const u64 s = a + b;
+    return (s >= m || s < a) ? s - m : s;
+}
+
+/** @return (a - b) mod m; inputs must already be reduced. */
+inline u64
+sub_mod(u64 a, u64 b, u64 m)
+{
+    return a >= b ? a - b : a + m - b;
+}
+
+/** @return (a * b) mod m via 128-bit intermediate. */
+inline u64
+mul_mod(u64 a, u64 b, u64 m)
+{
+    return static_cast<u64>((static_cast<u128>(a) * b) % m);
+}
+
+/** @return a^e mod m (binary exponentiation). */
+u64 pow_mod(u64 a, u64 e, u64 m);
+
+/** @return a^{-1} mod m; requires gcd(a, m) == 1. */
+u64 inv_mod(u64 a, u64 m);
+
+/** @return gcd(a, b). */
+u64 gcd_u64(u64 a, u64 b);
+
+/** Map a signed value into [0, m). */
+inline u64
+signed_to_mod(i64 v, u64 m)
+{
+    const i64 r = v % static_cast<i64>(m);
+    return r < 0 ? static_cast<u64>(r + static_cast<i64>(m))
+                 : static_cast<u64>(r);
+}
+
+/** Map a residue in [0, m) to its centered representative in (-m/2, m/2]. */
+inline i64
+mod_to_signed(u64 v, u64 m)
+{
+    return v > m / 2 ? static_cast<i64>(v) - static_cast<i64>(m)
+                     : static_cast<i64>(v);
+}
+
+/**
+ * Barrett reducer for a fixed modulus.
+ *
+ * Precomputes mu = floor(2^128 / m) (stored as two 64-bit halves of the
+ * 2^64-scaled variant). reduce() accepts any 128-bit value less than
+ * m * 2^64 and is exact after at most one conditional subtraction.
+ */
+class Barrett
+{
+  public:
+    Barrett() = default;
+
+    explicit Barrett(u64 modulus);
+
+    u64 modulus() const { return m_; }
+
+    /** Reduce a 128-bit value (v < m * 2^64) modulo m. */
+    u64 reduce(u128 v) const;
+
+    /** (a * b) mod m using the precomputed constant. */
+    u64 mul(u64 a, u64 b) const { return reduce(static_cast<u128>(a) * b); }
+
+  private:
+    u64 m_ = 0;
+    u64 mu_hi_ = 0; // floor(2^128 / m) high limb
+    u64 mu_lo_ = 0; // floor(2^128 / m) low limb
+};
+
+/**
+ * Shoup multiplication context: multiply by a fixed constant w modulo m
+ * with a single 64x64 multiply-high and one correction, the standard
+ * trick for NTT butterflies.
+ */
+struct ShoupMul
+{
+    u64 w = 0;       //!< the constant operand, reduced mod m
+    u64 w_shoup = 0; //!< floor(w * 2^64 / m)
+
+    ShoupMul() = default;
+
+    ShoupMul(u64 operand, u64 modulus)
+        : w(operand),
+          w_shoup(static_cast<u64>((static_cast<u128>(operand) << 64) /
+                                   modulus))
+    {}
+
+    /** @return (x * w) mod m. */
+    u64
+    mul(u64 x, u64 m) const
+    {
+        const u64 q = static_cast<u64>((static_cast<u128>(x) * w_shoup) >> 64);
+        const u64 r = x * w - q * m;
+        return r >= m ? r - m : r;
+    }
+};
+
+} // namespace bts

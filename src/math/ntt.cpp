@@ -1,0 +1,101 @@
+#include "math/ntt.h"
+
+#include "common/bit_ops.h"
+#include "common/check.h"
+#include "math/prime_gen.h"
+
+namespace bts {
+
+NttTables::NttTables(std::size_t n, u64 prime)
+    : n_(n), log_n_(log2_exact(n)), prime_(prime)
+{
+    BTS_CHECK(is_power_of_two(n), "NTT size must be a power of two");
+    BTS_CHECK(prime % (2 * n) == 1, "prime must be 1 mod 2N");
+
+    psi_ = find_primitive_root(prime, 2 * static_cast<u64>(n));
+    const u64 psi_inv = inv_mod(psi_, prime);
+    n_inv_ = inv_mod(static_cast<u64>(n) % prime, prime);
+    n_inv_shoup_ = ShoupMul(n_inv_, prime).w_shoup;
+
+    psi_br_.resize(n);
+    psi_inv_br_.resize(n);
+    u64 power = 1;
+    u64 power_inv = 1;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t rev = bit_reverse(i, log_n_);
+        psi_br_[rev] = ShoupMul(power, prime);
+        psi_inv_br_[rev] = ShoupMul(power_inv, prime);
+        power = mul_mod(power, psi_, prime);
+        power_inv = mul_mod(power_inv, psi_inv, prime);
+    }
+}
+
+void
+NttTables::forward(u64* a) const
+{
+    const u64 q = prime_;
+    std::size_t t = n_;
+    for (std::size_t m = 1; m < n_; m <<= 1) {
+        t >>= 1;
+        for (std::size_t i = 0; i < m; ++i) {
+            const std::size_t j1 = 2 * i * t;
+            const ShoupMul& s = psi_br_[m + i];
+            for (std::size_t j = j1; j < j1 + t; ++j) {
+                const u64 u = a[j];
+                const u64 v = s.mul(a[j + t], q);
+                a[j] = add_mod(u, v, q);
+                a[j + t] = sub_mod(u, v, q);
+            }
+        }
+    }
+}
+
+void
+NttTables::inverse(u64* a) const
+{
+    const u64 q = prime_;
+    std::size_t t = 1;
+    for (std::size_t m = n_; m > 1; m >>= 1) {
+        std::size_t j1 = 0;
+        const std::size_t h = m >> 1;
+        for (std::size_t i = 0; i < h; ++i) {
+            const ShoupMul& s = psi_inv_br_[h + i];
+            for (std::size_t j = j1; j < j1 + t; ++j) {
+                const u64 u = a[j];
+                const u64 v = a[j + t];
+                a[j] = add_mod(u, v, q);
+                a[j + t] = s.mul(sub_mod(u, v, q), q);
+            }
+            j1 += 2 * t;
+        }
+        t <<= 1;
+    }
+    const ShoupMul n_inv{n_inv_, q};
+    for (std::size_t j = 0; j < n_; ++j) {
+        a[j] = n_inv.mul(a[j], q);
+    }
+}
+
+std::vector<u64>
+negacyclic_mul_reference(const std::vector<u64>& a, const std::vector<u64>& b,
+                         u64 q)
+{
+    BTS_CHECK(a.size() == b.size(), "size mismatch");
+    const std::size_t n = a.size();
+    std::vector<u64> out(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (a[i] == 0) continue;
+        for (std::size_t j = 0; j < n; ++j) {
+            const u64 prod = mul_mod(a[i], b[j], q);
+            const std::size_t k = i + j;
+            if (k < n) {
+                out[k] = add_mod(out[k], prod, q);
+            } else {
+                out[k - n] = sub_mod(out[k - n], prod, q);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace bts

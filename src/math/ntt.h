@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Negacyclic Number Theoretic Transform (NTT) over Z_q[X]/(X^N + 1).
+ *
+ * Polynomial multiplication in the CKKS ring is a negacyclic convolution;
+ * the NTT turns it into an element-wise product (Section 4.1 of the
+ * paper). This implementation uses the standard merged-twiddle radix-2
+ * decimation algorithm with Shoup multiplication and twiddle factors (odd
+ * powers of the primitive 2N-th root of unity psi) stored in bit-reversed
+ * order, so both directions run in O(N log N) with unit-stride inner
+ * loops.
+ */
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "math/mod_arith.h"
+
+namespace bts {
+
+/** Precomputed tables for one (prime, N) pair. */
+class NttTables
+{
+  public:
+    /**
+     * Build tables for degree @p n (power of two) and modulus @p prime
+     * (must satisfy prime == 1 mod 2n).
+     */
+    NttTables(std::size_t n, u64 prime);
+
+    std::size_t n() const { return n_; }
+    u64 modulus() const { return prime_; }
+    u64 psi() const { return psi_; }
+
+    /** In-place forward negacyclic NTT; output in bit-reversed order. */
+    void forward(u64* data) const;
+
+    /** In-place inverse negacyclic NTT; input in bit-reversed order. */
+    void inverse(u64* data) const;
+
+    /** Number of butterfly operations one transform performs. */
+    std::size_t butterfly_count() const { return n_ / 2 * log_n_; }
+
+  private:
+    std::size_t n_;
+    int log_n_;
+    u64 prime_;
+    u64 psi_;        // primitive 2n-th root of unity
+    u64 n_inv_;      // n^{-1} mod prime
+    u64 n_inv_shoup_;
+
+    std::vector<ShoupMul> psi_br_;     // psi powers, bit-reversed order
+    std::vector<ShoupMul> psi_inv_br_; // inverse psi powers, bit-reversed
+};
+
+/**
+ * Reference O(N^2) negacyclic convolution used by the tests to validate
+ * the NTT path: out = a * b mod (X^N + 1, q).
+ */
+std::vector<u64> negacyclic_mul_reference(const std::vector<u64>& a,
+                                          const std::vector<u64>& b, u64 q);
+
+} // namespace bts

@@ -1,0 +1,109 @@
+#include "math/prime_gen.h"
+
+#include <algorithm>
+
+#include "common/bit_ops.h"
+#include "common/check.h"
+#include "math/mod_arith.h"
+
+namespace bts {
+
+namespace {
+
+bool
+miller_rabin_witness(u64 n, u64 a, u64 d, int r)
+{
+    u64 x = pow_mod(a, d, n);
+    if (x == 1 || x == n - 1) return false;
+    for (int i = 0; i < r - 1; ++i) {
+        x = mul_mod(x, x, n);
+        if (x == n - 1) return false;
+    }
+    return true; // composite witness found
+}
+
+} // namespace
+
+bool
+is_prime(u64 n)
+{
+    if (n < 2) return false;
+    for (u64 p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                  23ULL, 29ULL, 31ULL, 37ULL}) {
+        if (n == p) return true;
+        if (n % p == 0) return false;
+    }
+    u64 d = n - 1;
+    int r = 0;
+    while ((d & 1) == 0) {
+        d >>= 1;
+        ++r;
+    }
+    // This witness set is deterministic for all 64-bit integers.
+    for (u64 a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                  23ULL, 29ULL, 31ULL, 37ULL}) {
+        if (miller_rabin_witness(n, a, d, r)) return false;
+    }
+    return true;
+}
+
+u64
+find_primitive_root(u64 p, u64 two_n)
+{
+    BTS_CHECK((p - 1) % two_n == 0, "p must be 1 mod 2N");
+    const u64 cofactor = (p - 1) / two_n;
+    // Try candidate generators; g^cofactor is a 2n-th root of unity, and
+    // it is primitive iff its (2n/2)-th power is not 1.
+    for (u64 g = 2; g < p; ++g) {
+        const u64 root = pow_mod(g, cofactor, p);
+        if (root == 1) continue;
+        if (pow_mod(root, two_n / 2, p) == p - 1) {
+            return root;
+        }
+    }
+    panic("no primitive root found");
+}
+
+std::vector<u64>
+generate_ntt_primes(int bit_size, u64 two_n, int count,
+                    const std::vector<u64>& exclude)
+{
+    BTS_CHECK(bit_size >= 20 && bit_size <= kMaxModulusBits,
+              "prime bit size out of supported range");
+    BTS_CHECK(is_power_of_two(two_n), "2N must be a power of two");
+
+    std::vector<u64> primes;
+    const u64 center = 1ULL << bit_size;
+    // Candidates are center +- k*2N + 1.
+    u64 up = center + 1;
+    u64 down = center + 1;
+    // Align to == 1 mod 2N.
+    up += (two_n - ((up - 1) % two_n)) % two_n;
+    down -= ((down - 1) % two_n);
+
+    auto taken = [&](u64 p) {
+        return std::find(primes.begin(), primes.end(), p) != primes.end() ||
+               std::find(exclude.begin(), exclude.end(), p) != exclude.end();
+    };
+
+    bool go_up = true;
+    while (static_cast<int>(primes.size()) < count) {
+        u64 candidate;
+        if (go_up) {
+            candidate = up;
+            up += two_n;
+        } else {
+            BTS_CHECK(down > two_n, "ran out of prime candidates below 2^b");
+            candidate = down;
+            down -= two_n;
+        }
+        go_up = !go_up;
+        if ((candidate >> kMaxModulusBits) != 0) continue;
+        if (!taken(candidate) && is_prime(candidate)) {
+            primes.push_back(candidate);
+        }
+    }
+    return primes;
+}
+
+} // namespace bts

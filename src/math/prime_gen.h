@@ -1,0 +1,37 @@
+/**
+ * @file
+ * NTT-friendly prime generation.
+ *
+ * Full-RNS CKKS needs word-sized primes q_i == 1 (mod 2N) so that the
+ * 2N-th root of unity exists and the negacyclic NTT applies (Section 2.2).
+ * The scheme uses:
+ *  - a large "base" prime q_0 (~2^60) absorbing the final message,
+ *  - "scale" primes close to the scaling factor Delta (~2^40..2^50),
+ *  - "special" primes p_i (~2^60) forming P for key-switching.
+ */
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace bts {
+
+/** Miller-Rabin primality test, deterministic for 64-bit inputs. */
+bool is_prime(u64 n);
+
+/** @return a generator-derived primitive 2n-th root of unity mod p
+ *  (requires p == 1 mod 2n). */
+u64 find_primitive_root(u64 p, u64 two_n);
+
+/**
+ * Generate @p count distinct primes congruent to 1 mod @p two_n, each as
+ * close as possible to 2^@p bit_size, skipping any prime in @p exclude.
+ *
+ * Primes alternate above/below 2^bit_size so that products stay close to
+ * the target (the standard trick for keeping the CKKS scale drift small).
+ */
+std::vector<u64> generate_ntt_primes(int bit_size, u64 two_n, int count,
+                                     const std::vector<u64>& exclude = {});
+
+} // namespace bts

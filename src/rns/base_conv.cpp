@@ -1,0 +1,103 @@
+#include "rns/base_conv.h"
+
+#include "common/check.h"
+#include "math/mod_arith.h"
+
+namespace bts {
+
+BaseConverter::BaseConverter(const RnsBase& source, const RnsBase& target)
+    : source_(source), target_(target)
+{
+    for (u64 p : target.primes()) {
+        for (u64 q : source.primes()) {
+            BTS_CHECK(p != q, "source/target bases must be disjoint");
+        }
+    }
+    hat_inv_.resize(source.size());
+    for (std::size_t j = 0; j < source.size(); ++j) {
+        hat_inv_[j] = source.hat_inv(j);
+    }
+    hat_mod_.assign(target.size(), std::vector<u64>(source.size()));
+    for (std::size_t i = 0; i < target.size(); ++i) {
+        for (std::size_t j = 0; j < source.size(); ++j) {
+            hat_mod_[i][j] = source.hat_mod(j, target.prime(i));
+        }
+    }
+}
+
+RnsPoly
+BaseConverter::convert(const RnsPoly& input) const
+{
+    BTS_CHECK(input.domain() == Domain::kCoeff,
+              "BConv operates in the coefficient domain");
+    BTS_CHECK(input.num_primes() == source_.size(),
+              "input must live exactly on the source base");
+    const std::size_t n = input.degree();
+
+    // Part 1 (ModMult in the BConvU): y_j = [x_j * q_hat_inv_j]_{q_j}.
+    std::vector<std::vector<u64>> scaled(source_.size());
+    for (std::size_t j = 0; j < source_.size(); ++j) {
+        BTS_CHECK(input.prime(j) == source_.prime(j), "prime mismatch");
+        const u64 q = source_.prime(j);
+        const ShoupMul s(hat_inv_[j], q);
+        scaled[j] = input.component(j);
+        for (auto& v : scaled[j]) v = s.mul(v, q);
+    }
+
+    // Part 2 (MMAU): out_i = [ sum_j y_j * q_hat_j ]_{p_i}, accumulated
+    // lazily in 128 bits (q_j < 2^61 keeps sums of 64 terms overflow-free;
+    // we reduce defensively every 8 terms for arbitrary base sizes).
+    RnsPoly out(n, target_.primes(), Domain::kCoeff);
+    for (std::size_t i = 0; i < target_.size(); ++i) {
+        const u64 p = target_.prime(i);
+        const Barrett barrett(p);
+        auto& dst = out.component(i);
+        for (std::size_t c = 0; c < n; ++c) {
+            u128 acc = 0;
+            for (std::size_t j = 0; j < source_.size(); ++j) {
+                acc += static_cast<u128>(scaled[j][c]) * hat_mod_[i][j];
+                if ((j & 7) == 7) acc = barrett.reduce(acc);
+            }
+            dst[c] = barrett.reduce(acc);
+        }
+    }
+    return out;
+}
+
+RnsPoly
+BaseConverter::convert_grouped(const RnsPoly& input, int l_sub) const
+{
+    BTS_CHECK(l_sub >= 1, "l_sub must be positive");
+    BTS_CHECK(input.domain() == Domain::kCoeff,
+              "BConv operates in the coefficient domain");
+    const std::size_t n = input.degree();
+    const std::size_t src_count = source_.size();
+
+    RnsPoly out(n, target_.primes(), Domain::kCoeff);
+    // Outer sum of Eq. 11: process l_sub source primes at a time,
+    // accumulating into the running partial sums (the scratchpad-resident
+    // partial sums of the MMAU).
+    for (std::size_t j0 = 0; j0 < src_count;
+         j0 += static_cast<std::size_t>(l_sub)) {
+        const std::size_t j1 =
+            std::min(src_count, j0 + static_cast<std::size_t>(l_sub));
+        for (std::size_t i = 0; i < target_.size(); ++i) {
+            const u64 p = target_.prime(i);
+            const Barrett barrett(p);
+            auto& dst = out.component(i);
+            for (std::size_t c = 0; c < n; ++c) {
+                u128 acc = dst[c];
+                for (std::size_t j = j0; j < j1; ++j) {
+                    const u64 q = source_.prime(j);
+                    const u64 y =
+                        mul_mod(input.component(j)[c], hat_inv_[j], q);
+                    acc += static_cast<u128>(y) * hat_mod_[i][j];
+                }
+                dst[c] = barrett.reduce(acc);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace bts

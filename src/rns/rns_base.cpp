@@ -1,0 +1,73 @@
+#include "rns/rns_base.h"
+
+#include "common/check.h"
+#include "math/mod_arith.h"
+
+namespace bts {
+
+RnsBase::RnsBase(std::vector<u64> primes) : primes_(std::move(primes))
+{
+    BTS_CHECK(!primes_.empty(), "RNS base must be nonempty");
+    for (std::size_t i = 0; i < primes_.size(); ++i) {
+        for (std::size_t j = i + 1; j < primes_.size(); ++j) {
+            BTS_CHECK(gcd_u64(primes_[i], primes_[j]) == 1,
+                      "RNS moduli must be pairwise coprime");
+        }
+    }
+    product_ = BigUInt::product(primes_);
+    hat_.reserve(primes_.size());
+    hat_inv_.reserve(primes_.size());
+    for (std::size_t j = 0; j < primes_.size(); ++j) {
+        auto [hat, rem] = product_.divmod_word(primes_[j]);
+        BTS_ASSERT(rem == 0, "punctured product remainder must vanish");
+        hat_.push_back(hat);
+        hat_inv_.push_back(inv_mod(hat.mod_word(primes_[j]), primes_[j]));
+    }
+}
+
+u64
+RnsBase::hat_mod(std::size_t j, u64 p) const
+{
+    return hat_[j].mod_word(p);
+}
+
+u64
+RnsBase::product_mod(u64 p) const
+{
+    return product_.mod_word(p);
+}
+
+RnsBase
+RnsBase::prefix(std::size_t count) const
+{
+    BTS_CHECK(count >= 1 && count <= primes_.size(),
+              "prefix size out of range");
+    return RnsBase(std::vector<u64>(primes_.begin(),
+                                    primes_.begin() + count));
+}
+
+BigUInt
+RnsBase::compose(const std::vector<u64>& residues) const
+{
+    BTS_CHECK(residues.size() == primes_.size(), "residue count mismatch");
+    BigUInt acc;
+    for (std::size_t j = 0; j < primes_.size(); ++j) {
+        const u64 t = mul_mod(residues[j], hat_inv_[j], primes_[j]);
+        acc = acc.add(hat_[j].mul_word(t));
+    }
+    // acc < sum_j hat_j * q_j = (l+1) * Q, so a few subtractions suffice.
+    while (acc >= product_) acc = acc.sub(product_);
+    return acc;
+}
+
+std::vector<u64>
+RnsBase::decompose(const BigUInt& value) const
+{
+    std::vector<u64> out(primes_.size());
+    for (std::size_t j = 0; j < primes_.size(); ++j) {
+        out[j] = value.mod_word(primes_[j]);
+    }
+    return out;
+}
+
+} // namespace bts

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * RNS base: an ordered set of coprime word-sized moduli with the
+ * precomputed constants CKKS needs.
+ *
+ * A polynomial in R_Q with Q = prod(q_i) is represented by its residue
+ * polynomials modulo each q_i (Eq. 1 of the paper). Base conversion
+ * (Eq. 9) additionally needs, for base C = {q_0..q_l}:
+ *   - q_hat_j       = prod_{i != j} q_i  (punctured product),
+ *   - q_hat_inv_j   = q_hat_j^{-1} mod q_j,
+ *   - q_hat_j mod p for every target prime p.
+ * This class owns those tables.
+ */
+#pragma once
+
+#include <vector>
+
+#include "common/big_uint.h"
+#include "common/types.h"
+
+namespace bts {
+
+/** An ordered RNS modulus set with punctured-product tables. */
+class RnsBase
+{
+  public:
+    RnsBase() = default;
+
+    /** Build from an ordered list of distinct primes. */
+    explicit RnsBase(std::vector<u64> primes);
+
+    std::size_t size() const { return primes_.size(); }
+    const std::vector<u64>& primes() const { return primes_; }
+    u64 prime(std::size_t i) const { return primes_[i]; }
+
+    /** Exact modulus product. */
+    const BigUInt& product() const { return product_; }
+
+    /** q_hat_j^{-1} mod q_j. */
+    u64 hat_inv(std::size_t j) const { return hat_inv_[j]; }
+
+    /** q_hat_j mod p for an arbitrary word modulus p. */
+    u64 hat_mod(std::size_t j, u64 p) const;
+
+    /** Punctured product q_hat_j as an exact big integer. */
+    const BigUInt& hat(std::size_t j) const { return hat_[j]; }
+
+    /** product() mod p. */
+    u64 product_mod(u64 p) const;
+
+    /** Prefix base {q_0, ..., q_{count-1}}; count <= size(). */
+    RnsBase prefix(std::size_t count) const;
+
+    /**
+     * CRT composition: given residues x_i (one per prime), return the
+     * unique x in [0, Q). Reference path for tests and decryption-side
+     * decoding at small scales.
+     */
+    BigUInt compose(const std::vector<u64>& residues) const;
+
+    /** CRT decomposition of a big integer (x mod each q_i). */
+    std::vector<u64> decompose(const BigUInt& value) const;
+
+  private:
+    std::vector<u64> primes_;
+    BigUInt product_;
+    std::vector<BigUInt> hat_;    // punctured products
+    std::vector<u64> hat_inv_;    // hat_j^{-1} mod q_j
+};
+
+} // namespace bts

@@ -1,0 +1,182 @@
+#include "rns/rns_poly.h"
+
+#include "common/bit_ops.h"
+#include "common/check.h"
+#include "math/mod_arith.h"
+
+namespace bts {
+
+RnsPoly::RnsPoly(std::size_t n, std::vector<u64> primes, Domain domain)
+    : n_(n), domain_(domain), primes_(std::move(primes))
+{
+    BTS_CHECK(is_power_of_two(n), "polynomial degree must be a power of two");
+    comps_.assign(primes_.size(), std::vector<u64>(n, 0));
+}
+
+void
+RnsPoly::push_component(u64 prime, std::vector<u64> values)
+{
+    BTS_CHECK(values.size() == n_, "component size mismatch");
+    primes_.push_back(prime);
+    comps_.push_back(std::move(values));
+}
+
+void
+RnsPoly::pop_component()
+{
+    BTS_CHECK(!primes_.empty(), "pop on empty polynomial");
+    primes_.pop_back();
+    comps_.pop_back();
+}
+
+void
+RnsPoly::truncate(std::size_t count)
+{
+    BTS_CHECK(count <= primes_.size(), "truncate beyond size");
+    primes_.resize(count);
+    comps_.resize(count);
+}
+
+namespace {
+
+void
+check_compatible(const RnsPoly& a, const RnsPoly& b)
+{
+    BTS_CHECK(a.degree() == b.degree(), "degree mismatch");
+    BTS_CHECK(a.domain() == b.domain(), "domain mismatch");
+    BTS_CHECK(a.num_primes() <= b.num_primes(), "operand has fewer primes");
+    for (std::size_t i = 0; i < a.num_primes(); ++i) {
+        BTS_CHECK(a.prime(i) == b.prime(i), "prime chain mismatch");
+    }
+}
+
+} // namespace
+
+void
+RnsPoly::add_inplace(const RnsPoly& other)
+{
+    check_compatible(*this, other);
+    for (std::size_t i = 0; i < num_primes(); ++i) {
+        const u64 q = primes_[i];
+        const auto& src = other.component(i);
+        auto& dst = comps_[i];
+        for (std::size_t j = 0; j < n_; ++j) {
+            dst[j] = add_mod(dst[j], src[j], q);
+        }
+    }
+}
+
+void
+RnsPoly::sub_inplace(const RnsPoly& other)
+{
+    check_compatible(*this, other);
+    for (std::size_t i = 0; i < num_primes(); ++i) {
+        const u64 q = primes_[i];
+        const auto& src = other.component(i);
+        auto& dst = comps_[i];
+        for (std::size_t j = 0; j < n_; ++j) {
+            dst[j] = sub_mod(dst[j], src[j], q);
+        }
+    }
+}
+
+void
+RnsPoly::negate_inplace()
+{
+    for (std::size_t i = 0; i < num_primes(); ++i) {
+        const u64 q = primes_[i];
+        for (auto& v : comps_[i]) {
+            v = v == 0 ? 0 : q - v;
+        }
+    }
+}
+
+void
+RnsPoly::mul_inplace(const RnsPoly& other)
+{
+    check_compatible(*this, other);
+    BTS_CHECK(domain_ == Domain::kNtt,
+              "element-wise polynomial product requires NTT domain");
+    for (std::size_t i = 0; i < num_primes(); ++i) {
+        const Barrett barrett(primes_[i]);
+        const auto& src = other.component(i);
+        auto& dst = comps_[i];
+        for (std::size_t j = 0; j < n_; ++j) {
+            dst[j] = barrett.mul(dst[j], src[j]);
+        }
+    }
+}
+
+void
+RnsPoly::mul_scalar_inplace(const std::vector<u64>& scalars)
+{
+    BTS_CHECK(scalars.size() >= num_primes(), "scalar count mismatch");
+    for (std::size_t i = 0; i < num_primes(); ++i) {
+        const ShoupMul s(scalars[i] % primes_[i], primes_[i]);
+        const u64 q = primes_[i];
+        for (auto& v : comps_[i]) {
+            v = s.mul(v, q);
+        }
+    }
+}
+
+void
+RnsPoly::to_ntt(const std::vector<const NttTables*>& tables)
+{
+    BTS_CHECK(domain_ == Domain::kCoeff, "already in NTT domain");
+    BTS_CHECK(tables.size() >= num_primes(), "NTT table count mismatch");
+    for (std::size_t i = 0; i < num_primes(); ++i) {
+        BTS_ASSERT(tables[i]->modulus() == primes_[i], "table prime mismatch");
+        tables[i]->forward(comps_[i].data());
+    }
+    domain_ = Domain::kNtt;
+}
+
+void
+RnsPoly::to_coeff(const std::vector<const NttTables*>& tables)
+{
+    BTS_CHECK(domain_ == Domain::kNtt, "already in coefficient domain");
+    BTS_CHECK(tables.size() >= num_primes(), "NTT table count mismatch");
+    for (std::size_t i = 0; i < num_primes(); ++i) {
+        BTS_ASSERT(tables[i]->modulus() == primes_[i], "table prime mismatch");
+        tables[i]->inverse(comps_[i].data());
+    }
+    domain_ = Domain::kCoeff;
+}
+
+RnsPoly
+RnsPoly::automorphism(u64 galois_exp) const
+{
+    BTS_CHECK(domain_ == Domain::kCoeff,
+              "automorphism implemented in coefficient domain");
+    BTS_CHECK((galois_exp & 1) == 1, "Galois exponent must be odd");
+    const u64 two_n = 2 * static_cast<u64>(n_);
+    RnsPoly out(n_, primes_, Domain::kCoeff);
+    for (std::size_t i = 0; i < num_primes(); ++i) {
+        const u64 q = primes_[i];
+        const auto& src = comps_[i];
+        auto& dst = out.comps_[i];
+        for (std::size_t j = 0; j < n_; ++j) {
+            const u64 target = (static_cast<u128>(j) * galois_exp) % two_n;
+            if (target < n_) {
+                dst[target] = src[j];
+            } else {
+                const u64 v = src[j];
+                dst[target - n_] = v == 0 ? 0 : q - v;
+            }
+        }
+    }
+    return out;
+}
+
+bool
+RnsPoly::equals(const RnsPoly& other) const
+{
+    if (n_ != other.n_ || domain_ != other.domain_ ||
+        primes_ != other.primes_) {
+        return false;
+    }
+    return comps_ == other.comps_;
+}
+
+} // namespace bts

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * RNS residue-matrix polynomial.
+ *
+ * A level-l polynomial in R_Q is an N x (l+1) matrix of residues
+ * (Section 2.2 of the paper): column i holds the residue polynomial
+ * modulo q_i. Each component tracks whether it currently lives in the
+ * coefficient ("RNS") domain or the NTT domain; BTS keeps polynomials in
+ * the NTT domain by default and drops back only for BConv and the
+ * automorphism (Section 4.1).
+ */
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "math/ntt.h"
+#include "rns/rns_base.h"
+
+namespace bts {
+
+/** Which representation a residue polynomial is currently in. */
+enum class Domain { kCoeff, kNtt };
+
+/**
+ * A polynomial with one residue vector per prime of an RNS base.
+ *
+ * The object does not own NTT tables; callers pass per-prime tables
+ * (matching its primes, in order) for domain changes. The CKKS context
+ * provides them.
+ */
+class RnsPoly
+{
+  public:
+    RnsPoly() = default;
+
+    /** Zero polynomial of degree @p n over @p primes. */
+    RnsPoly(std::size_t n, std::vector<u64> primes, Domain domain);
+
+    std::size_t degree() const { return n_; }
+    std::size_t num_primes() const { return primes_.size(); }
+    const std::vector<u64>& primes() const { return primes_; }
+    u64 prime(std::size_t i) const { return primes_[i]; }
+    Domain domain() const { return domain_; }
+    void set_domain(Domain d) { domain_ = d; }
+
+    /** Residue vector for prime index @p i (length N). */
+    std::vector<u64>& component(std::size_t i) { return comps_[i]; }
+    const std::vector<u64>& component(std::size_t i) const
+    {
+        return comps_[i];
+    }
+
+    /** Append a component for an extra prime (used by ModUp). */
+    void push_component(u64 prime, std::vector<u64> values);
+
+    /** Drop the last component (used by rescaling). */
+    void pop_component();
+
+    /** Keep only the first @p count components (level drop). */
+    void truncate(std::size_t count);
+
+    // ----- element-wise arithmetic (both operands in the same domain and
+    //       over compatible prime prefixes) -----
+    void add_inplace(const RnsPoly& other);
+    void sub_inplace(const RnsPoly& other);
+    void negate_inplace();
+    void mul_inplace(const RnsPoly& other);
+    /** Multiply every component by per-prime scalars. */
+    void mul_scalar_inplace(const std::vector<u64>& scalars);
+
+    // ----- domain changes -----
+    /** Forward NTT on all components using matching @p tables. */
+    void to_ntt(const std::vector<const NttTables*>& tables);
+    /** Inverse NTT on all components. */
+    void to_coeff(const std::vector<const NttTables*>& tables);
+
+    /**
+     * Apply the Galois automorphism X -> X^galois_exp (odd exponent) in
+     * the coefficient domain: coefficient i moves to i*galois_exp mod 2N
+     * with sign flip past N (Eq. 5 of the paper generates exponents
+     * 5^r mod 2N; conjugation uses 2N-1).
+     */
+    RnsPoly automorphism(u64 galois_exp) const;
+
+    /** Deep equality (same primes, domain, and residues). */
+    bool equals(const RnsPoly& other) const;
+
+  private:
+    std::size_t n_ = 0;
+    Domain domain_ = Domain::kCoeff;
+    std::vector<u64> primes_;
+    std::vector<std::vector<u64>> comps_;
+};
+
+} // namespace bts

@@ -1,0 +1,28 @@
+#include "sim/energy.h"
+
+#include "sim/engine.h"
+
+namespace bts::sim {
+
+double
+EnergyModel::energy_j(const SimResult& r) const
+{
+    // Busy components draw their Table 3 peak power while active; the
+    // scratchpad/RF and exchange network track compute activity, the
+    // HBM path tracks achieved bandwidth, and the PCIe PHY idles at a
+    // small fraction of peak.
+    const double compute_busy_s =
+        r.ntt_busy_s + r.bconv_busy_s + r.elem_busy_s;
+    double e = 0;
+    e += kNttuPowerW * r.ntt_busy_s;
+    e += kBconvPowerW * r.bconv_busy_s;
+    e += kElemPowerW * r.elem_busy_s;
+    e += kSramRfPowerW * compute_busy_s;
+    e += kExchangePowerW * r.ntt_busy_s; // transposes ride the NTT epochs
+    e += kNocPowerW * r.ntt_busy_s;
+    e += kHbmPowerW * r.hbm_util * r.total_s;
+    e += kPciePowerW * 0.05 * r.total_s;
+    return e;
+}
+
+} // namespace bts::sim

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Energy model: Table 3 component powers weighted by the utilizations
+ * the simulator observes (Section 6.2: "utilization rates are collected
+ * and combined with the power model to calculate the energy").
+ */
+#pragma once
+
+#include "sim/hw_config.h"
+
+namespace bts::sim {
+
+struct SimResult; // engine.h
+
+/** Utilization-weighted energy from Table 3 peak powers. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const BtsConfig& hw) : hw_(hw) {}
+
+    /** Total energy (J) for a finished run. */
+    double energy_j(const SimResult& result) const;
+
+    // Component peak powers (W), chip-wide, from Table 3's PE breakdown.
+    static constexpr double kNttuPowerW = 2048 * 12.17e-3;
+    static constexpr double kBconvPowerW = 2048 * (8.42e-3 + 0.56e-3);
+    static constexpr double kElemPowerW = 2048 * (1.35e-3 + 0.08e-3);
+    static constexpr double kSramRfPowerW = 2048 * (9.86e-3 + 2.29e-3);
+    static constexpr double kExchangePowerW = 2048 * 1.03e-3;
+    static constexpr double kNocPowerW = 45.93 + 0.10 + 0.04;
+    static constexpr double kHbmPowerW = 31.76 + 6.81;
+    static constexpr double kPciePowerW = 5.37;
+
+  private:
+    const BtsConfig& hw_;
+};
+
+} // namespace bts::sim

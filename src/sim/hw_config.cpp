@@ -1,0 +1,38 @@
+#include "sim/hw_config.h"
+
+namespace bts::sim {
+
+std::vector<ComponentCost>
+BtsConfig::table3()
+{
+    // Chip-wide rows of Table 3 (bottom half). Per-PE numbers from the
+    // top half fold into the "2048 PEs" row: 2048 * 154,863 um^2 =
+    // 317.2 mm^2 and 2048 * 35.75 mW = 73.2 W.
+    return {
+        {"2048 PEs", 317.2, 73.21},
+        {"Inter-PE NoC", 3.06, 45.93},
+        {"Global BrU + NoC", 0.42, 0.10},
+        {"128 local BrUs", 3.69, 0.04},
+        {"HBM2e NoC", 0.10, 6.81},
+        {"2 HBM2e stacks", 29.6, 31.76},
+        {"PCIe5x16 interface", 19.6, 5.37},
+    };
+}
+
+double
+BtsConfig::total_area_mm2()
+{
+    double total = 0;
+    for (const auto& c : table3()) total += c.area_mm2;
+    return total;
+}
+
+double
+BtsConfig::total_peak_power_w()
+{
+    double total = 0;
+    for (const auto& c : table3()) total += c.power_w;
+    return total;
+}
+
+} // namespace bts::sim

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * BTS hardware configuration: the Section 5 microarchitecture constants
+ * and the Table 3 area/power/frequency model.
+ *
+ * BTS arranges 2,048 PEs in a 32 x 64 grid. Each PE holds an NTTU (one
+ * butterfly/cycle, 1.2 GHz), a BConvU (ModMult + 4-lane MMAU), an
+ * element-wise ModMult/ModAdd pair (0.6 GHz), register files and a
+ * scratchpad slice. Two HBM2e stacks provide ~1 TB/s aggregate; three
+ * separate NoCs serve PE-Mem traffic, BrU broadcast, and PE-PE
+ * exchanges (3D-NTT transposes and automorphism permutations).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bit_ops.h"
+#include "common/types.h"
+
+namespace bts::sim {
+
+/** One row of Table 3. */
+struct ComponentCost
+{
+    std::string name;
+    double area_mm2 = 0;  //!< chip-wide area
+    double power_w = 0;   //!< chip-wide peak power
+};
+
+/** The accelerator configuration (defaults = the paper's BTS). */
+struct BtsConfig
+{
+    // --- geometry ---
+    int n_pe = 2048;
+    int pe_rows = 32; //!< vertical crossbar width
+    int pe_cols = 64; //!< horizontal crossbar width
+
+    // --- clocks ---
+    double freq_hz = 1.2e9;      //!< NTTU / MMAU / NoC / scratchpad clock
+    double elem_freq_hz = 0.6e9; //!< element-wise ModMult/ModAdd clock
+
+    // --- memory system ---
+    double hbm_bytes_per_s = 1.0e12; //!< aggregate off-chip bandwidth
+    double hbm_efficiency = 0.98;    //!< achieved fraction (Fig. 8: 98%)
+    double scratchpad_bytes = 512.0 * (1 << 20);
+    double scratchpad_bytes_per_s = 38.4e12;
+    double rf_bytes_per_s = 292e12;
+    double noc_bisection_bytes_per_s = 3.6e12;
+
+    // --- BConvU ---
+    int l_sub = 4; //!< MMAU lanes / iNTT-BConv overlap granularity
+
+    // --- feature flags (Fig. 9 ablation) ---
+    bool overlap_bconv_intt = true;
+
+    /** Cycles of one (i)NTT pass over a residue polynomial: the epoch
+     *  length N log2(N) / (2 n_PE) of Section 5.1. */
+    double
+    epoch_cycles(std::size_t n) const
+    {
+        return static_cast<double>(n) * log2_exact(n) / (2.0 * n_pe);
+    }
+
+    /** Seconds for one (i)NTT residue-polynomial pass. */
+    double
+    epoch_seconds(std::size_t n) const
+    {
+        return epoch_cycles(n) / freq_hz;
+    }
+
+    /** Effective HBM bandwidth (B/s). */
+    double
+    hbm_effective() const
+    {
+        return hbm_bytes_per_s * hbm_efficiency;
+    }
+
+    /** Table 3: per-component chip-wide area and peak power. */
+    static std::vector<ComponentCost> table3();
+
+    /** Total die area (mm^2); the paper reports 373.6. */
+    static double total_area_mm2();
+
+    /** Total peak power (W); the paper reports 163.2. */
+    static double total_peak_power_w();
+};
+
+} // namespace bts::sim

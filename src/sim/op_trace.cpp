@@ -1,0 +1,57 @@
+#include "sim/op_trace.h"
+
+#include "common/check.h"
+
+namespace bts::sim {
+
+bool
+needs_evk(HeOpKind kind)
+{
+    return kind == HeOpKind::kHMult || kind == HeOpKind::kHRot ||
+           kind == HeOpKind::kConj;
+}
+
+const char*
+kind_name(HeOpKind kind)
+{
+    switch (kind) {
+    case HeOpKind::kHMult: return "HMult";
+    case HeOpKind::kHRot: return "HRot";
+    case HeOpKind::kConj: return "Conj";
+    case HeOpKind::kPMult: return "PMult";
+    case HeOpKind::kPAdd: return "PAdd";
+    case HeOpKind::kHAdd: return "HAdd";
+    case HeOpKind::kHRescale: return "HRescale";
+    case HeOpKind::kCMult: return "CMult";
+    case HeOpKind::kCAdd: return "CAdd";
+    case HeOpKind::kModRaise: return "ModRaise";
+    }
+    return "?";
+}
+
+int
+TraceBuilder::add(HeOpKind kind, int level, std::vector<int> inputs,
+                  int rot_amount, bool in_bootstrap)
+{
+    return add_into(next_id_++, kind, level, std::move(inputs), rot_amount,
+                    in_bootstrap);
+}
+
+int
+TraceBuilder::add_into(int out_id, HeOpKind kind, int level,
+                       std::vector<int> inputs, int rot_amount,
+                       bool in_bootstrap)
+{
+    BTS_CHECK(level >= 0, "op below level 0");
+    HeOp op;
+    op.kind = kind;
+    op.level = level;
+    op.rot_amount = rot_amount;
+    op.inputs = std::move(inputs);
+    op.output = out_id;
+    op.in_bootstrap = in_bootstrap;
+    trace_.ops.push_back(op);
+    return out_id;
+}
+
+} // namespace bts::sim

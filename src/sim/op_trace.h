@@ -1,0 +1,95 @@
+/**
+ * @file
+ * HE-operation intermediate representation: the unit of work the BTS
+ * simulator schedules.
+ *
+ * The simulator consumes *traces* — sequences of primitive CKKS ops
+ * (Section 2.3) annotated with their multiplicative level, operand
+ * object ids (for software-cache behaviour) and a bootstrap flag (for
+ * the Fig. 7b / Fig. 10 breakdowns).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace bts::sim {
+
+/** Primitive HE op kinds (Section 2.3 + ModRaise). */
+enum class HeOpKind {
+    kHMult,    //!< tensor product + key-switch (evk-bearing)
+    kHRot,     //!< automorphism + key-switch (evk-bearing)
+    kConj,     //!< conjugation + key-switch (evk-bearing)
+    kPMult,    //!< ciphertext x plaintext
+    kPAdd,     //!< ciphertext + plaintext
+    kHAdd,     //!< ciphertext + ciphertext
+    kHRescale, //!< divide by the top prime
+    kCMult,    //!< ciphertext x scalar
+    kCAdd,     //!< ciphertext + scalar
+    kModRaise, //!< bootstrap modulus raise
+};
+
+/** @return true if the op streams an evaluation key. */
+bool needs_evk(HeOpKind kind);
+
+/** Human-readable kind name. */
+const char* kind_name(HeOpKind kind);
+
+/** One primitive op instance. */
+struct HeOp
+{
+    HeOpKind kind = HeOpKind::kHAdd;
+    int level = 0;           //!< multiplicative level it executes at
+    int rot_amount = 0;      //!< HRot rotation distance (selects the evk)
+    std::vector<int> inputs; //!< ciphertext/plaintext object ids
+    int output = -1;         //!< output object id (-1: in-place/none)
+    bool in_bootstrap = false;
+};
+
+/** A schedulable op sequence. */
+struct Trace
+{
+    std::string name;
+    std::vector<HeOp> ops;
+    int bootstrap_count = 0;
+
+    void
+    push(HeOp op)
+    {
+        ops.push_back(std::move(op));
+    }
+};
+
+/**
+ * Convenience builder tracking object ids and the current level, used
+ * by the workload generators.
+ */
+class TraceBuilder
+{
+  public:
+    explicit TraceBuilder(std::string name) { trace_.name = std::move(name); }
+
+    /** Allocate a fresh ciphertext/plaintext object id. */
+    int fresh_id() { return next_id_++; }
+
+    /** Append an op; returns the output id (fresh unless provided). */
+    int add(HeOpKind kind, int level, std::vector<int> inputs,
+            int rot_amount = 0, bool in_bootstrap = false);
+
+    /** Append an op writing into an existing object (accumulators and
+     *  value chains — keeps dead intermediates out of the SW cache). */
+    int add_into(int out_id, HeOpKind kind, int level,
+                 std::vector<int> inputs, int rot_amount = 0,
+                 bool in_bootstrap = false);
+
+    Trace& trace() { return trace_; }
+    const Trace& trace() const { return trace_; }
+
+  private:
+    Trace trace_;
+    int next_id_ = 0;
+};
+
+} // namespace bts::sim

@@ -1,0 +1,77 @@
+#include "sim/scratchpad.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace bts::sim {
+
+SoftwareCache::SoftwareCache(double capacity_bytes)
+    : capacity_(std::max(0.0, capacity_bytes))
+{}
+
+double
+SoftwareCache::hit_rate() const
+{
+    const auto total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
+}
+
+void
+SoftwareCache::touch(int id)
+{
+    auto& e = entries_.at(id);
+    lru_.erase(e.pos);
+    lru_.push_front(id);
+    e.pos = lru_.begin();
+}
+
+void
+SoftwareCache::evict_for(double bytes)
+{
+    while (used_ + bytes > capacity_ && !lru_.empty()) {
+        const int victim = lru_.back();
+        lru_.pop_back();
+        used_ -= entries_.at(victim).bytes;
+        entries_.erase(victim);
+    }
+}
+
+double
+SoftwareCache::access(int id, double bytes)
+{
+    const auto it = entries_.find(id);
+    if (it != entries_.end()) {
+        ++hits_;
+        touch(id);
+        return 0.0;
+    }
+    ++misses_;
+    if (bytes > capacity_) {
+        // Streams straight through; nothing retained.
+        return bytes;
+    }
+    evict_for(bytes);
+    lru_.push_front(id);
+    entries_[id] = {bytes, lru_.begin()};
+    used_ += bytes;
+    return bytes;
+}
+
+void
+SoftwareCache::insert(int id, double bytes)
+{
+    const auto it = entries_.find(id);
+    if (it != entries_.end()) {
+        used_ -= it->second.bytes;
+        lru_.erase(it->second.pos);
+        entries_.erase(it);
+    }
+    if (bytes > capacity_) return;
+    evict_for(bytes);
+    lru_.push_front(id);
+    entries_[id] = {bytes, lru_.begin()};
+    used_ += bytes;
+}
+
+} // namespace bts::sim

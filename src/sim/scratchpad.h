@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Scratchpad model: capacity partitioning and the LRU software cache
+ * for ciphertexts (Section 5.3).
+ *
+ * The 512 MB scratchpad serves three masters: (1) temporary data of the
+ * in-flight HE op (reserved up front, sized by the instance's ModUp /
+ * accumulator working set), (2) the prefetched evk stream buffer, and
+ * (3) a software-managed ciphertext cache with LRU replacement — the
+ * paper's "SW caching", whose hit rate drives Fig. 7a and Fig. 10.
+ */
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace bts::sim {
+
+/** LRU software cache over variable-size objects (cts, plaintexts). */
+class SoftwareCache
+{
+  public:
+    /** @param capacity_bytes space left after the static reservations. */
+    explicit SoftwareCache(double capacity_bytes);
+
+    /**
+     * Touch object @p id needing @p bytes. On a miss, the object is
+     * loaded (evicting LRU victims as needed).
+     * @return bytes that had to move over HBM (0 on a full hit).
+     */
+    double access(int id, double bytes);
+
+    /** Insert/refresh an op output (produced on-chip, no HBM traffic,
+     *  but may evict victims). */
+    void insert(int id, double bytes);
+
+    /** Statistics. */
+    std::size_t hits() const { return hits_; }
+    std::size_t misses() const { return misses_; }
+    double hit_rate() const;
+    double used_bytes() const { return used_; }
+    double capacity() const { return capacity_; }
+
+  private:
+    void evict_for(double bytes);
+    void touch(int id);
+
+    double capacity_;
+    double used_ = 0;
+    std::list<int> lru_; // front = most recent
+    struct Entry
+    {
+        double bytes;
+        std::list<int>::iterator pos;
+    };
+    std::unordered_map<int, Entry> entries_;
+    std::size_t hits_ = 0;
+    std::size_t misses_ = 0;
+};
+
+} // namespace bts::sim

@@ -1,0 +1,111 @@
+#include "sim/timeline.h"
+
+#include <algorithm>
+
+namespace bts::sim {
+
+HMultTimeline
+hmult_timeline(const BtsConfig& hw, const hw::CkksInstance& inst)
+{
+    const CostModel model(hw, inst);
+    HeOp op;
+    op.kind = HeOpKind::kHMult;
+    op.level = inst.max_level;
+    const OpCost c = model.op_cost(op);
+
+    const double l1 = inst.max_level + 1;
+    const double k = inst.num_special();
+    const double dnum_l = inst.num_slices(inst.max_level);
+    const double ext = k + l1;
+    const double epoch_ns = hw.epoch_seconds(inst.n) * 1e9;
+
+    HMultTimeline tl;
+    const double evk_ns = c.evk_bytes / hw.hbm_effective() * 1e9;
+    tl.total_ns = std::max(c.compute_s * 1e9, evk_ns);
+
+    // HBM track: evk halves (bx then ax), each split into its P and Q
+    // components as Fig. 8 draws them.
+    const double q_frac = l1 / ext;
+    double t = 0;
+    for (const std::string poly : {"bx", "ax"}) {
+        const double half = evk_ns / 2;
+        tl.segments.push_back(
+            {"HBM", "load evk." + poly + ".P", t, t + half * (1 - q_frac)});
+        t += half * (1 - q_frac);
+        tl.segments.push_back(
+            {"HBM", "load evk." + poly + ".Q", t, t + half * q_frac});
+        t += half * q_frac;
+    }
+
+    // NTTU track: iNTT.d2 -> NTT.d2 -> iNTT.bx/ax (ModDown) ->
+    // NTT.bx/ax, laid out sequentially in epoch units.
+    struct Phase
+    {
+        const char* label;
+        double passes;
+    };
+    const std::vector<Phase> ntt_phases = {
+        {"iNTT.d2", l1},
+        {"NTT.d2", dnum_l * ext - l1},
+        {"iNTT.bx/ax", 2 * k},
+        {"NTT.bx/ax", 2 * l1},
+    };
+    t = 0;
+    for (const auto& p : ntt_phases) {
+        const double dur = p.passes * epoch_ns;
+        tl.segments.push_back({"NTTU", p.label, t, t + dur});
+        t += dur;
+    }
+    const double ntt_end = t;
+
+    // BConvU track: BConv.d2 overlapped with iNTT.d2 (starts after
+    // l_sub epochs, Eq. 11), then BConv.bx/ax + SSA near the end.
+    const double bconv_ns = c.bconv_s * 1e9;
+    const double d2_share = (l1 * (ext - k)) /
+                            (l1 * (ext - k) + 2 * k * l1);
+    const double bconv_d2 = bconv_ns * d2_share;
+    const double bconv_md = bconv_ns - bconv_d2;
+    const double d2_start = hw.l_sub * epoch_ns;
+    tl.segments.push_back({"BConvU", "BConv.d2", d2_start,
+                           d2_start + bconv_d2});
+    const double md_start = (l1 + dnum_l * ext - l1 + hw.l_sub) * epoch_ns;
+    tl.segments.push_back({"BConvU", "BConv.bx/ax + SSA", md_start,
+                           md_start + bconv_md});
+
+    // Elementwise track: d2 (x) evk while NTT.d2 streams out.
+    const double elem_ns = c.elem_s * 1e9;
+    const double elem_start = l1 * epoch_ns;
+    tl.segments.push_back(
+        {"Elem", "tensor + d2 (x) evk", elem_start, elem_start + elem_ns});
+
+    tl.hbm_util = evk_ns / tl.total_ns;
+    tl.nttu_busy_frac = ntt_end / tl.total_ns;
+    tl.bconv_busy_frac = bconv_ns / tl.total_ns;
+
+    // Scratchpad usage: temp ramps with ModUp, peaks at the BConv of
+    // the accumulators, drains after SSA (Fig. 8 bottom).
+    const double temp_mb = inst.temp_bytes() / 1e6;
+    const int samples = 64;
+    for (int i = 0; i <= samples; ++i) {
+        const double x = static_cast<double>(i) / samples;
+        double occupancy;
+        if (x < 0.3) {
+            occupancy = 0.35 + x / 0.3 * 0.45; // ramp through ModUp
+        } else if (x < 0.8) {
+            occupancy = 0.8 + (x - 0.3) / 0.5 * 0.2; // peak at BConv
+        } else {
+            occupancy = 1.0 - (x - 0.8) / 0.2 * 0.55; // drain after SSA
+        }
+        UsageSample s;
+        s.t_ns = x * tl.total_ns;
+        s.scratchpad_mb = temp_mb * occupancy;
+        s.bandwidth_util =
+            0.35 + 0.55 * std::min(1.0, c.bconv_s * 1e9 / tl.total_ns +
+                                            (x > 0.25 && x < 0.9 ? 0.4
+                                                                 : 0.0));
+        tl.usage.push_back(s);
+    }
+    return tl;
+}
+
+} // namespace bts::sim

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fig. 8 reproduction: the phase-level timeline of one HMult on BTS,
+ * derived from the cost model's Fig. 3a decomposition, with the
+ * on-chip scratchpad usage curve.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/cost_model.h"
+
+namespace bts::sim {
+
+/** One horizontal bar of the timeline. */
+struct TimelineSegment
+{
+    std::string track; //!< "HBM", "NTTU", "BConvU", "Elem"
+    std::string label; //!< e.g. "load evk.ax", "iNTT.d2"
+    double start_ns = 0;
+    double end_ns = 0;
+};
+
+/** Scratchpad occupancy sample. */
+struct UsageSample
+{
+    double t_ns = 0;
+    double scratchpad_mb = 0;
+    double bandwidth_util = 0;
+};
+
+/** The full Fig. 8 artifact. */
+struct HMultTimeline
+{
+    std::vector<TimelineSegment> segments;
+    std::vector<UsageSample> usage;
+    double total_ns = 0;
+    double hbm_util = 0;
+    double nttu_busy_frac = 0;
+    double bconv_busy_frac = 0;
+};
+
+/** Build the timeline of a max-level HMult (all cts on-chip). */
+HMultTimeline hmult_timeline(const BtsConfig& hw,
+                             const hw::CkksInstance& inst);
+
+} // namespace bts::sim

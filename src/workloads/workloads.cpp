@@ -1,0 +1,306 @@
+#include "workloads/workloads.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bit_ops.h"
+#include "common/check.h"
+
+namespace bts::workloads {
+
+using sim::HeOpKind;
+using sim::TraceBuilder;
+
+namespace {
+
+/** Radix bit-split of the 3-stage FFT decomposition. */
+void
+radix_bits(const CkksInstance& inst, int out[3])
+{
+    const int log_slots = log2_exact(inst.slots());
+    out[0] = (log_slots + 2) / 3;
+    out[1] = (log_slots + 1) / 3;
+    out[2] = log_slots / 3;
+}
+
+/** One decomposed linear-transform stage (CtS or StC). */
+int
+append_lt_stage(TraceBuilder& b, const CkksInstance& /*inst*/, int ct,
+                int level, int radix, int rot_seed)
+{
+    // BSGS over the stage's `radix` diagonals: ~sqrt(radix) baby
+    // rotations stay LIVE throughout the stage (this is the ct working
+    // set that pressures the scratchpad in Fig. 7a/Fig. 10), diagonal
+    // products and partial sums accumulate in place, and each giant
+    // step adds one more rotation.
+    const int babies = static_cast<int>(std::ceil(std::sqrt(radix)));
+    const int giants = (radix + babies - 1) / babies;
+    std::vector<int> baby_ids;
+    for (int r = 0; r < babies; ++r) {
+        baby_ids.push_back(
+            b.add(HeOpKind::kHRot, level, {ct}, rot_seed + r + 1, true));
+    }
+    const int prod = b.fresh_id();
+    int acc = -1;
+    for (int g = 0; g < giants; ++g) {
+        for (int d = 0; d < babies && g * babies + d < radix; ++d) {
+            b.add_into(prod, HeOpKind::kPMult, level, {baby_ids[d]}, 0,
+                       true);
+            if (acc < 0) {
+                acc = b.add(HeOpKind::kHAdd, level, {prod, prod}, 0, true);
+            } else {
+                b.add_into(acc, HeOpKind::kHAdd, level, {acc, prod}, 0,
+                           true);
+            }
+        }
+        if (g > 0) {
+            b.add_into(acc, HeOpKind::kHRot, level, {acc},
+                       rot_seed + 50 + g, true);
+        }
+    }
+    return b.add_into(acc, HeOpKind::kHRescale, level, {acc}, 0, true);
+}
+
+/** EvalMod: PS-BSGS Chebyshev evaluation spread over its level span. */
+int
+append_eval_mod(TraceBuilder& b, const CkksInstance& inst, int ct,
+                int top_level, int levels)
+{
+    constexpr int kHMults = 15; // babies + giants + recombination
+    // The Chebyshev power basis keeps ~8 T_j ciphertexts live.
+    std::vector<int> basis;
+    for (int t = 0; t < 8; ++t) basis.push_back(b.fresh_id());
+    for (int m = 0; m < kHMults; ++m) {
+        const int lvl =
+            std::max(1, top_level - (m * levels) / kHMults);
+        const int lhs = basis[m % basis.size()];
+        const int rhs = basis[(m + 1) % basis.size()];
+        b.add_into(ct, HeOpKind::kHMult, lvl, {lhs, rhs}, 0, true);
+        b.add_into(ct, HeOpKind::kHRescale, lvl, {ct}, 0, true);
+        if (m % 3 == 0) {
+            b.add_into(ct, HeOpKind::kCMult, lvl, {ct}, 0, true);
+            b.add_into(ct, HeOpKind::kCAdd, lvl, {ct}, 0, true);
+        }
+        b.add_into(basis[m % basis.size()], HeOpKind::kHAdd, lvl,
+                   {ct, ct}, 0, true);
+    }
+    (void)inst;
+    return ct;
+}
+
+} // namespace
+
+int
+append_bootstrap(TraceBuilder& b, const CkksInstance& inst, int ct_id)
+{
+    const int l_top = inst.max_level;
+    int bits[3];
+    radix_bits(inst, bits);
+
+    // 1. ModRaise.
+    int ct = b.add(HeOpKind::kModRaise, l_top, {ct_id}, 0, true);
+
+    // 2. CoeffToSlot: three decomposed stages.
+    for (int s = 0; s < 3; ++s) {
+        ct = append_lt_stage(b, inst, ct, l_top - s, 1 << bits[s],
+                             s * 100);
+    }
+
+    // 3. Real/imaginary split.
+    const int conj = b.add(HeOpKind::kConj, l_top - 3, {ct}, 0, true);
+    const int u_re = b.add(HeOpKind::kHAdd, l_top - 3, {ct, conj}, 0, true);
+    const int u_im = b.add(HeOpKind::kHAdd, l_top - 3, {ct, conj}, 0, true);
+
+    // 4. EvalMod on both components.
+    const int em_levels = inst.boot_levels - 6;
+    const int em_top = l_top - 3;
+    const int v_re = append_eval_mod(b, inst, u_re, em_top, em_levels);
+    const int v_im = append_eval_mod(b, inst, u_im, em_top, em_levels);
+    int merged = b.add(HeOpKind::kHAdd, em_top - em_levels,
+                       {v_re, v_im}, 0, true);
+
+    // 5. SlotToCoeff: three stages at the bottom of the budget.
+    const int stc_top = l_top - inst.boot_levels + 3;
+    for (int s = 0; s < 3; ++s) {
+        merged = append_lt_stage(b, inst, merged, stc_top - s,
+                                 1 << bits[s], 300 + s * 100);
+    }
+    b.trace().bootstrap_count += 1;
+    return merged;
+}
+
+Trace
+tmult_microbench(const CkksInstance& inst)
+{
+    BTS_CHECK(inst.usable_levels() >= 1, "instance cannot bootstrap");
+    TraceBuilder b("tmult_microbench/" + inst.name);
+    int ct = b.fresh_id();
+    ct = append_bootstrap(b, inst, ct);
+    // Eq. 8's numerator: HMult + HRescale down the usable levels.
+    const int other = b.fresh_id();
+    for (int lvl = inst.usable_levels(); lvl >= 1; --lvl) {
+        ct = b.add(HeOpKind::kHMult, lvl, {ct, other});
+        ct = b.add(HeOpKind::kHRescale, lvl, {ct});
+    }
+    return b.trace();
+}
+
+Trace
+helr(const CkksInstance& inst, int iterations)
+{
+    TraceBuilder b("helr/" + inst.name);
+    constexpr int kLevelsPerIter = 4;
+    constexpr int kDataCts = 3; // 1024 x 196 batch needs 3 packed cts
+
+    int weights = b.fresh_id();
+    int level = inst.usable_levels();
+    for (int iter = 0; iter < iterations; ++iter) {
+        if (level < kLevelsPerIter + 1) {
+            // Refresh the model state.
+            weights = append_bootstrap(b, inst, weights);
+            level = inst.usable_levels();
+        }
+        // Inner products X * w: rotations + plaintext batch multiplies.
+        std::vector<int> partials;
+        for (int c = 0; c < kDataCts; ++c) {
+            int acc = b.add(HeOpKind::kPMult, level, {weights});
+            for (int r = 0; r < 8; ++r) { // log-tree sum over 196 features
+                const int rot =
+                    b.add(HeOpKind::kHRot, level, {acc}, 1 << r);
+                acc = b.add(HeOpKind::kHAdd, level, {acc, rot});
+            }
+            partials.push_back(acc);
+        }
+        int grad = partials[0];
+        for (int c = 1; c < kDataCts; ++c) {
+            grad = b.add(HeOpKind::kHAdd, level, {grad, partials[c]});
+        }
+        b.add(HeOpKind::kHRescale, level, {grad});
+        level -= 1;
+
+        // Degree-3 sigmoid: two squarings' worth of depth.
+        for (int d = 0; d < 2; ++d) {
+            grad = b.add(HeOpKind::kHMult, level, {grad, grad});
+            grad = b.add(HeOpKind::kCMult, level, {grad});
+            grad = b.add(HeOpKind::kHRescale, level, {grad});
+            level -= 1;
+        }
+
+        // Weight update: gradient x learning rate, then accumulate.
+        grad = b.add(HeOpKind::kCMult, level, {grad});
+        grad = b.add(HeOpKind::kHRescale, level, {grad});
+        level -= 1;
+        weights = b.add(HeOpKind::kHAdd, level, {weights, grad});
+    }
+    return b.trace();
+}
+
+Trace
+resnet20(const CkksInstance& inst)
+{
+    TraceBuilder b("resnet20/" + inst.name);
+    constexpr int kLayers = 20;
+
+    int act = b.fresh_id(); // channel-packed activation ciphertext
+    int level = inst.usable_levels();
+
+    // A layer burst: (level cost, op emitter).
+    auto ensure = [&](int needed) {
+        if (level < needed + 1) {
+            act = append_bootstrap(b, inst, act);
+            level = inst.usable_levels();
+        }
+    };
+
+    for (int layer = 0; layer < kLayers; ++layer) {
+        // Convolution (channel packing [50]): 3x3 kernel -> 9 rotations
+        // x 2 halves, plaintext weight multiplies, tree adds; 3 levels.
+        for (int step = 0; step < 3; ++step) {
+            ensure(1);
+            for (int r = 0; r < 6; ++r) {
+                const int rot =
+                    b.add(HeOpKind::kHRot, level, {act}, r + 1);
+                const int prod = b.add(HeOpKind::kPMult, level, {rot});
+                act = b.add(HeOpKind::kHAdd, level, {act, prod});
+            }
+            act = b.add(HeOpKind::kHRescale, level, {act});
+            level -= 1;
+        }
+        // BatchNorm fold: scalar multiply-add, 2 levels.
+        for (int step = 0; step < 2; ++step) {
+            ensure(1);
+            act = b.add(HeOpKind::kCMult, level, {act});
+            act = b.add(HeOpKind::kCAdd, level, {act});
+            act = b.add(HeOpKind::kHRescale, level, {act});
+            level -= 1;
+        }
+        // ReLU: composite minimax polynomial (deg {15,15,27} [57]),
+        // 14 levels of squaring-dominated evaluation.
+        for (int step = 0; step < 14; ++step) {
+            ensure(1);
+            act = b.add(HeOpKind::kHMult, level, {act, act});
+            if (step % 2 == 0) {
+                act = b.add(HeOpKind::kCAdd, level, {act});
+            }
+            act = b.add(HeOpKind::kHRescale, level, {act});
+            level -= 1;
+        }
+    }
+    // Final pooling + FC layer.
+    for (int r = 0; r < 6; ++r) {
+        if (level < 2) {
+            act = append_bootstrap(b, inst, act);
+            level = inst.usable_levels();
+        }
+        const int rot = b.add(HeOpKind::kHRot, level, {act}, 1 << r);
+        act = b.add(HeOpKind::kHAdd, level, {act, rot});
+    }
+    b.add(HeOpKind::kPMult, level, {act});
+    return b.trace();
+}
+
+Trace
+sorting(const CkksInstance& inst, int log_elements)
+{
+    TraceBuilder b("sorting/" + inst.name);
+    // 2-way bitonic network: k(k+1)/2 compare-exchange stages.
+    const int stages = log_elements * (log_elements + 1) / 2;
+
+    int values = b.fresh_id();
+    int level = inst.usable_levels();
+    auto ensure = [&](int needed) {
+        if (level < needed + 1) {
+            values = append_bootstrap(b, inst, values);
+            level = inst.usable_levels();
+        }
+    };
+
+    for (int stage = 0; stage < stages; ++stage) {
+        // Comparison: composite minimax sign polynomial f^(k) o g^(k)
+        // [42], ~10 rounds of a degree-7 kernel = 30 levels, evaluated
+        // on the rotated pair.
+        ensure(2);
+        const int rot = b.add(HeOpKind::kHRot, level, {values},
+                              1 << (stage % log_elements));
+        int cmp = b.add(HeOpKind::kHAdd, level, {values, rot});
+        for (int round = 0; round < 10; ++round) {
+            for (int d = 0; d < 3; ++d) {
+                ensure(1);
+                b.add_into(cmp, HeOpKind::kHMult, level, {cmp, cmp});
+                b.add_into(cmp, HeOpKind::kCMult, level, {cmp});
+                b.add_into(cmp, HeOpKind::kHRescale, level, {cmp});
+                level -= 1;
+            }
+        }
+        // Swap: values' = cmp*max + (1-cmp)*min — two HMults.
+        ensure(2);
+        const int hi = b.add(HeOpKind::kHMult, level, {cmp, values});
+        const int lo = b.add(HeOpKind::kHMult, level, {cmp, rot});
+        b.add_into(values, HeOpKind::kHAdd, level, {hi, lo});
+        b.add_into(values, HeOpKind::kHRescale, level, {values});
+        level -= 2;
+    }
+    return b.trace();
+}
+
+} // namespace bts::workloads

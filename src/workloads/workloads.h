@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Workload trace generators for the evaluation (Section 6.2):
+ * the bootstrapping plan, the T_mult,a/slot microbenchmark (Eq. 8),
+ * HELR logistic regression [39], channel-packed ResNet-20 [59, 50],
+ * and the 2-way sorting network [42].
+ *
+ * These generators reproduce the published op *structure* (op mix,
+ * level schedule, bootstrap placement); data values never matter to the
+ * simulator. Bootstrap counts per instance are the paper's own Table 6
+ * calibration target.
+ */
+#pragma once
+
+#include "hwparams/instance.h"
+#include "sim/op_trace.h"
+
+namespace bts::workloads {
+
+using hw::CkksInstance;
+using sim::Trace;
+
+/**
+ * One full bootstrapping: ModRaise, 3 CoeffToSlot stages, conjugation,
+ * EvalMod on both components, 3 SlotToCoeff stages. Appends to
+ * @p builder starting from a level-0 ciphertext @p ct_id and returns
+ * the refreshed ciphertext id (at level L - L_boot).
+ */
+int append_bootstrap(sim::TraceBuilder& builder, const CkksInstance& inst,
+                     int ct_id);
+
+/** The T_mult,a/slot microbenchmark: one bootstrap plus HMult+HRescale
+ *  down the usable levels (Eq. 8's numerator). */
+Trace tmult_microbench(const CkksInstance& inst);
+
+/** HELR: 30 iterations of batch-1024 logistic-regression training. */
+Trace helr(const CkksInstance& inst, int iterations = 30);
+
+/** Channel-packed ResNet-20 inference on one encrypted image. */
+Trace resnet20(const CkksInstance& inst);
+
+/** 2-way bitonic sorting network over 2^14 encrypted elements. */
+Trace sorting(const CkksInstance& inst, int log_elements = 14);
+
+} // namespace bts::workloads

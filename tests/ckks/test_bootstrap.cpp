@@ -1,0 +1,143 @@
+#include "ckks/bootstrapper.h"
+
+#include <gtest/gtest.h>
+
+#include "test_utils.h"
+
+namespace bts {
+namespace {
+
+using testing::TestEnv;
+
+/** Bootstrap-capable (still insecure/small) instance: N=2^11, L=14. */
+CkksParams
+boot_params()
+{
+    CkksParams p;
+    p.n = 1 << 11;
+    p.max_level = 14;
+    p.dnum = 3;
+    p.q0_bits = 50;
+    p.scale_bits = 40;
+    p.special_bits = 50;
+    p.hamming_weight = 32;
+    p.seed = 777;
+    return p;
+}
+
+struct BootEnv
+{
+    BootEnv() : env(boot_params())
+    {
+        BootstrapConfig cfg;
+        cfg.slots = 512; // gap = 2
+        cfg.k_range = 12.0;
+        cfg.sine_degree = 159;
+        boot = std::make_unique<Bootstrapper>(env.ctx, env.encoder,
+                                              env.evaluator, cfg);
+        rot_keys =
+            env.keygen.gen_rotation_keys(env.sk, boot->required_rotations());
+        boot->set_keys(&env.mult_key, &rot_keys, &env.conj_key);
+    }
+
+    TestEnv env;
+    std::unique_ptr<Bootstrapper> boot;
+    RotationKeys rot_keys;
+};
+
+BootEnv&
+boot_env()
+{
+    static BootEnv* instance = new BootEnv();
+    return *instance;
+}
+
+TEST(Bootstrap, RequiredRotationsIncludeSubSum)
+{
+    auto& be = boot_env();
+    const auto rots = be.boot->required_rotations();
+    // SubSum needs the single amount 512 (gap = 2).
+    EXPECT_NE(std::find(rots.begin(), rots.end(), 512), rots.end());
+    // BSGS rotations stay below the slot count.
+    for (int r : rots) {
+        EXPECT_GT(r, 0);
+        EXPECT_LT(r, 1 << 10);
+    }
+}
+
+TEST(Bootstrap, StageRaiseAndSubsum)
+{
+    auto& be = boot_env();
+    auto& env = be.env;
+    const auto z = env.random_message(512, 0.3, 201);
+    Ciphertext ct = env.encrypt(z, 0);
+    const Ciphertext raised = be.boot->stage_raise_and_subsum(ct);
+    EXPECT_EQ(raised.level, env.ctx.max_level());
+    EXPECT_DOUBLE_EQ(raised.scale,
+                     static_cast<double>(env.ctx.q_primes()[0]));
+}
+
+TEST(Bootstrap, EndToEndMessageRefresh)
+{
+    auto& be = boot_env();
+    auto& env = be.env;
+    const auto z = env.random_message(512, 0.3, 202);
+
+    Ciphertext ct = env.encrypt(z, 0); // exhausted ciphertext
+    ASSERT_EQ(ct.level, 0);
+
+    const Ciphertext fresh = be.boot->bootstrap(ct);
+    EXPECT_GE(fresh.level, 1) << "bootstrapping must restore levels";
+    const auto back = env.decrypt(fresh);
+    const double err = TestEnv::max_err(z, back);
+    EXPECT_LT(err, 1e-2) << "bootstrap precision too low";
+}
+
+TEST(Bootstrap, RefreshedCiphertextIsUsable)
+{
+    // The real test of FHE: multiply after refresh.
+    auto& be = boot_env();
+    auto& env = be.env;
+    const auto z = env.random_message(512, 0.3, 203);
+    Ciphertext ct = env.encrypt(z, 0);
+    Ciphertext fresh = be.boot->bootstrap(ct);
+    ASSERT_GE(fresh.level, 1);
+
+    Ciphertext sq = env.evaluator.square(fresh, env.mult_key);
+    env.evaluator.rescale_inplace(sq);
+    const auto got = env.decrypt(sq);
+    std::vector<Complex> expected(z.size());
+    for (std::size_t i = 0; i < z.size(); ++i) expected[i] = z[i] * z[i];
+    EXPECT_LT(TestEnv::max_err(expected, got), 2e-2);
+}
+
+TEST(Bootstrap, RejectsWrongSlotCount)
+{
+    auto& be = boot_env();
+    auto& env = be.env;
+    const auto z = env.random_message(128, 0.3, 204);
+    Ciphertext ct = env.encrypt(z, 0);
+    EXPECT_THROW(be.boot->bootstrap(ct), std::invalid_argument);
+}
+
+TEST(Bootstrap, RejectsNonExhaustedInput)
+{
+    auto& be = boot_env();
+    auto& env = be.env;
+    const auto z = env.random_message(512, 0.3, 205);
+    Ciphertext ct = env.encrypt(z, 3);
+    EXPECT_THROW(be.boot->bootstrap(ct), std::invalid_argument);
+}
+
+TEST(Bootstrap, SineSeriesIsAccurate)
+{
+    auto& be = boot_env();
+    const auto& series = be.boot->sine_series();
+    EXPECT_LT(series.max_error([](double u) {
+        return std::sin(2 * M_PI * u) / (2 * M_PI);
+    }),
+              1e-8);
+}
+
+} // namespace
+} // namespace bts

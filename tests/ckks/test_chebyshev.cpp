@@ -1,0 +1,146 @@
+#include "ckks/chebyshev.h"
+
+#include <gtest/gtest.h>
+
+#include "test_utils.h"
+
+namespace bts {
+namespace {
+
+using testing::TestEnv;
+
+TEST(ChebyshevSeries, InterpolatesSmoothFunctions)
+{
+    const auto exp_series = ChebyshevSeries::interpolate(
+        [](double x) { return std::exp(x); }, -1, 1, 15);
+    EXPECT_LT(exp_series.max_error([](double x) { return std::exp(x); }),
+              1e-12);
+
+    const auto sin_series = ChebyshevSeries::interpolate(
+        [](double x) { return std::sin(x); }, -3, 3, 23);
+    EXPECT_LT(sin_series.max_error([](double x) { return std::sin(x); }),
+              1e-10);
+}
+
+TEST(ChebyshevSeries, ScaledSineForEvalMod)
+{
+    // The bootstrapping workhorse: sin(2 pi u)/(2 pi) over [-12, 12]
+    // at degree 159 must be accurate to ~1e-9 — this pins the degree
+    // budget the bootstrapper uses.
+    const double k = 12.0;
+    const auto series = ChebyshevSeries::interpolate(
+        [](double u) { return std::sin(2 * M_PI * u) / (2 * M_PI); }, -k, k,
+        159);
+    EXPECT_LT(series.max_error([](double u) {
+        return std::sin(2 * M_PI * u) / (2 * M_PI);
+    }),
+              1e-9);
+}
+
+TEST(ChebyshevSeries, LowDegreeSineIsInaccurate)
+{
+    // Sanity check of the degree requirement: degree 31 cannot capture
+    // 24 periods.
+    const auto series = ChebyshevSeries::interpolate(
+        [](double u) { return std::sin(2 * M_PI * u) / (2 * M_PI); }, -12, 12,
+        31);
+    EXPECT_GT(series.max_error([](double u) {
+        return std::sin(2 * M_PI * u) / (2 * M_PI);
+    }),
+              1e-3);
+}
+
+TEST(ChebyshevDivmod, ReconstructsOriginal)
+{
+    // f == q * T_g + r must hold as functions.
+    Xoshiro256 rng(3);
+    for (int deg : {8, 13, 21, 40}) {
+        std::vector<double> f(deg + 1);
+        for (auto& c : f) c = 2 * rng.uniform_real() - 1;
+        for (int g : {4, 8}) {
+            if (g > deg) continue;
+            std::vector<double> q, r;
+            chebyshev_divmod(f, g, q, r);
+            EXPECT_LT(static_cast<int>(r.size()), g + 1);
+            // Evaluate both sides on a grid via Clenshaw.
+            const ChebyshevSeries sf(f, -1, 1), sq(q, -1, 1), sr(r, -1, 1);
+            for (double x = -1; x <= 1; x += 0.05) {
+                const double tg = std::cos(g * std::acos(std::min(
+                                               1.0, std::max(-1.0, x))));
+                EXPECT_NEAR(sf.evaluate(x),
+                            sq.evaluate(x) * tg + sr.evaluate(x), 1e-9);
+            }
+        }
+    }
+}
+
+TEST(ChebyshevEvaluator, DepthFormula)
+{
+    // degree < m: just baby steps; larger degrees add giant squarings.
+    EXPECT_EQ(ChebyshevEvaluator::baby_step_count(15), 4);
+    EXPECT_EQ(ChebyshevEvaluator::baby_step_count(31), 8);
+    EXPECT_GE(ChebyshevEvaluator::depth(31), 4);
+    EXPECT_LE(ChebyshevEvaluator::depth(31), 7);
+    EXPECT_LE(ChebyshevEvaluator::depth(159), 9);
+}
+
+class HomomorphicChebyTest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(HomomorphicChebyTest, MatchesClenshaw)
+{
+    // Evaluate a Chebyshev series homomorphically and compare against
+    // the numeric Clenshaw evaluation slot by slot.
+    CkksParams params = testing::small_params();
+    params.max_level = 8;
+    auto& env = testing::cached_env("cheby", params);
+
+    const int degree = GetParam();
+    const auto series = ChebyshevSeries::interpolate(
+        [](double x) { return 1.0 / (1.0 + std::exp(-4 * x)); }, -1, 1,
+        degree);
+
+    const std::size_t slots = 64;
+    std::vector<Complex> z(slots);
+    Xoshiro256 rng(degree);
+    for (auto& v : z) v = Complex(2 * rng.uniform_real() - 1, 0);
+
+    const ChebyshevEvaluator cheby(env.evaluator);
+    const Ciphertext out =
+        cheby.evaluate(env.encrypt(z), series, env.mult_key);
+    const auto got = env.decrypt(out);
+    for (std::size_t i = 0; i < slots; ++i) {
+        EXPECT_NEAR(got[i].real(), series.evaluate(z[i].real()), 2e-3)
+            << "slot " << i;
+        EXPECT_NEAR(got[i].imag(), 0.0, 2e-3);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, HomomorphicChebyTest,
+                         ::testing::Values(7, 15, 31, 63));
+
+TEST(ChebyshevEvaluator, AsymmetricInterval)
+{
+    CkksParams params = testing::small_params();
+    params.max_level = 8;
+    auto& env = testing::cached_env("cheby", params);
+
+    const auto series = ChebyshevSeries::interpolate(
+        [](double x) { return std::log(x); }, 1, 4, 15);
+
+    const std::size_t slots = 32;
+    std::vector<Complex> z(slots);
+    Xoshiro256 rng(99);
+    for (auto& v : z) v = Complex(1.0 + 3.0 * rng.uniform_real(), 0);
+
+    const ChebyshevEvaluator cheby(env.evaluator);
+    const Ciphertext out =
+        cheby.evaluate(env.encrypt(z), series, env.mult_key);
+    const auto got = env.decrypt(out);
+    for (std::size_t i = 0; i < slots; ++i) {
+        EXPECT_NEAR(got[i].real(), std::log(z[i].real()), 5e-3);
+    }
+}
+
+} // namespace
+} // namespace bts

@@ -1,0 +1,118 @@
+#include "ckks/ckks_context.h"
+
+#include <gtest/gtest.h>
+
+#include "test_utils.h"
+
+namespace bts {
+namespace {
+
+TEST(CkksContext, PrimeLayout)
+{
+    const auto& env = testing::default_env();
+    const auto& ctx = env.ctx;
+    EXPECT_EQ(ctx.q_primes().size(), 7u); // L + 1
+    EXPECT_EQ(ctx.p_primes().size(),
+              static_cast<std::size_t>(ctx.num_special()));
+    // alpha = ceil((L+1)/dnum) = ceil(7/2) = 4.
+    EXPECT_EQ(ctx.alpha(), 4);
+    for (u64 q : ctx.full_primes()) {
+        EXPECT_EQ(q % (2 * ctx.n()), 1u);
+    }
+}
+
+TEST(CkksContext, SliceRanges)
+{
+    const auto& ctx = testing::default_env().ctx;
+    // At max level (6): slices [0,4) and [4,7).
+    EXPECT_EQ(ctx.num_slices(6), 2);
+    EXPECT_EQ(ctx.slice_range(0, 6), std::make_pair(0, 4));
+    EXPECT_EQ(ctx.slice_range(1, 6), std::make_pair(4, 7));
+    // At level 2 only one slice remains.
+    EXPECT_EQ(ctx.num_slices(2), 1);
+    EXPECT_EQ(ctx.slice_range(0, 2), std::make_pair(0, 3));
+    // At level 4: [0,4) and [4,5).
+    EXPECT_EQ(ctx.num_slices(4), 2);
+    EXPECT_EQ(ctx.slice_range(1, 4), std::make_pair(4, 5));
+}
+
+TEST(CkksContext, ExtendedPrimes)
+{
+    const auto& ctx = testing::default_env().ctx;
+    const auto ext = ctx.extended_primes(3);
+    EXPECT_EQ(ext.size(), 4u + ctx.num_special());
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(ext[i], ctx.q_primes()[i]);
+}
+
+TEST(CkksContext, PModAndInverse)
+{
+    const auto& ctx = testing::default_env().ctx;
+    for (u64 q : ctx.q_primes()) {
+        const u64 pm = ctx.p_mod(q);
+        const u64 pinv = ctx.p_inv_mod(q);
+        EXPECT_EQ(mul_mod(pm, pinv, q), 1u);
+    }
+}
+
+TEST(CkksContext, TablesMatchPrimes)
+{
+    const auto& ctx = testing::default_env().ctx;
+    for (u64 q : ctx.full_primes()) {
+        EXPECT_EQ(ctx.tables(q).modulus(), q);
+        EXPECT_EQ(ctx.tables(q).n(), ctx.n());
+    }
+    EXPECT_THROW(ctx.tables(12345), std::invalid_argument);
+}
+
+TEST(CkksContext, LogPqBits)
+{
+    const auto& ctx = testing::default_env().ctx;
+    // 50 + 6*40 + 4*50 = 490 bits, within rounding of prime selection.
+    EXPECT_NEAR(ctx.log_pq_bits(), 490, 4);
+}
+
+TEST(CkksContext, DnumOneHasSingleSlice)
+{
+    CkksParams p = testing::small_params();
+    p.dnum = 1;
+    p.max_level = 3;
+    const CkksContext ctx(p);
+    EXPECT_EQ(ctx.alpha(), 4);
+    EXPECT_EQ(ctx.num_slices(3), 1);
+    EXPECT_EQ(ctx.num_special(), 4);
+}
+
+TEST(CkksContext, MaxDnumIsPerPrime)
+{
+    CkksParams p = testing::small_params();
+    p.max_level = 3;
+    p.dnum = 4;         // == L+1: one prime per slice, k = 1
+    p.special_bits = 52; // the lone special prime must dominate q_0
+    const CkksContext ctx(p);
+    EXPECT_EQ(ctx.alpha(), 1);
+    EXPECT_EQ(ctx.num_slices(3), 4);
+    EXPECT_EQ(ctx.slice_range(2, 3), std::make_pair(2, 3));
+}
+
+TEST(CkksContext, RejectsBadParams)
+{
+    CkksParams p = testing::small_params();
+    p.dnum = 9; // > L+1
+    EXPECT_THROW(CkksContext{p}, std::invalid_argument);
+    p = testing::small_params();
+    p.n = 1000; // not a power of two
+    EXPECT_THROW(CkksContext{p}, std::invalid_argument);
+}
+
+TEST(CkksContext, ConverterCacheReturnsSameInstance)
+{
+    const auto& ctx = testing::default_env().ctx;
+    const auto src = ctx.level_primes(1);
+    std::vector<u64> tgt = ctx.p_primes();
+    const auto& c1 = ctx.converter(src, tgt);
+    const auto& c2 = ctx.converter(src, tgt);
+    EXPECT_EQ(&c1, &c2);
+}
+
+} // namespace
+} // namespace bts

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "test_utils.h"
+
+namespace bts {
+namespace {
+
+using testing::TestEnv;
+using testing::default_env;
+
+TEST(Encrypt, SymmetricRoundTrip)
+{
+    auto& env = default_env();
+    const auto z = env.random_message(128, 1.0, 21);
+    const Plaintext pt = env.encoder.encode(z, env.ctx.delta(), 3);
+    const Ciphertext ct = env.encryptor.encrypt_symmetric(pt, env.sk);
+    EXPECT_EQ(ct.level, 3);
+    EXPECT_EQ(ct.slots, 128u);
+    const auto back = env.decrypt(ct);
+    EXPECT_LT(TestEnv::max_err(z, back), 1e-6);
+}
+
+TEST(Encrypt, PublicKeyRoundTrip)
+{
+    auto& env = default_env();
+    const auto z = env.random_message(64, 1.0, 22);
+    const Plaintext pt =
+        env.encoder.encode(z, env.ctx.delta(), env.ctx.max_level());
+    const Ciphertext ct = env.encryptor.encrypt_public(pt, env.pk);
+    const auto back = env.decrypt(ct);
+    // Public-key noise is larger than symmetric but still tiny vs Delta.
+    EXPECT_LT(TestEnv::max_err(z, back), 1e-4);
+}
+
+TEST(Encrypt, CiphertextLooksUniform)
+{
+    // Both components should be far from the plaintext: spot-check that
+    // the `a` part is not all zeros and `b` differs from the message.
+    auto& env = default_env();
+    const auto z = env.random_message(64, 1.0, 23);
+    const Plaintext pt = env.encoder.encode(z, env.ctx.delta(), 2);
+    const Ciphertext ct = env.encryptor.encrypt_symmetric(pt, env.sk);
+    u64 nonzero = 0;
+    for (u64 v : ct.a.component(0)) nonzero += (v != 0);
+    EXPECT_GT(nonzero, env.ctx.n() / 2);
+    EXPECT_FALSE(ct.b.equals(pt.poly));
+}
+
+TEST(Encrypt, FreshNoiseIsSmall)
+{
+    // Decrypt without decode and compare raw coefficients: noise must be
+    // at the Gaussian scale (sigma=3.2), many orders below Delta.
+    auto& env = default_env();
+    std::vector<double> coeffs(env.ctx.n(), 0.0);
+    const Plaintext pt =
+        env.encoder.encode_coeffs(coeffs, env.ctx.delta(), 1, 64);
+    const Ciphertext ct = env.encryptor.encrypt_symmetric(pt, env.sk);
+    const Plaintext dec = env.decryptor.decrypt(ct, env.sk);
+    const auto noise = env.encoder.decode_coeffs(dec);
+    double worst = 0;
+    for (double v : noise) worst = std::max(worst, std::abs(v));
+    EXPECT_LT(worst * env.ctx.delta(), 64.0); // ~20 sigma margin
+    EXPECT_GT(worst, 0.0);                    // but not noiseless
+}
+
+TEST(Encrypt, DifferentSeedsDifferentCiphertexts)
+{
+    auto& env = default_env();
+    const auto z = env.random_message(64, 1.0, 24);
+    const Plaintext pt = env.encoder.encode(z, env.ctx.delta(), 2);
+    const Ciphertext c1 = env.encryptor.encrypt_symmetric(pt, env.sk);
+    const Ciphertext c2 = env.encryptor.encrypt_symmetric(pt, env.sk);
+    EXPECT_FALSE(c1.a.equals(c2.a));
+    // Yet both decrypt to the same message.
+    EXPECT_LT(TestEnv::max_err(env.decrypt(c1), env.decrypt(c2)), 1e-6);
+}
+
+TEST(Encrypt, WrongKeyFailsToDecrypt)
+{
+    auto& env = default_env();
+    const auto z = env.random_message(64, 1.0, 25);
+    const Ciphertext ct = env.encrypt(z);
+    KeyGenerator other_gen(env.ctx, 999);
+    const SecretKey wrong = other_gen.gen_secret_key();
+    const auto garbage =
+        env.encoder.decode(env.decryptor.decrypt(ct, wrong));
+    EXPECT_GT(TestEnv::max_err(z, garbage), 1.0);
+}
+
+} // namespace
+} // namespace bts

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "test_utils.h"
+
+namespace bts {
+namespace {
+
+using testing::TestEnv;
+using testing::default_env;
+
+TEST(Hoisting, MatchesIndividualRotations)
+{
+    // rotate_hoisted must agree with rotate() for every amount — the
+    // shared ModUp is an exact refactoring up to BConv's standard
+    // approximation class.
+    auto& env = default_env();
+    const std::size_t slots = 128;
+    const auto z = env.random_message(slots, 1.0, 301);
+    const Ciphertext ct = env.encrypt(z);
+
+    const std::vector<int> amounts = {1, 3, 17, 64};
+    const RotationKeys keys = env.keygen.gen_rotation_keys(env.sk, amounts);
+
+    const auto hoisted = env.evaluator.rotate_hoisted(ct, amounts, keys);
+    ASSERT_EQ(hoisted.size(), amounts.size());
+    for (std::size_t i = 0; i < amounts.size(); ++i) {
+        const Ciphertext single =
+            env.evaluator.rotate(ct, amounts[i], keys.at(amounts[i]));
+        EXPECT_LT(TestEnv::max_err(env.decrypt(hoisted[i]),
+                                   env.decrypt(single)),
+                  1e-4)
+            << "amount " << amounts[i];
+    }
+}
+
+TEST(Hoisting, DecryptsToRotatedMessage)
+{
+    auto& env = default_env();
+    const std::size_t slots = 64;
+    const auto z = env.random_message(slots, 1.0, 302);
+    const Ciphertext ct = env.encrypt(z);
+    const std::vector<int> amounts = {2, 5};
+    const RotationKeys keys = env.keygen.gen_rotation_keys(env.sk, amounts);
+    const auto hoisted = env.evaluator.rotate_hoisted(ct, amounts, keys);
+    for (std::size_t i = 0; i < amounts.size(); ++i) {
+        std::vector<Complex> expected(slots);
+        for (std::size_t j = 0; j < slots; ++j) {
+            expected[j] = z[(j + amounts[i]) % slots];
+        }
+        EXPECT_LT(TestEnv::max_err(expected, env.decrypt(hoisted[i])),
+                  1e-4);
+    }
+}
+
+TEST(Hoisting, ZeroAmountIsIdentity)
+{
+    auto& env = default_env();
+    const auto z = env.random_message(64, 1.0, 303);
+    const Ciphertext ct = env.encrypt(z);
+    const RotationKeys keys = env.keygen.gen_rotation_keys(env.sk, {1});
+    const auto out = env.evaluator.rotate_hoisted(ct, {0, 1}, keys);
+    EXPECT_LT(TestEnv::max_err(z, env.decrypt(out[0])), 1e-6);
+}
+
+TEST(Hoisting, MissingKeyRejected)
+{
+    auto& env = default_env();
+    const auto z = env.random_message(64, 1.0, 304);
+    const Ciphertext ct = env.encrypt(z);
+    const RotationKeys keys = env.keygen.gen_rotation_keys(env.sk, {1});
+    EXPECT_THROW(env.evaluator.rotate_hoisted(ct, {1, 2}, keys),
+                 std::invalid_argument);
+}
+
+TEST(Hoisting, WorksAtLowLevel)
+{
+    auto& env = default_env();
+    const auto z = env.random_message(64, 1.0, 305);
+    Ciphertext ct = env.encrypt(z);
+    env.evaluator.drop_level_inplace(ct, 1);
+    const RotationKeys keys = env.keygen.gen_rotation_keys(env.sk, {7});
+    const auto out = env.evaluator.rotate_hoisted(ct, {7}, keys);
+    std::vector<Complex> expected(z.size());
+    for (std::size_t j = 0; j < z.size(); ++j) {
+        expected[j] = z[(j + 7) % z.size()];
+    }
+    EXPECT_LT(TestEnv::max_err(expected, env.decrypt(out[0])), 1e-4);
+    EXPECT_EQ(out[0].level, 1);
+}
+
+} // namespace
+} // namespace bts

@@ -1,0 +1,164 @@
+#include "ckks/linear_transform.h"
+
+#include <gtest/gtest.h>
+
+#include "test_utils.h"
+
+namespace bts {
+namespace {
+
+using testing::TestEnv;
+using testing::default_env;
+
+RotationKeys
+keys_for(TestEnv& env, const LinearTransform& lt)
+{
+    return env.keygen.gen_rotation_keys(env.sk, lt.required_rotations());
+}
+
+std::vector<Complex>
+matvec(const std::vector<std::vector<Complex>>& m,
+       const std::vector<Complex>& v)
+{
+    std::vector<Complex> out(v.size(), Complex(0, 0));
+    for (std::size_t j = 0; j < v.size(); ++j) {
+        for (std::size_t k = 0; k < v.size(); ++k) out[j] += m[j][k] * v[k];
+    }
+    return out;
+}
+
+TEST(LinearTransform, ScaledIdentity)
+{
+    auto& env = default_env();
+    const std::size_t n = 32;
+    const auto matrix = scaled_identity_matrix(n, Complex(2.5, 0));
+    const LinearTransform lt(env.ctx, env.encoder, matrix, 3);
+    // The identity has one diagonal and needs no rotations.
+    EXPECT_EQ(lt.num_diagonals(), 1);
+    EXPECT_TRUE(lt.required_rotations().empty());
+
+    const auto z = env.random_message(n, 1.0, 71);
+    const RotationKeys keys;
+    const Ciphertext out = lt.apply(env.evaluator, env.encrypt(z), keys);
+    EXPECT_EQ(out.level, 2);
+    EXPECT_DOUBLE_EQ(out.scale, env.ctx.delta());
+    std::vector<Complex> expected(n);
+    for (std::size_t i = 0; i < n; ++i) expected[i] = z[i] * 2.5;
+    EXPECT_LT(TestEnv::max_err(expected, env.decrypt(out)), 1e-4);
+}
+
+TEST(LinearTransform, CyclicShiftMatrix)
+{
+    // Permutation matrix implementing a shift by 3 — a single diagonal.
+    auto& env = default_env();
+    const std::size_t n = 64;
+    std::vector<std::vector<Complex>> matrix(
+        n, std::vector<Complex>(n, Complex(0, 0)));
+    for (std::size_t j = 0; j < n; ++j) matrix[j][(j + 3) % n] = 1.0;
+
+    const LinearTransform lt(env.ctx, env.encoder, matrix, 3);
+    EXPECT_EQ(lt.num_diagonals(), 1);
+    auto keys = keys_for(env, lt);
+    const auto z = env.random_message(n, 1.0, 72);
+    const Ciphertext out = lt.apply(env.evaluator, env.encrypt(z), keys);
+    std::vector<Complex> expected(n);
+    for (std::size_t j = 0; j < n; ++j) expected[j] = z[(j + 3) % n];
+    EXPECT_LT(TestEnv::max_err(expected, env.decrypt(out)), 1e-4);
+}
+
+class DenseMatrixTest : public ::testing::TestWithParam<std::size_t>
+{};
+
+TEST_P(DenseMatrixTest, RandomDenseMatrix)
+{
+    auto& env = default_env();
+    const std::size_t n = GetParam();
+    Xoshiro256 rng(1234 + n);
+    std::vector<std::vector<Complex>> matrix(n, std::vector<Complex>(n));
+    for (auto& row : matrix) {
+        for (auto& e : row) {
+            e = Complex(2 * rng.uniform_real() - 1,
+                        2 * rng.uniform_real() - 1) /
+                static_cast<double>(n);
+        }
+    }
+    const LinearTransform lt(env.ctx, env.encoder, matrix, 4);
+    EXPECT_EQ(lt.num_diagonals(), static_cast<int>(n));
+    auto keys = keys_for(env, lt);
+
+    const auto z = env.random_message(n, 1.0, 73);
+    const Ciphertext out = lt.apply(env.evaluator, env.encrypt(z), keys);
+    EXPECT_LT(TestEnv::max_err(matvec(matrix, z), env.decrypt(out)), 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DenseMatrixTest,
+                         ::testing::Values(8, 16, 64, 128));
+
+TEST(LinearTransform, BsgsRotationCountIsSublinear)
+{
+    // BSGS needs ~2*sqrt(n) rotations, not n — the whole point.
+    auto& env = default_env();
+    const std::size_t n = 256;
+    Xoshiro256 rng(5);
+    std::vector<std::vector<Complex>> matrix(n, std::vector<Complex>(n));
+    for (auto& row : matrix) {
+        for (auto& e : row) e = Complex(rng.uniform_real(), 0);
+    }
+    const LinearTransform lt(env.ctx, env.encoder, matrix, 2);
+    EXPECT_LT(lt.required_rotations().size(), 3 * 16 + 2u);
+    EXPECT_GE(lt.baby_steps(), 8);
+}
+
+TEST(LinearTransform, CompositionOfTwoTransforms)
+{
+    // Applying M then its inverse-ish scaled transpose: use a DFT-like
+    // unitary matrix where M * M^dagger = I.
+    auto& env = default_env();
+    const std::size_t n = 16;
+    std::vector<std::vector<Complex>> f(n, std::vector<Complex>(n));
+    for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t k = 0; k < n; ++k) {
+            const double ang = 2 * M_PI * j * k / n;
+            f[j][k] = Complex(std::cos(ang), std::sin(ang)) /
+                      std::sqrt(static_cast<double>(n));
+        }
+    }
+    std::vector<std::vector<Complex>> f_dag(n, std::vector<Complex>(n));
+    for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t k = 0; k < n; ++k) f_dag[j][k] = std::conj(f[k][j]);
+    }
+
+    const LinearTransform lt1(env.ctx, env.encoder, f, 4);
+    const LinearTransform lt2(env.ctx, env.encoder, f_dag, 3);
+    auto keys = keys_for(env, lt1);
+    for (auto& [r, k] : keys_for(env, lt2)) keys.emplace(r, std::move(k));
+
+    const auto z = env.random_message(n, 1.0, 74);
+    const Ciphertext mid = lt1.apply(env.evaluator, env.encrypt(z), keys);
+    const Ciphertext out = lt2.apply(env.evaluator, mid, keys);
+    EXPECT_EQ(out.level, 2);
+    EXPECT_LT(TestEnv::max_err(z, env.decrypt(out)), 1e-3);
+}
+
+TEST(LinearTransform, RejectsWrongSlotCount)
+{
+    auto& env = default_env();
+    const auto matrix = scaled_identity_matrix(16, Complex(1, 0));
+    const LinearTransform lt(env.ctx, env.encoder, matrix, 3);
+    const auto z = env.random_message(32, 1.0, 75);
+    const RotationKeys keys;
+    EXPECT_THROW(lt.apply(env.evaluator, env.encrypt(z), keys),
+                 std::invalid_argument);
+}
+
+TEST(LinearTransform, RejectsZeroMatrix)
+{
+    auto& env = default_env();
+    std::vector<std::vector<Complex>> zero(
+        8, std::vector<Complex>(8, Complex(0, 0)));
+    EXPECT_THROW(LinearTransform(env.ctx, env.encoder, zero, 3),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace bts

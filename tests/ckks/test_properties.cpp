@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Property-style sweeps over the homomorphic algebra: ring laws,
+ * rotation group structure, scale/level invariants, and noise-growth
+ * sanity — parameterized across levels and packing widths.
+ */
+#include <gtest/gtest.h>
+
+#include "test_utils.h"
+
+namespace bts {
+namespace {
+
+using testing::TestEnv;
+using testing::default_env;
+
+class LevelSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(LevelSweep, AdditionCommutesAndAssociates)
+{
+    auto& env = default_env();
+    const int level = GetParam();
+    const auto z1 = env.random_message(64, 1.0, 400 + level);
+    const auto z2 = env.random_message(64, 1.0, 410 + level);
+    const auto z3 = env.random_message(64, 1.0, 420 + level);
+    const auto a = env.encrypt(z1, level);
+    const auto b = env.encrypt(z2, level);
+    const auto c = env.encrypt(z3, level);
+
+    const auto ab = env.evaluator.add(a, b);
+    const auto ba = env.evaluator.add(b, a);
+    EXPECT_LT(TestEnv::max_err(env.decrypt(ab), env.decrypt(ba)), 1e-8);
+
+    const auto ab_c = env.evaluator.add(ab, c);
+    const auto a_bc = env.evaluator.add(a, env.evaluator.add(b, c));
+    EXPECT_LT(TestEnv::max_err(env.decrypt(ab_c), env.decrypt(a_bc)),
+              1e-8);
+}
+
+TEST_P(LevelSweep, MultiplicationCommutes)
+{
+    auto& env = default_env();
+    const int level = GetParam();
+    if (level < 1) GTEST_SKIP();
+    const auto z1 = env.random_message(64, 1.0, 430 + level);
+    const auto z2 = env.random_message(64, 1.0, 440 + level);
+    const auto a = env.encrypt(z1, level);
+    const auto b = env.encrypt(z2, level);
+    const auto ab = env.evaluator.mult(a, b, env.mult_key);
+    const auto ba = env.evaluator.mult(b, a, env.mult_key);
+    EXPECT_LT(TestEnv::max_err(env.decrypt(ab), env.decrypt(ba)), 1e-6);
+}
+
+TEST_P(LevelSweep, DistributiveLaw)
+{
+    auto& env = default_env();
+    const int level = GetParam();
+    if (level < 1) GTEST_SKIP();
+    const auto z1 = env.random_message(32, 1.0, 450 + level);
+    const auto z2 = env.random_message(32, 1.0, 460 + level);
+    const auto z3 = env.random_message(32, 1.0, 470 + level);
+    const auto a = env.encrypt(z1, level);
+    const auto b = env.encrypt(z2, level);
+    const auto c = env.encrypt(z3, level);
+    // a*(b+c) == a*b + a*c
+    const auto lhs =
+        env.evaluator.mult(a, env.evaluator.add(b, c), env.mult_key);
+    const auto rhs = env.evaluator.add(
+        env.evaluator.mult(a, b, env.mult_key),
+        env.evaluator.mult(a, c, env.mult_key));
+    EXPECT_LT(TestEnv::max_err(env.decrypt(lhs), env.decrypt(rhs)), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, LevelSweep, ::testing::Values(1, 3, 6));
+
+class SlotSweep : public ::testing::TestWithParam<std::size_t>
+{};
+
+TEST_P(SlotSweep, RotationGroupClosure)
+{
+    // Rotating by the slot count is the identity; rotating by r then
+    // slots - r is too.
+    auto& env = default_env();
+    const std::size_t slots = GetParam();
+    const auto z = env.random_message(slots, 1.0, 500 + slots);
+    const Ciphertext ct = env.encrypt(z);
+    const int r = static_cast<int>(slots / 2 + 1);
+    const int r_inv = static_cast<int>(slots) - r;
+    const auto keys = env.keygen.gen_rotation_keys(env.sk, {r, r_inv});
+    const auto once = env.evaluator.rotate(ct, r, keys.at(r));
+    const auto back = env.evaluator.rotate(once, r_inv, keys.at(r_inv));
+    EXPECT_LT(TestEnv::max_err(z, env.decrypt(back)), 1e-4);
+}
+
+TEST_P(SlotSweep, ConjugationIsInvolution)
+{
+    auto& env = default_env();
+    const std::size_t slots = GetParam();
+    const auto z = env.random_message(slots, 1.0, 520 + slots);
+    const Ciphertext ct = env.encrypt(z);
+    const auto twice = env.evaluator.conjugate(
+        env.evaluator.conjugate(ct, env.conj_key), env.conj_key);
+    EXPECT_LT(TestEnv::max_err(z, env.decrypt(twice)), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Packings, SlotSweep,
+                         ::testing::Values(8, 64, 512));
+
+TEST(Properties, RescaleCommutesWithAddition)
+{
+    // rescale(a + b) == rescale(a) + rescale(b) (exact RNS identity).
+    auto& env = default_env();
+    const auto z1 = env.random_message(64, 1.0, 601);
+    const auto z2 = env.random_message(64, 1.0, 602);
+    auto a = env.evaluator.mult(env.encrypt(z1), env.encrypt(z1),
+                                env.mult_key);
+    auto b = env.evaluator.mult(env.encrypt(z2), env.encrypt(z2),
+                                env.mult_key);
+    auto sum = env.evaluator.add(a, b);
+    env.evaluator.rescale_inplace(sum);
+    env.evaluator.rescale_inplace(a);
+    env.evaluator.rescale_inplace(b);
+    const auto sum2 = env.evaluator.add(a, b);
+    EXPECT_LT(TestEnv::max_err(env.decrypt(sum), env.decrypt(sum2)), 1e-6);
+}
+
+TEST(Properties, RotationDistributesOverMult)
+{
+    // rot(a (*) b) == rot(a) (*) rot(b): the automorphism is a ring
+    // homomorphism (what lets HRot commute past PMult in bootstrap
+    // schedules).
+    auto& env = default_env();
+    const std::size_t slots = 64;
+    const auto z1 = env.random_message(slots, 1.0, 603);
+    const auto z2 = env.random_message(slots, 1.0, 604);
+    const auto keys = env.keygen.gen_rotation_keys(env.sk, {5});
+    const auto a = env.encrypt(z1);
+    const auto b = env.encrypt(z2);
+
+    auto prod = env.evaluator.mult(a, b, env.mult_key);
+    const auto rot_of_prod = env.evaluator.rotate(prod, 5, keys.at(5));
+
+    const auto prod_of_rot = env.evaluator.mult(
+        env.evaluator.rotate(a, 5, keys.at(5)),
+        env.evaluator.rotate(b, 5, keys.at(5)), env.mult_key);
+    EXPECT_LT(TestEnv::max_err(env.decrypt(rot_of_prod),
+                               env.decrypt(prod_of_rot)),
+              1e-4);
+}
+
+TEST(Properties, NoiseGrowthUnderMultChain)
+{
+    // Error grows gradually, not explosively, along a rescale chain —
+    // the invariant HRescale exists to maintain (Section 2.4).
+    auto& env = default_env();
+    std::vector<Complex> z(64, Complex(1.0, 0.0)); // fixpoint of squaring
+    Ciphertext ct = env.encrypt(z);
+    double prev_err = 0;
+    for (int l = env.ctx.max_level(); l >= 1; --l) {
+        ct = env.evaluator.square(ct, env.mult_key);
+        env.evaluator.rescale_inplace(ct);
+        const double err = TestEnv::max_err(z, env.decrypt(ct));
+        EXPECT_LT(err, 1e-3) << "level " << l;
+        prev_err = err;
+    }
+    EXPECT_GT(prev_err, 0.0);
+}
+
+TEST(Properties, CiphertextPlaintextMultAgree)
+{
+    // mult_plain(ct, encode(z)) == mult(ct, encrypt(z)) up to noise.
+    auto& env = default_env();
+    const auto z1 = env.random_message(64, 1.0, 605);
+    const auto z2 = env.random_message(64, 1.0, 606);
+    const auto ct = env.encrypt(z1);
+    const Plaintext pt = env.encoder.encode(z2, env.ctx.delta(), 6);
+    const auto via_plain = env.evaluator.mult_plain(ct, pt);
+    const auto via_cipher =
+        env.evaluator.mult(ct, env.encrypt(z2), env.mult_key);
+    EXPECT_LT(TestEnv::max_err(env.decrypt(via_plain),
+                               env.decrypt(via_cipher)),
+              1e-4);
+}
+
+TEST(Properties, EncryptThenRaiseRoundTripsThroughLevels)
+{
+    // drop to 0, mod-raise, drop again: message survives (the level
+    // machinery bootstrap depends on).
+    auto& env = default_env();
+    const auto z = env.random_message(64, 0.3, 607);
+    Ciphertext ct = env.encrypt(z);
+    env.evaluator.drop_level_inplace(ct, 0);
+    EXPECT_LT(TestEnv::max_err(z, env.decrypt(ct)), 1e-5);
+}
+
+} // namespace
+} // namespace bts

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "test_utils.h"
+
+namespace bts {
+namespace {
+
+using testing::TestEnv;
+using testing::default_env;
+
+TEST(Rekey, SwitchesDecryptionKey)
+{
+    auto& env = default_env();
+    const auto z = env.random_message(64, 1.0, 701);
+    const Ciphertext ct = env.encrypt(z);
+
+    KeyGenerator other_gen(env.ctx, 4242);
+    const SecretKey sk_other = other_gen.gen_secret_key();
+    const EvalKey rekey = env.keygen.gen_rekey_key(env.sk, sk_other);
+
+    const Ciphertext switched = env.evaluator.switch_key(ct, rekey);
+    // Decryptable under the NEW key...
+    const auto got = env.encoder.decode(
+        env.decryptor.decrypt(switched, sk_other));
+    EXPECT_LT(TestEnv::max_err(z, got), 1e-4);
+    // ...and garbage under the old one.
+    const auto wrong =
+        env.encoder.decode(env.decryptor.decrypt(switched, env.sk));
+    EXPECT_GT(TestEnv::max_err(z, wrong), 1.0);
+}
+
+TEST(Rekey, PreservesLevelScaleAndSlots)
+{
+    auto& env = default_env();
+    const auto z = env.random_message(32, 1.0, 702);
+    Ciphertext ct = env.encrypt(z, 3);
+
+    KeyGenerator other_gen(env.ctx, 7);
+    const SecretKey sk_other = other_gen.gen_secret_key();
+    const EvalKey rekey = env.keygen.gen_rekey_key(env.sk, sk_other);
+    const Ciphertext switched = env.evaluator.switch_key(ct, rekey);
+    EXPECT_EQ(switched.level, 3);
+    EXPECT_DOUBLE_EQ(switched.scale, ct.scale);
+    EXPECT_EQ(switched.slots, ct.slots);
+}
+
+TEST(Rekey, ComputationContinuesAfterSwitch)
+{
+    // The re-encrypted ciphertext is a first-class citizen: the new
+    // key-holder can keep multiplying.
+    auto& env = default_env();
+    const auto z = env.random_message(64, 1.0, 703);
+    const Ciphertext ct = env.encrypt(z);
+
+    KeyGenerator other_gen(env.ctx, 99);
+    const SecretKey sk_other = other_gen.gen_secret_key();
+    const EvalKey rekey = env.keygen.gen_rekey_key(env.sk, sk_other);
+    const EvalKey mult_other = other_gen.gen_mult_key(sk_other);
+
+    Ciphertext switched = env.evaluator.switch_key(ct, rekey);
+    Ciphertext sq = env.evaluator.square(switched, mult_other);
+    env.evaluator.rescale_inplace(sq);
+
+    std::vector<Complex> expected(z.size());
+    for (std::size_t i = 0; i < z.size(); ++i) expected[i] = z[i] * z[i];
+    const auto got =
+        env.encoder.decode(env.decryptor.decrypt(sq, sk_other));
+    EXPECT_LT(TestEnv::max_err(expected, got), 1e-4);
+}
+
+} // namespace
+} // namespace bts

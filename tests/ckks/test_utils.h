@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Shared CKKS test environment: a small (insecure, see DESIGN.md) CKKS
+ * instance with all key material, built once per parameter set and
+ * cached across tests.
+ */
+#pragma once
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "ckks/bootstrapper.h"
+#include "ckks/decryptor.h"
+#include "ckks/encryptor.h"
+#include "ckks/evaluator.h"
+#include "ckks/keygen.h"
+
+namespace bts::testing {
+
+struct TestEnv
+{
+    explicit TestEnv(const CkksParams& params)
+        : ctx(params),
+          encoder(ctx),
+          evaluator(ctx, encoder),
+          keygen(ctx, params.seed + 1),
+          encryptor(ctx, params.seed + 2),
+          decryptor(ctx)
+    {
+        sk = keygen.gen_secret_key();
+        pk = keygen.gen_public_key(sk);
+        mult_key = keygen.gen_mult_key(sk);
+        conj_key = keygen.gen_conjugation_key(sk);
+    }
+
+    std::vector<Complex>
+    random_message(std::size_t slots, double magnitude, u64 seed) const
+    {
+        Xoshiro256 rng(seed);
+        std::vector<Complex> z(slots);
+        for (auto& v : z) {
+            v = Complex(magnitude * (2 * rng.uniform_real() - 1),
+                        magnitude * (2 * rng.uniform_real() - 1));
+        }
+        return z;
+    }
+
+    Ciphertext
+    encrypt(const std::vector<Complex>& z, int level = -1)
+    {
+        if (level < 0) level = ctx.max_level();
+        const Plaintext pt = encoder.encode(z, ctx.delta(), level);
+        return encryptor.encrypt_symmetric(pt, sk);
+    }
+
+    std::vector<Complex>
+    decrypt(const Ciphertext& ct) const
+    {
+        return encoder.decode(decryptor.decrypt(ct, sk));
+    }
+
+    static double
+    max_err(const std::vector<Complex>& a, const std::vector<Complex>& b)
+    {
+        double worst = 0;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            worst = std::max(worst, std::abs(a[i] - b[i]));
+        }
+        return worst;
+    }
+
+    CkksContext ctx;
+    CkksEncoder encoder;
+    Evaluator evaluator;
+    KeyGenerator keygen;
+    Encryptor encryptor;
+    Decryptor decryptor;
+    SecretKey sk;
+    PublicKey pk;
+    EvalKey mult_key;
+    EvalKey conj_key;
+};
+
+/** Default small test instance: N=2^10, L=6, dnum=2. */
+inline CkksParams
+small_params()
+{
+    CkksParams p;
+    p.n = 1 << 10;
+    p.max_level = 6;
+    p.dnum = 2;
+    p.q0_bits = 50;
+    p.scale_bits = 40;
+    p.special_bits = 50;
+    p.hamming_weight = 32;
+    p.seed = 2024;
+    return p;
+}
+
+/** Cached environment keyed by a name (key generation is expensive). */
+inline TestEnv&
+cached_env(const std::string& name, const CkksParams& params)
+{
+    static std::map<std::string, std::unique_ptr<TestEnv>> cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+        it = cache.emplace(name, std::make_unique<TestEnv>(params)).first;
+    }
+    return *it->second;
+}
+
+inline TestEnv&
+default_env()
+{
+    return cached_env("small", small_params());
+}
+
+} // namespace bts::testing

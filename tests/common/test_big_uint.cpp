@@ -1,0 +1,114 @@
+#include "common/big_uint.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace bts {
+namespace {
+
+TEST(BigUInt, ZeroAndWordConstruction)
+{
+    BigUInt zero;
+    EXPECT_TRUE(zero.is_zero());
+    EXPECT_EQ(zero.bit_length(), 0);
+    EXPECT_EQ(zero.to_string(), "0");
+
+    BigUInt one(1);
+    EXPECT_FALSE(one.is_zero());
+    EXPECT_EQ(one.bit_length(), 1);
+    EXPECT_EQ(one.to_string(), "1");
+
+    BigUInt big(0xFFFFFFFFFFFFFFFFULL);
+    EXPECT_EQ(big.bit_length(), 64);
+}
+
+TEST(BigUInt, AddSubRoundTrip)
+{
+    Xoshiro256 rng(7);
+    for (int trial = 0; trial < 200; ++trial) {
+        BigUInt a(rng.next());
+        a = a.mul(BigUInt(rng.next())).add(BigUInt(rng.next()));
+        BigUInt b(rng.next());
+        const BigUInt sum = a.add(b);
+        EXPECT_EQ(sum.sub(b).compare(a), 0);
+        EXPECT_EQ(sum.sub(a).compare(b), 0);
+    }
+}
+
+TEST(BigUInt, MulMatchesRepeatedAdd)
+{
+    BigUInt a(0x123456789ABCDEFULL);
+    BigUInt acc;
+    for (int i = 0; i < 37; ++i) acc = acc.add(a);
+    EXPECT_EQ(acc.compare(a.mul_word(37)), 0);
+}
+
+TEST(BigUInt, MulCarriesAcrossLimbs)
+{
+    const BigUInt a(0xFFFFFFFFFFFFFFFFULL);
+    const BigUInt sq = a.mul(a);
+    // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+    EXPECT_EQ(sq.bit_length(), 128);
+    EXPECT_EQ(sq.limbs()[0], 1ULL);
+    EXPECT_EQ(sq.limbs()[1], 0xFFFFFFFFFFFFFFFEULL);
+}
+
+TEST(BigUInt, DivModWord)
+{
+    Xoshiro256 rng(11);
+    for (int trial = 0; trial < 100; ++trial) {
+        BigUInt a(rng.next());
+        a = a.mul(BigUInt(rng.next()));
+        const u64 d = rng.next() | 1;
+        auto [q, r] = a.divmod_word(d);
+        EXPECT_LT(r, d);
+        EXPECT_EQ(q.mul_word(d).add(BigUInt(r)).compare(a), 0);
+        EXPECT_EQ(a.mod_word(d), r);
+    }
+}
+
+TEST(BigUInt, ProductAndBitLength)
+{
+    // Product of primes near 2^40 should have ~40*count bits — the
+    // log(PQ) computation for Table 4 relies on this.
+    std::vector<u64> primes(10, (1ULL << 40) + 117);
+    const BigUInt p = BigUInt::product(primes);
+    EXPECT_NEAR(p.bit_length(), 401, 1);
+}
+
+TEST(BigUInt, CompareOrdering)
+{
+    BigUInt a(5), b(7);
+    EXPECT_TRUE(a < b);
+    EXPECT_TRUE(b > a);
+    EXPECT_TRUE(a <= a);
+    EXPECT_TRUE(a >= a);
+    const BigUInt big = BigUInt(1).mul(BigUInt(1ULL << 63)).mul_word(4);
+    EXPECT_TRUE(a < big);
+    EXPECT_TRUE(big > b);
+}
+
+TEST(BigUInt, Half)
+{
+    BigUInt a(101);
+    EXPECT_EQ(a.half().to_string(), "50");
+    const BigUInt big = BigUInt(0x8000000000000000ULL).mul_word(2);
+    EXPECT_EQ(big.half().compare(BigUInt(0x8000000000000000ULL)), 0);
+}
+
+TEST(BigUInt, ToDouble)
+{
+    EXPECT_DOUBLE_EQ(BigUInt(1000).to_double(), 1000.0);
+    const BigUInt two64 = BigUInt(1ULL << 32).mul(BigUInt(1ULL << 32));
+    EXPECT_DOUBLE_EQ(two64.to_double(), 0x1.0p64);
+}
+
+TEST(BigUInt, DecimalString)
+{
+    const BigUInt v = BigUInt(1000000000000ULL).mul_word(1000000);
+    EXPECT_EQ(v.to_string(), "1000000000000000000");
+}
+
+} // namespace
+} // namespace bts

@@ -1,0 +1,71 @@
+#include "common/bit_ops.h"
+
+#include <gtest/gtest.h>
+
+namespace bts {
+namespace {
+
+TEST(BitOps, PowerOfTwo)
+{
+    EXPECT_TRUE(is_power_of_two(1));
+    EXPECT_TRUE(is_power_of_two(2));
+    EXPECT_TRUE(is_power_of_two(1ULL << 40));
+    EXPECT_FALSE(is_power_of_two(0));
+    EXPECT_FALSE(is_power_of_two(3));
+    EXPECT_FALSE(is_power_of_two((1ULL << 40) + 1));
+}
+
+TEST(BitOps, Log2Floor)
+{
+    EXPECT_EQ(log2_floor(1), 0);
+    EXPECT_EQ(log2_floor(2), 1);
+    EXPECT_EQ(log2_floor(3), 1);
+    EXPECT_EQ(log2_floor(4), 2);
+    EXPECT_EQ(log2_floor(1ULL << 17), 17);
+    EXPECT_EQ(log2_floor((1ULL << 17) + 12345), 17);
+}
+
+TEST(BitOps, Log2Ceil)
+{
+    EXPECT_EQ(log2_ceil(1), 0);
+    EXPECT_EQ(log2_ceil(2), 1);
+    EXPECT_EQ(log2_ceil(3), 2);
+    EXPECT_EQ(log2_ceil(4), 2);
+    EXPECT_EQ(log2_ceil(5), 3);
+}
+
+TEST(BitOps, CeilDiv)
+{
+    EXPECT_EQ(ceil_div(10, 3), 4u);
+    EXPECT_EQ(ceil_div(9, 3), 3u);
+    EXPECT_EQ(ceil_div(1, 7), 1u);
+    // The paper's alpha = ceil((L+1)/dnum) shapes: L=27, dnum=1 -> 28.
+    EXPECT_EQ(ceil_div(28, 1), 28u);
+    EXPECT_EQ(ceil_div(40, 2), 20u);
+    EXPECT_EQ(ceil_div(45, 3), 15u);
+}
+
+TEST(BitOps, BitReverse)
+{
+    EXPECT_EQ(bit_reverse(0b001, 3), 0b100u);
+    EXPECT_EQ(bit_reverse(0b110, 3), 0b011u);
+    EXPECT_EQ(bit_reverse(0b1, 1), 0b1u);
+    // Involution property.
+    for (u64 x = 0; x < 64; ++x) {
+        EXPECT_EQ(bit_reverse(bit_reverse(x, 6), 6), x);
+    }
+}
+
+TEST(BitOps, BitReversePermuteIsInvolution)
+{
+    std::vector<int> v(16);
+    for (int i = 0; i < 16; ++i) v[i] = i;
+    auto w = v;
+    bit_reverse_permute(w.data(), w.size());
+    EXPECT_NE(v, w);
+    bit_reverse_permute(w.data(), w.size());
+    EXPECT_EQ(v, w);
+}
+
+} // namespace
+} // namespace bts

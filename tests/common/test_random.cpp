@@ -1,0 +1,99 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace bts {
+namespace {
+
+TEST(Random, Deterministic)
+{
+    Xoshiro256 a(123), b(123), c(124);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next(), b.next());
+    }
+    bool differs = false;
+    Xoshiro256 a2(123);
+    for (int i = 0; i < 100; ++i) {
+        if (a2.next() != c.next()) differs = true;
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(Random, UniformBound)
+{
+    Xoshiro256 rng(5);
+    for (int i = 0; i < 10000; ++i) {
+        EXPECT_LT(rng.uniform(97), 97u);
+    }
+}
+
+TEST(Random, UniformRealRange)
+{
+    Xoshiro256 rng(5);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double x = rng.uniform_real();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Random, GaussianMoments)
+{
+    Sampler s(77);
+    const auto v = s.gaussian_poly(1 << 16, 3.2);
+    double mean = 0, var = 0;
+    for (i64 x : v) mean += static_cast<double>(x);
+    mean /= v.size();
+    for (i64 x : v) var += (x - mean) * (x - mean);
+    var /= v.size();
+    EXPECT_NEAR(mean, 0.0, 0.1);
+    EXPECT_NEAR(std::sqrt(var), 3.2, 0.15);
+}
+
+TEST(Random, TernaryValues)
+{
+    Sampler s(3);
+    for (i64 x : s.ternary_poly(4096)) {
+        EXPECT_TRUE(x == -1 || x == 0 || x == 1);
+    }
+}
+
+TEST(Random, SparseTernaryHammingWeight)
+{
+    Sampler s(9);
+    const auto v = s.sparse_ternary_poly(4096, 64);
+    int nonzero = 0;
+    for (i64 x : v) {
+        EXPECT_TRUE(x == -1 || x == 0 || x == 1);
+        if (x != 0) ++nonzero;
+    }
+    EXPECT_EQ(nonzero, 64);
+}
+
+TEST(Random, SparseTernaryEdgeCases)
+{
+    Sampler s(9);
+    const auto empty = s.sparse_ternary_poly(16, 0);
+    EXPECT_EQ(std::count_if(empty.begin(), empty.end(),
+                            [](i64 x) { return x != 0; }),
+              0);
+    const auto full = s.sparse_ternary_poly(16, 16);
+    for (i64 x : full) EXPECT_NE(x, 0);
+    EXPECT_THROW(s.sparse_ternary_poly(8, 9), std::invalid_argument);
+}
+
+TEST(Random, UniformPolyInRange)
+{
+    Sampler s(4);
+    const u64 q = (1ULL << 40) + 117;
+    for (u64 x : s.uniform_poly(4096, q)) EXPECT_LT(x, q);
+}
+
+} // namespace
+} // namespace bts

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "hwparams/explorer.h"
+#include "hwparams/security.h"
+
+namespace bts::hw {
+namespace {
+
+TEST(Security, ReproducesTable4Anchors)
+{
+    // The model is calibrated to the paper's own published triples.
+    EXPECT_NEAR(estimate_lambda(1ULL << 17, 3090), 133.4, 0.3);
+    EXPECT_NEAR(estimate_lambda(1ULL << 17, 3210), 128.7, 0.3);
+    EXPECT_NEAR(estimate_lambda(1ULL << 17, 3160), 130.8, 0.4);
+}
+
+TEST(Security, MonotoneInRatio)
+{
+    // lambda strictly increases with N/logPQ (Section 2.5).
+    EXPECT_GT(estimate_lambda(1ULL << 17, 3000),
+              estimate_lambda(1ULL << 17, 3200));
+    EXPECT_GT(estimate_lambda(1ULL << 18, 3200),
+              estimate_lambda(1ULL << 17, 3200));
+}
+
+TEST(Security, MaxLogPqInverts)
+{
+    const double budget = max_log_pq(1ULL << 17, 128.0);
+    EXPECT_NEAR(estimate_lambda(1ULL << 17, budget), 128.0, 1e-9);
+}
+
+TEST(Security, N14Needs500BitLimit)
+{
+    // "To support 128b security when log PQ exceeds 500, N must be
+    // larger than 2^14" (Section 3.2).
+    EXPECT_LT(estimate_lambda(1ULL << 14, 501), 128.0);
+}
+
+TEST(Instance, Table4LogPqExact)
+{
+    EXPECT_DOUBLE_EQ(ins1().log_pq(), 3090);
+    EXPECT_DOUBLE_EQ(ins2().log_pq(), 3210);
+    EXPECT_DOUBLE_EQ(ins3().log_pq(), 3160);
+}
+
+TEST(Instance, Table4SpecialPrimeCounts)
+{
+    EXPECT_EQ(ins1().num_special(), 28); // (27+1)/1
+    EXPECT_EQ(ins2().num_special(), 20); // (39+1)/2
+    EXPECT_EQ(ins3().num_special(), 15); // (44+1)/3
+}
+
+TEST(Instance, CtAndEvkSizesMatchPaper)
+{
+    // ct at max level: 56 MiB; INS-1 evk: 112 MiB (Section 3.4).
+    EXPECT_NEAR(ins1().ct_bytes(27) / (1 << 20), 56.0, 0.01);
+    EXPECT_NEAR(ins1().evk_bytes(27) / (1 << 20), 112.0, 0.01);
+    // Aggregate evk footprint grows with dnum+1 (Section 2.5).
+    EXPECT_NEAR(ins1().evk_total_bytes(),
+                2.0 * (1ULL << 17) * 28 * 2 * 8, 1);
+}
+
+TEST(Instance, TempDataWithin5PercentOfTable4)
+{
+    EXPECT_NEAR(ins1().temp_bytes() / 1e6, 183, 183 * 0.05);
+    EXPECT_NEAR(ins2().temp_bytes() / 1e6, 304, 304 * 0.05);
+    EXPECT_NEAR(ins3().temp_bytes() / 1e6, 365, 365 * 0.05);
+}
+
+TEST(Instance, EvkShrinksWithLevel)
+{
+    const auto inst = ins2();
+    for (int l = 1; l <= inst.max_level; ++l) {
+        EXPECT_LE(inst.evk_bytes(l - 1), inst.evk_bytes(l));
+    }
+}
+
+TEST(Explorer, MaxLevelMatchesTable4Instances)
+{
+    // Paper picks (27, 39, 44) for dnum (1, 2, 3); our security fit
+    // admits 28 at dnum=1 (the paper's own Table 4 data implies L=28
+    // is feasible; see EXPERIMENTS.md), and matches 39/44 exactly.
+    EXPECT_NEAR(max_level_for(1ULL << 17, 1), 27, 1);
+    EXPECT_EQ(max_level_for(1ULL << 17, 2), 39);
+    EXPECT_EQ(max_level_for(1ULL << 17, 3), 44);
+}
+
+TEST(Explorer, MaxLevelSaturatesWithDnum)
+{
+    // Fig. 1a: L grows quickly at small dnum and saturates.
+    const int l1 = max_level_for(1ULL << 17, 1);
+    const int l4 = max_level_for(1ULL << 17, 4);
+    const int l16 = max_level_for(1ULL << 17, 16);
+    const int l32 = max_level_for(1ULL << 17, 32);
+    EXPECT_GT(l4, l1);
+    EXPECT_GT(l16, l4);
+    EXPECT_LE(l32 - l16, l4 - l1);
+}
+
+TEST(Explorer, MaxDnumMatchesFig1Inset)
+{
+    // Paper inset: 14 / 29 / 60 / 121 — ours within ~5%.
+    EXPECT_NEAR(max_dnum_for(1ULL << 15), 14, 1);
+    EXPECT_NEAR(max_dnum_for(1ULL << 16), 29, 2);
+    EXPECT_NEAR(max_dnum_for(1ULL << 17), 60, 4);
+    EXPECT_NEAR(max_dnum_for(1ULL << 18), 121, 7);
+}
+
+TEST(Explorer, MinNttuEq10)
+{
+    // Eq. 10 evaluates to 1,328 for INS-1; BTS provisions 2,048.
+    EXPECT_NEAR(min_nttu(ins1()), 1328, 2);
+    EXPECT_LT(min_nttu(ins1()), 2048);
+    // dnum=1 maximizes the requirement.
+    EXPECT_GT(min_nttu(ins1()), min_nttu(ins2()));
+    EXPECT_GT(min_nttu(ins2()), min_nttu(ins3()));
+}
+
+TEST(Explorer, MinBoundTmultShape)
+{
+    // Section 3.4: INS-2 is the best of the three; all lie in 15-35ns.
+    const double t1 = min_bound_tmult_ns(ins1());
+    const double t2 = min_bound_tmult_ns(ins2());
+    const double t3 = min_bound_tmult_ns(ins3());
+    EXPECT_LT(t2, t1);
+    EXPECT_LT(t2, t3);
+    for (double t : {t1, t2, t3}) {
+        EXPECT_GT(t, 15.0);
+        EXPECT_LT(t, 35.0);
+    }
+}
+
+TEST(Explorer, Fig2NSweetSpot)
+{
+    // The 2^16 -> 2^17 gain near 128b is large; 2^17 -> 2^18 saturates
+    // (Section 3.4: 3.8x vs 1.3x).
+    auto best_at = [](std::size_t n) {
+        double best = 1e18;
+        for (int dnum = 1; dnum <= 4; ++dnum) {
+            const int level = max_level_for(n, dnum);
+            if (level < 20) continue;
+            CkksInstance inst;
+            inst.n = n;
+            inst.max_level = level;
+            inst.dnum = dnum;
+            best = std::min(best, min_bound_tmult_ns(inst));
+        }
+        return best;
+    };
+    const double t16 = best_at(1ULL << 16);
+    const double t17 = best_at(1ULL << 17);
+    const double t18 = best_at(1ULL << 18);
+    EXPECT_GT(t16 / t17, 2.0);  // big win moving to 2^17
+    EXPECT_LT(t17 / t18, 1.6);  // saturating at 2^18
+}
+
+TEST(Explorer, HMultComplexityTrend)
+{
+    // Fig. 3b: BConv's share grows as dnum shrinks.
+    CkksInstance big = ins1();  // dnum = 1
+    CkksInstance mid = ins3();  // dnum = 3
+    CkksInstance max_d;
+    max_d.n = 1ULL << 17;
+    max_d.dnum = 57;
+    max_d.max_level = 56;
+    const double b1 = hmult_complexity(big).bconv;
+    const double b3 = hmult_complexity(mid).bconv;
+    const double bmax = hmult_complexity(max_d).bconv;
+    EXPECT_GT(b1, b3);
+    EXPECT_GT(b3, bmax);
+    EXPECT_LT(bmax, 0.25);
+    // Shares form a partition.
+    const auto c = hmult_complexity(big);
+    EXPECT_NEAR(c.bconv + c.ntt + c.intt + c.others, 1.0, 1e-9);
+}
+
+TEST(Explorer, BootstrapPlanScale)
+{
+    // "More than 40 evks" / hundreds of primitive ops (Section 3.3).
+    for (const auto& inst : table4_instances()) {
+        const int ks = bootstrap_keyswitch_count(inst);
+        EXPECT_GT(ks, 40);
+        EXPECT_LT(ks, 400);
+        EXPECT_GT(bootstrap_evk_bytes(inst), 1e9); // GBs of evk stream
+    }
+}
+
+} // namespace
+} // namespace bts::hw

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "hwparams/explorer.h"
+
+namespace bts::hw {
+namespace {
+
+TEST(Parallelism, ClpIsLevelIndependent)
+{
+    for (const auto& inst : table4_instances()) {
+        for (const auto& p : parallelism_comparison(inst)) {
+            EXPECT_DOUBLE_EQ(p.clp_utilization, 1.0) << inst.name;
+        }
+    }
+}
+
+TEST(Parallelism, RplpDegradesAsLevelsDrop)
+{
+    const auto points = parallelism_comparison(ins1());
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        EXPECT_GT(points[i].rplp_utilization,
+                  points[i - 1].rplp_utilization);
+    }
+    // Full utilization only at the maximum level.
+    EXPECT_DOUBLE_EQ(points.back().rplp_utilization, 1.0);
+    EXPECT_LT(points.front().rplp_utilization, 0.6);
+}
+
+TEST(Parallelism, AverageRplpUtilizationIsPoor)
+{
+    // The Section 4.3 argument: over a level descent rPLP idles a
+    // substantial fraction of the machine; CLP does not.
+    for (const auto& inst : table4_instances()) {
+        const double avg = rplp_average_utilization(inst);
+        EXPECT_LT(avg, 0.9) << inst.name;
+        EXPECT_GT(avg, 0.4) << inst.name;
+    }
+}
+
+TEST(Parallelism, SmallerKHurtsRplpMore)
+{
+    // With fewer special primes (higher dnum), the busy-group count
+    // swings more with the level, so rPLP's average is worse.
+    EXPECT_GT(rplp_average_utilization(ins1()),  // k = 28
+              rplp_average_utilization(ins3())); // k = 15
+}
+
+TEST(Fig2Sweep, ContainsAllRingSizes)
+{
+    const auto points = fig2_sweep();
+    bool saw[4] = {false, false, false, false};
+    for (const auto& p : points) {
+        for (int log_n = 15; log_n <= 18; ++log_n) {
+            if (p.instance.n == (1ULL << log_n)) saw[log_n - 15] = true;
+        }
+        // Every point is bootstrappable and in the plotted lambda range.
+        EXPECT_GE(p.instance.usable_levels(), 1);
+        EXPECT_GT(p.lambda, 60.0);
+        EXPECT_GT(p.tmult_a_slot_ns, 1.0);
+    }
+    for (bool s : saw) EXPECT_TRUE(s);
+}
+
+TEST(Fig2Sweep, FrontierAt128IsNTwo17)
+{
+    // Among near-128-bit points, the best Tmult belongs to N = 2^17
+    // (the paper's headline conclusion).
+    const auto points = fig2_sweep();
+    double best = 1e18;
+    std::size_t best_n = 0;
+    for (const auto& p : points) {
+        if (p.lambda < 125 || p.lambda > 145) continue;
+        if (p.tmult_a_slot_ns < best) {
+            best = p.tmult_a_slot_ns;
+            best_n = p.instance.n;
+        }
+    }
+    EXPECT_TRUE(best_n == (1ULL << 17) || best_n == (1ULL << 18));
+    EXPECT_LT(best, 30.0);
+}
+
+} // namespace
+} // namespace bts::hw

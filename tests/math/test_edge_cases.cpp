@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Failure-injection and boundary tests across the math layer: maximum
+ * modulus widths, degenerate operands, and contract violations.
+ */
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "math/mod_arith.h"
+#include "math/ntt.h"
+#include "math/prime_gen.h"
+
+namespace bts {
+namespace {
+
+TEST(EdgeCases, BarrettAtMaximumWidth)
+{
+    // 61-bit modulus: the widest the word-size contract allows.
+    const u64 q = generate_ntt_primes(61, 1 << 8, 1)[0];
+    ASSERT_EQ(q >> 61, 0u);
+    const Barrett barrett(q);
+    Xoshiro256 rng(1);
+    for (int i = 0; i < 2000; ++i) {
+        const u64 a = rng.uniform(q), b = rng.uniform(q);
+        EXPECT_EQ(barrett.mul(a, b), mul_mod(a, b, q));
+    }
+    // Extremes.
+    EXPECT_EQ(barrett.mul(q - 1, q - 1), mul_mod(q - 1, q - 1, q));
+    EXPECT_EQ(barrett.mul(0, q - 1), 0u);
+}
+
+TEST(EdgeCases, BarrettRejectsOverWideModulus)
+{
+    EXPECT_THROW(Barrett((1ULL << 62) + 1), std::invalid_argument);
+    EXPECT_THROW(Barrett(1), std::invalid_argument);
+}
+
+TEST(EdgeCases, ShoupZeroAndOneConstants)
+{
+    const u64 q = (1ULL << 50) + 4867;
+    // Use prime-checked modulus for safety of the test itself.
+    const u64 p = generate_ntt_primes(50, 1 << 8, 1)[0];
+    (void)q;
+    const ShoupMul zero(0, p);
+    const ShoupMul one(1, p);
+    Xoshiro256 rng(2);
+    for (int i = 0; i < 100; ++i) {
+        const u64 x = rng.uniform(p);
+        EXPECT_EQ(zero.mul(x, p), 0u);
+        EXPECT_EQ(one.mul(x, p), x);
+    }
+}
+
+TEST(EdgeCases, PowModLargeExponents)
+{
+    const u64 p = 1000000007;
+    // a^(p-1) == 1 and a^(2^63) reduces correctly.
+    EXPECT_EQ(pow_mod(3, p - 1, p), 1u);
+    const u64 e = 1ULL << 63;
+    EXPECT_EQ(pow_mod(3, e, p), pow_mod(pow_mod(3, 1ULL << 32, p),
+                                        1ULL << 31, p));
+}
+
+TEST(EdgeCases, SmallestNttSize)
+{
+    // N = 8: the smallest ring the library accepts.
+    const u64 p = generate_ntt_primes(30, 16, 1)[0];
+    const NttTables tables(8, p);
+    std::vector<u64> a = {1, 2, 3, 4, 5, 6, 7, 0};
+    const auto orig = a;
+    tables.forward(a.data());
+    tables.inverse(a.data());
+    EXPECT_EQ(a, orig);
+}
+
+TEST(EdgeCases, NttZeroAndConstant)
+{
+    const u64 p = generate_ntt_primes(40, 128, 1)[0];
+    const NttTables tables(64, p);
+    std::vector<u64> zero(64, 0);
+    tables.forward(zero.data());
+    for (u64 v : zero) EXPECT_EQ(v, 0u);
+    tables.inverse(zero.data());
+    for (u64 v : zero) EXPECT_EQ(v, 0u);
+}
+
+TEST(EdgeCases, NegacyclicWraparoundSign)
+{
+    // (X^{N-1})^2 = X^{2N-2} = -X^{N-2}: the negacyclic sign at the
+    // extreme index.
+    const std::size_t n = 32;
+    const u64 p = generate_ntt_primes(30, 2 * n, 1)[0];
+    const NttTables tables(n, p);
+    std::vector<u64> mono(n, 0);
+    mono[n - 1] = 1;
+    tables.forward(mono.data());
+    for (std::size_t i = 0; i < n; ++i) {
+        mono[i] = mul_mod(mono[i], mono[i], p);
+    }
+    tables.inverse(mono.data());
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(mono[i], i == n - 2 ? p - 1 : 0u);
+    }
+}
+
+TEST(EdgeCases, PrimeGenRefusesAbsurdRequests)
+{
+    EXPECT_THROW(generate_ntt_primes(10, 1 << 12, 1),
+                 std::invalid_argument); // too narrow
+    EXPECT_THROW(generate_ntt_primes(63, 1 << 12, 1),
+                 std::invalid_argument); // beyond the word contract
+}
+
+TEST(EdgeCases, ManyPrimesSameCongruenceClassAreDistinct)
+{
+    // Large batches must not repeat and must straddle the 2^b center.
+    const auto primes = generate_ntt_primes(45, 1 << 10, 64);
+    std::set<u64> unique(primes.begin(), primes.end());
+    EXPECT_EQ(unique.size(), 64u);
+    int above = 0;
+    for (u64 p : primes) above += (p > (1ULL << 45));
+    EXPECT_GT(above, 16);
+    EXPECT_LT(above, 48);
+}
+
+} // namespace
+} // namespace bts

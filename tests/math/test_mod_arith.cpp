@@ -1,0 +1,113 @@
+#include "math/mod_arith.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace bts {
+namespace {
+
+TEST(ModArith, AddSubMod)
+{
+    const u64 q = (1ULL << 59) + 123;
+    EXPECT_EQ(add_mod(q - 1, 1, q), 0u);
+    EXPECT_EQ(add_mod(q - 1, q - 1, q), q - 2);
+    EXPECT_EQ(sub_mod(0, 1, q), q - 1);
+    EXPECT_EQ(sub_mod(5, 5, q), 0u);
+}
+
+TEST(ModArith, MulModMatchesInt128)
+{
+    Xoshiro256 rng(1);
+    const u64 q = (1ULL << 60) - 93;
+    for (int i = 0; i < 1000; ++i) {
+        const u64 a = rng.uniform(q), b = rng.uniform(q);
+        EXPECT_EQ(mul_mod(a, b, q),
+                  static_cast<u64>((static_cast<u128>(a) * b) % q));
+    }
+}
+
+TEST(ModArith, PowMod)
+{
+    const u64 q = 1000000007;
+    EXPECT_EQ(pow_mod(2, 10, q), 1024u);
+    EXPECT_EQ(pow_mod(5, 0, q), 1u);
+    // Fermat: a^(q-1) == 1 mod prime q.
+    EXPECT_EQ(pow_mod(123456, q - 1, q), 1u);
+}
+
+TEST(ModArith, InvMod)
+{
+    Xoshiro256 rng(2);
+    const u64 q = (1ULL << 50) + 4867; // a prime-ish odd modulus test below
+    // Use a known prime for guaranteed invertibility.
+    const u64 p = 1000000007;
+    for (int i = 0; i < 200; ++i) {
+        const u64 a = 1 + rng.uniform(p - 1);
+        const u64 inv = inv_mod(a, p);
+        EXPECT_EQ(mul_mod(a, inv, p), 1u);
+    }
+    (void)q;
+}
+
+TEST(ModArith, InvModNonInvertibleThrows)
+{
+    EXPECT_THROW(inv_mod(6, 9), std::invalid_argument);
+}
+
+TEST(ModArith, Gcd)
+{
+    EXPECT_EQ(gcd_u64(12, 18), 6u);
+    EXPECT_EQ(gcd_u64(17, 5), 1u);
+    EXPECT_EQ(gcd_u64(0, 7), 7u);
+}
+
+TEST(ModArith, SignedConversions)
+{
+    const u64 q = 101;
+    EXPECT_EQ(signed_to_mod(-1, q), 100u);
+    EXPECT_EQ(signed_to_mod(-102, q), 100u);
+    EXPECT_EQ(signed_to_mod(5, q), 5u);
+    EXPECT_EQ(mod_to_signed(100, q), -1);
+    EXPECT_EQ(mod_to_signed(50, q), 50);
+    EXPECT_EQ(mod_to_signed(51, q), -50);
+    // Round trip for centered representatives.
+    for (i64 v = -50; v <= 50; ++v) {
+        EXPECT_EQ(mod_to_signed(signed_to_mod(v, q), q), v);
+    }
+}
+
+TEST(ModArith, BarrettMatchesDirect)
+{
+    Xoshiro256 rng(3);
+    for (u64 q : {(1ULL << 30) + 3, (1ULL << 45) + 59, (1ULL << 60) - 93}) {
+        const Barrett barrett(q);
+        for (int i = 0; i < 500; ++i) {
+            const u64 a = rng.uniform(q), b = rng.uniform(q);
+            EXPECT_EQ(barrett.mul(a, b), mul_mod(a, b, q));
+        }
+        // Large 128-bit inputs below q * 2^64.
+        for (int i = 0; i < 500; ++i) {
+            const u128 v = (static_cast<u128>(rng.uniform(q)) << 64) |
+                           rng.next();
+            EXPECT_EQ(barrett.reduce(v), static_cast<u64>(v % q));
+        }
+    }
+}
+
+TEST(ModArith, ShoupMatchesDirect)
+{
+    Xoshiro256 rng(4);
+    const u64 q = (1ULL << 55) + 1237;
+    for (int i = 0; i < 300; ++i) {
+        const u64 w = rng.uniform(q);
+        const ShoupMul s(w, q);
+        for (int j = 0; j < 10; ++j) {
+            const u64 x = rng.uniform(q);
+            EXPECT_EQ(s.mul(x, q), mul_mod(x, w, q));
+        }
+    }
+}
+
+} // namespace
+} // namespace bts

@@ -1,0 +1,123 @@
+#include "math/ntt.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "math/mod_arith.h"
+#include "math/prime_gen.h"
+
+namespace bts {
+namespace {
+
+class NttParamTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>>
+{};
+
+TEST_P(NttParamTest, ForwardInverseRoundTrip)
+{
+    const auto [n, bits] = GetParam();
+    const u64 p = generate_ntt_primes(bits, 2 * n, 1)[0];
+    const NttTables tables(n, p);
+
+    Sampler s(42);
+    auto data = s.uniform_poly(n, p);
+    const auto original = data;
+    tables.forward(data.data());
+    EXPECT_NE(data, original); // the transform must do something
+    tables.inverse(data.data());
+    EXPECT_EQ(data, original);
+}
+
+TEST_P(NttParamTest, ConvolutionMatchesReference)
+{
+    const auto [n, bits] = GetParam();
+    if (n > 256) GTEST_SKIP() << "O(n^2) reference too slow";
+    const u64 p = generate_ntt_primes(bits, 2 * n, 1)[0];
+    const NttTables tables(n, p);
+
+    Sampler s(7);
+    const auto a = s.uniform_poly(n, p);
+    const auto b = s.uniform_poly(n, p);
+    const auto expected = negacyclic_mul_reference(a, b, p);
+
+    auto fa = a, fb = b;
+    tables.forward(fa.data());
+    tables.forward(fb.data());
+    for (std::size_t i = 0; i < n; ++i) fa[i] = mul_mod(fa[i], fb[i], p);
+    tables.inverse(fa.data());
+    EXPECT_EQ(fa, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndWidths, NttParamTest,
+    ::testing::Values(std::make_tuple(16, 30), std::make_tuple(64, 40),
+                      std::make_tuple(256, 45), std::make_tuple(1024, 50),
+                      std::make_tuple(4096, 55), std::make_tuple(64, 58)));
+
+TEST(Ntt, Linearity)
+{
+    const std::size_t n = 128;
+    const u64 p = generate_ntt_primes(40, 2 * n, 1)[0];
+    const NttTables tables(n, p);
+    Sampler s(3);
+    auto a = s.uniform_poly(n, p);
+    auto b = s.uniform_poly(n, p);
+    std::vector<u64> sum(n);
+    for (std::size_t i = 0; i < n; ++i) sum[i] = add_mod(a[i], b[i], p);
+
+    tables.forward(a.data());
+    tables.forward(b.data());
+    tables.forward(sum.data());
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(sum[i], add_mod(a[i], b[i], p));
+    }
+}
+
+TEST(Ntt, ConstantPolynomialIsConstantInNttDomain)
+{
+    // NTT evaluates the polynomial at roots; a constant evaluates to
+    // itself everywhere. The evaluator's CAdd fast path relies on this.
+    const std::size_t n = 64;
+    const u64 p = generate_ntt_primes(40, 2 * n, 1)[0];
+    const NttTables tables(n, p);
+    std::vector<u64> c(n, 0);
+    c[0] = 12345;
+    tables.forward(c.data());
+    for (u64 v : c) EXPECT_EQ(v, 12345u);
+}
+
+TEST(Ntt, MonomialTimesMonomial)
+{
+    // X^i * X^j == X^{i+j}, with negacyclic wraparound sign.
+    const std::size_t n = 32;
+    const u64 p = generate_ntt_primes(30, 2 * n, 1)[0];
+    const NttTables tables(n, p);
+
+    std::vector<u64> xi(n, 0), xj(n, 0);
+    xi[20] = 1;
+    xj[25] = 1;
+    tables.forward(xi.data());
+    tables.forward(xj.data());
+    for (std::size_t i = 0; i < n; ++i) xi[i] = mul_mod(xi[i], xj[i], p);
+    tables.inverse(xi.data());
+    // 20 + 25 = 45 = 32 + 13 -> -X^13.
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(xi[i], i == 13 ? p - 1 : 0u);
+    }
+}
+
+TEST(Ntt, ButterflyCount)
+{
+    const NttTables tables(1024, generate_ntt_primes(40, 2048, 1)[0]);
+    EXPECT_EQ(tables.butterfly_count(), 1024u / 2 * 10);
+}
+
+TEST(Ntt, RejectsBadParameters)
+{
+    EXPECT_THROW(NttTables(100, 12289), std::invalid_argument); // not pow2
+    // 7681 == 1 mod 512 but not mod 4096.
+    EXPECT_THROW(NttTables(2048, 7681), std::invalid_argument);
+}
+
+} // namespace
+} // namespace bts

@@ -1,0 +1,82 @@
+#include "math/prime_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "math/mod_arith.h"
+
+namespace bts {
+namespace {
+
+TEST(PrimeGen, IsPrimeSmall)
+{
+    EXPECT_FALSE(is_prime(0));
+    EXPECT_FALSE(is_prime(1));
+    EXPECT_TRUE(is_prime(2));
+    EXPECT_TRUE(is_prime(3));
+    EXPECT_FALSE(is_prime(4));
+    EXPECT_TRUE(is_prime(97));
+    EXPECT_FALSE(is_prime(91)); // 7 * 13
+    EXPECT_TRUE(is_prime(7919));
+}
+
+TEST(PrimeGen, IsPrimeLarge)
+{
+    EXPECT_TRUE(is_prime((1ULL << 61) - 1)); // Mersenne prime
+    EXPECT_FALSE(is_prime((1ULL << 60)));
+    EXPECT_TRUE(is_prime(1000000007));
+    // Carmichael number 561 must be rejected.
+    EXPECT_FALSE(is_prime(561));
+    EXPECT_FALSE(is_prime(1373653)); // strong pseudoprime to bases 2,3
+}
+
+TEST(PrimeGen, GenerateNttPrimesCongruence)
+{
+    const u64 two_n = 1 << 13;
+    const auto primes = generate_ntt_primes(40, two_n, 8);
+    EXPECT_EQ(primes.size(), 8u);
+    std::set<u64> unique(primes.begin(), primes.end());
+    EXPECT_EQ(unique.size(), 8u);
+    for (u64 p : primes) {
+        EXPECT_TRUE(is_prime(p));
+        EXPECT_EQ(p % two_n, 1u);
+        // Close to 2^40: within 1% relative.
+        EXPECT_NEAR(static_cast<double>(p), 0x1.0p40, 0x1.0p40 * 0.01);
+    }
+}
+
+TEST(PrimeGen, GenerateRespectsExclusions)
+{
+    const u64 two_n = 1 << 12;
+    const auto first = generate_ntt_primes(45, two_n, 4);
+    const auto second = generate_ntt_primes(45, two_n, 4, first);
+    for (u64 p : second) {
+        EXPECT_EQ(std::count(first.begin(), first.end(), p), 0);
+    }
+}
+
+TEST(PrimeGen, ProductStaysNearTarget)
+{
+    // Alternating above/below keeps the product near 2^(40*count), which
+    // is what keeps the CKKS scale drift small across rescales.
+    const auto primes = generate_ntt_primes(40, 1 << 12, 16);
+    double log_product = 0;
+    for (u64 p : primes) log_product += std::log2(static_cast<double>(p));
+    EXPECT_NEAR(log_product, 40.0 * 16, 0.01);
+}
+
+TEST(PrimeGen, PrimitiveRootOrder)
+{
+    const u64 two_n = 1 << 12;
+    for (u64 p : generate_ntt_primes(45, two_n, 3)) {
+        const u64 root = find_primitive_root(p, two_n);
+        // root has order exactly 2N: root^(2N) == 1, root^N == -1.
+        EXPECT_EQ(pow_mod(root, two_n, p), 1u);
+        EXPECT_EQ(pow_mod(root, two_n / 2, p), p - 1);
+    }
+}
+
+} // namespace
+} // namespace bts

@@ -1,0 +1,161 @@
+#include "rns/base_conv.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "math/prime_gen.h"
+
+namespace bts {
+namespace {
+
+class BaseConvTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        auto src_primes = generate_ntt_primes(40, 1 << 10, 4);
+        auto tgt_primes = generate_ntt_primes(50, 1 << 10, 3, src_primes);
+        source_ = RnsBase(src_primes);
+        target_ = RnsBase(tgt_primes);
+    }
+
+    RnsBase source_;
+    RnsBase target_;
+};
+
+TEST_F(BaseConvTest, ZeroMapsToZero)
+{
+    const BaseConverter conv(source_, target_);
+    RnsPoly zero(16, source_.primes(), Domain::kCoeff);
+    const RnsPoly out = conv.convert(zero);
+    for (std::size_t i = 0; i < target_.size(); ++i) {
+        for (u64 v : out.component(i)) EXPECT_EQ(v, 0u);
+    }
+}
+
+TEST_F(BaseConvTest, ApproximateConversionOffByMultipleOfQ)
+{
+    // Fast BConv (Eq. 9) returns x + k*Q for a small k in [0, l+1):
+    // verify the offset is a consistent multiple of Q across all target
+    // primes — the exactness property CKKS noise analysis relies on.
+    const BaseConverter conv(source_, target_);
+    const std::size_t n = 32;
+    Sampler s(5);
+    RnsPoly input(n, source_.primes(), Domain::kCoeff);
+    std::vector<BigUInt> exact(n);
+    for (std::size_t c = 0; c < n; ++c) {
+        std::vector<u64> residues(source_.size());
+        for (std::size_t j = 0; j < source_.size(); ++j) {
+            residues[j] = s.rng().uniform(source_.prime(j));
+            input.component(j)[c] = residues[j];
+        }
+        exact[c] = source_.compose(residues);
+    }
+    const RnsPoly out = conv.convert(input);
+
+    for (std::size_t c = 0; c < n; ++c) {
+        bool found_k = false;
+        for (std::size_t k = 0; k <= source_.size() && !found_k; ++k) {
+            const BigUInt shifted =
+                exact[c].add(source_.product().mul_word(k));
+            bool all_match = true;
+            for (std::size_t i = 0; i < target_.size(); ++i) {
+                if (out.component(i)[c] !=
+                    shifted.mod_word(target_.prime(i))) {
+                    all_match = false;
+                    break;
+                }
+            }
+            found_k = all_match;
+        }
+        EXPECT_TRUE(found_k) << "coefficient " << c
+                             << " is not x + k*Q for any small k";
+    }
+}
+
+TEST_F(BaseConvTest, SmallValuesConvertUpToQMultiple)
+{
+    // Fast BConv is *approximate*: even small inputs come back as
+    // x + k*Q (the per-prime scaled residues are near-uniform, so the
+    // rational reconstruction rounds up by k in [0, l+1)). Pin exactly
+    // that contract — the ModDown subtraction in key-switching is what
+    // later cancels the offset.
+    const BaseConverter conv(source_, target_);
+    const std::size_t n = 16;
+    RnsPoly input(n, source_.primes(), Domain::kCoeff);
+    std::vector<u64> values(n);
+    Sampler s(9);
+    for (std::size_t c = 0; c < n; ++c) {
+        values[c] = s.rng().uniform(1ULL << 30);
+        for (std::size_t j = 0; j < source_.size(); ++j) {
+            input.component(j)[c] = values[c] % source_.prime(j);
+        }
+    }
+    const RnsPoly out = conv.convert(input);
+    for (std::size_t c = 0; c < n; ++c) {
+        bool found = false;
+        for (std::size_t k = 0; k <= source_.size() && !found; ++k) {
+            const BigUInt shifted =
+                BigUInt(values[c]).add(source_.product().mul_word(k));
+            bool all = true;
+            for (std::size_t i = 0; i < target_.size(); ++i) {
+                if (out.component(i)[c] !=
+                    shifted.mod_word(target_.prime(i))) {
+                    all = false;
+                    break;
+                }
+            }
+            found = all;
+        }
+        EXPECT_TRUE(found) << "coefficient " << c;
+    }
+}
+
+TEST_F(BaseConvTest, GroupedMatchesUngrouped)
+{
+    // The l_sub-grouped accumulation (Eq. 11) that lets BTS overlap
+    // BConv with iNTT must be mathematically identical to plain BConv.
+    const BaseConverter conv(source_, target_);
+    Sampler s(13);
+    RnsPoly input(64, source_.primes(), Domain::kCoeff);
+    for (std::size_t j = 0; j < source_.size(); ++j) {
+        input.component(j) = s.uniform_poly(64, source_.prime(j));
+    }
+    const RnsPoly plain = conv.convert(input);
+    for (int l_sub : {1, 2, 3, 4, 7}) {
+        const RnsPoly grouped = conv.convert_grouped(input, l_sub);
+        for (std::size_t i = 0; i < target_.size(); ++i) {
+            EXPECT_EQ(grouped.component(i), plain.component(i))
+                << "l_sub=" << l_sub;
+        }
+    }
+}
+
+TEST_F(BaseConvTest, RejectsOverlappingBases)
+{
+    EXPECT_THROW(BaseConverter(source_, source_), std::invalid_argument);
+}
+
+TEST_F(BaseConvTest, RejectsWrongDomain)
+{
+    const BaseConverter conv(source_, target_);
+    RnsPoly input(16, source_.primes(), Domain::kNtt);
+    EXPECT_THROW(conv.convert(input), std::invalid_argument);
+}
+
+TEST_F(BaseConvTest, SingleSourcePrime)
+{
+    // Degenerate dnum == L+1 case: one-prime slices.
+    const RnsBase single(std::vector<u64>{source_.prime(0)});
+    const BaseConverter conv(single, target_);
+    RnsPoly input(8, single.primes(), Domain::kCoeff);
+    input.component(0)[0] = 12345;
+    const RnsPoly out = conv.convert(input);
+    for (std::size_t i = 0; i < target_.size(); ++i) {
+        EXPECT_EQ(out.component(i)[0], 12345u % target_.prime(i));
+    }
+}
+
+} // namespace
+} // namespace bts

@@ -1,0 +1,94 @@
+#include "rns/rns_base.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "math/mod_arith.h"
+#include "math/prime_gen.h"
+
+namespace bts {
+namespace {
+
+RnsBase
+make_base(int count, int bits = 40)
+{
+    return RnsBase(generate_ntt_primes(bits, 1 << 12, count));
+}
+
+TEST(RnsBase, ProductAndHat)
+{
+    const auto base = make_base(4);
+    BigUInt prod(1);
+    for (u64 p : base.primes()) prod = prod.mul_word(p);
+    EXPECT_EQ(base.product().compare(prod), 0);
+
+    for (std::size_t j = 0; j < base.size(); ++j) {
+        // hat_j * q_j == Q
+        EXPECT_EQ(base.hat(j).mul_word(base.prime(j)).compare(prod), 0);
+        // hat_inv_j * hat_j == 1 mod q_j
+        EXPECT_EQ(mul_mod(base.hat_inv(j),
+                          base.hat(j).mod_word(base.prime(j)),
+                          base.prime(j)),
+                  1u);
+    }
+}
+
+TEST(RnsBase, ComposeDecomposeRoundTrip)
+{
+    const auto base = make_base(5);
+    Xoshiro256 rng(17);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<u64> residues(base.size());
+        for (std::size_t i = 0; i < base.size(); ++i) {
+            residues[i] = rng.uniform(base.prime(i));
+        }
+        const BigUInt composed = base.compose(residues);
+        EXPECT_TRUE(composed < base.product());
+        EXPECT_EQ(base.decompose(composed), residues);
+    }
+}
+
+TEST(RnsBase, ComposeSmallValues)
+{
+    const auto base = make_base(3);
+    for (u64 v : {0ULL, 1ULL, 12345ULL, (1ULL << 39)}) {
+        std::vector<u64> residues(base.size());
+        for (std::size_t i = 0; i < base.size(); ++i) {
+            residues[i] = v % base.prime(i);
+        }
+        EXPECT_EQ(base.compose(residues).compare(BigUInt(v)), 0);
+    }
+}
+
+TEST(RnsBase, Prefix)
+{
+    const auto base = make_base(6);
+    const auto pre = base.prefix(3);
+    EXPECT_EQ(pre.size(), 3u);
+    for (int i = 0; i < 3; ++i) EXPECT_EQ(pre.prime(i), base.prime(i));
+    EXPECT_THROW(base.prefix(0), std::invalid_argument);
+    EXPECT_THROW(base.prefix(7), std::invalid_argument);
+}
+
+TEST(RnsBase, ProductMod)
+{
+    const auto base = make_base(4);
+    const u64 p = generate_ntt_primes(50, 1 << 12, 1, base.primes())[0];
+    EXPECT_EQ(base.product_mod(p), base.product().mod_word(p));
+}
+
+TEST(RnsBase, RejectsNonCoprime)
+{
+    EXPECT_THROW(RnsBase({15, 21}), std::invalid_argument);
+    EXPECT_THROW(RnsBase({7, 7}), std::invalid_argument);
+}
+
+TEST(RnsBase, SingleLimbBase)
+{
+    const RnsBase base({97});
+    EXPECT_EQ(base.compose({42}).to_string(), "42");
+    EXPECT_EQ(base.hat_inv(0), 1u); // hat = 1
+}
+
+} // namespace
+} // namespace bts

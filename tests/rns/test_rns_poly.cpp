@@ -1,0 +1,210 @@
+#include "rns/rns_poly.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/random.h"
+#include "math/mod_arith.h"
+#include "math/prime_gen.h"
+
+namespace bts {
+namespace {
+
+class RnsPolyTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        primes_ = generate_ntt_primes(40, 2 * n_, 3);
+        for (u64 p : primes_) {
+            tables_store_.push_back(std::make_unique<NttTables>(n_, p));
+            tables_.push_back(tables_store_.back().get());
+        }
+    }
+
+    RnsPoly
+    random_poly(Domain domain, u64 seed)
+    {
+        Sampler s(seed);
+        RnsPoly poly(n_, primes_, domain);
+        for (std::size_t i = 0; i < primes_.size(); ++i) {
+            poly.component(i) = s.uniform_poly(n_, primes_[i]);
+        }
+        return poly;
+    }
+
+    const std::size_t n_ = 64;
+    std::vector<u64> primes_;
+    std::vector<std::unique_ptr<NttTables>> tables_store_;
+    std::vector<const NttTables*> tables_;
+};
+
+TEST_F(RnsPolyTest, AddSubInverse)
+{
+    auto a = random_poly(Domain::kCoeff, 1);
+    const auto b = random_poly(Domain::kCoeff, 2);
+    const auto orig = a;
+    a.add_inplace(b);
+    a.sub_inplace(b);
+    EXPECT_TRUE(a.equals(orig));
+}
+
+TEST_F(RnsPolyTest, NegateTwiceIsIdentity)
+{
+    auto a = random_poly(Domain::kCoeff, 3);
+    const auto orig = a;
+    a.negate_inplace();
+    EXPECT_FALSE(a.equals(orig));
+    a.negate_inplace();
+    EXPECT_TRUE(a.equals(orig));
+}
+
+TEST_F(RnsPolyTest, NttRoundTrip)
+{
+    auto a = random_poly(Domain::kCoeff, 4);
+    const auto orig = a;
+    a.to_ntt(tables_);
+    EXPECT_EQ(a.domain(), Domain::kNtt);
+    a.to_coeff(tables_);
+    EXPECT_TRUE(a.equals(orig));
+}
+
+TEST_F(RnsPolyTest, MulRequiresNttDomain)
+{
+    auto a = random_poly(Domain::kCoeff, 5);
+    const auto b = random_poly(Domain::kCoeff, 6);
+    EXPECT_THROW(a.mul_inplace(b), std::invalid_argument);
+}
+
+TEST_F(RnsPolyTest, MulMatchesPerComponentReference)
+{
+    auto a = random_poly(Domain::kCoeff, 7);
+    auto b = random_poly(Domain::kCoeff, 8);
+    std::vector<std::vector<u64>> expected;
+    for (std::size_t i = 0; i < primes_.size(); ++i) {
+        expected.push_back(negacyclic_mul_reference(
+            a.component(i), b.component(i), primes_[i]));
+    }
+    a.to_ntt(tables_);
+    b.to_ntt(tables_);
+    a.mul_inplace(b);
+    a.to_coeff(tables_);
+    for (std::size_t i = 0; i < primes_.size(); ++i) {
+        EXPECT_EQ(a.component(i), expected[i]);
+    }
+}
+
+TEST_F(RnsPolyTest, ScalarMul)
+{
+    auto a = random_poly(Domain::kCoeff, 9);
+    const auto orig = a;
+    std::vector<u64> scalars = {3, 3, 3};
+    a.mul_scalar_inplace(scalars);
+    for (std::size_t i = 0; i < primes_.size(); ++i) {
+        for (std::size_t c = 0; c < n_; ++c) {
+            EXPECT_EQ(a.component(i)[c],
+                      mul_mod(orig.component(i)[c], 3, primes_[i]));
+        }
+    }
+}
+
+TEST_F(RnsPolyTest, TruncateAndPush)
+{
+    auto a = random_poly(Domain::kCoeff, 10);
+    const auto comp2 = a.component(2);
+    a.truncate(2);
+    EXPECT_EQ(a.num_primes(), 2u);
+    a.push_component(primes_[2], comp2);
+    EXPECT_EQ(a.num_primes(), 3u);
+    EXPECT_EQ(a.component(2), comp2);
+    a.pop_component();
+    EXPECT_EQ(a.num_primes(), 2u);
+}
+
+TEST_F(RnsPolyTest, OperandPrefixCompatibility)
+{
+    // A smaller-level poly may consume a larger one (prefix rule).
+    auto a = random_poly(Domain::kCoeff, 11);
+    auto b = random_poly(Domain::kCoeff, 12);
+    a.truncate(2);
+    EXPECT_NO_THROW(a.add_inplace(b));
+    // But not the other way around.
+    EXPECT_THROW(b.add_inplace(a), std::invalid_argument);
+}
+
+TEST_F(RnsPolyTest, AutomorphismIdentity)
+{
+    const auto a = random_poly(Domain::kCoeff, 13);
+    // galois exponent 1 is the identity.
+    EXPECT_TRUE(a.automorphism(1).equals(a));
+}
+
+TEST_F(RnsPolyTest, AutomorphismComposition)
+{
+    // sigma_a(sigma_b(x)) == sigma_{a*b mod 2N}(x).
+    const auto a = random_poly(Domain::kCoeff, 14);
+    const u64 two_n = 2 * n_;
+    const u64 e1 = 5, e2 = 25;
+    const auto lhs = a.automorphism(e1).automorphism(e2);
+    const auto rhs = a.automorphism((e1 * e2) % two_n);
+    EXPECT_TRUE(lhs.equals(rhs));
+}
+
+TEST_F(RnsPolyTest, AutomorphismOnMonomial)
+{
+    // X -> X^k maps the monomial X^j to +-X^{jk mod N}.
+    RnsPoly a(n_, primes_, Domain::kCoeff);
+    for (std::size_t i = 0; i < primes_.size(); ++i) a.component(i)[3] = 1;
+    const u64 k = 5;
+    const auto out = a.automorphism(k);
+    const u64 target = (3 * k) % (2 * n_); // 15 < n: positive
+    for (std::size_t i = 0; i < primes_.size(); ++i) {
+        for (std::size_t c = 0; c < n_; ++c) {
+            EXPECT_EQ(out.component(i)[c], c == target ? 1u : 0u);
+        }
+    }
+}
+
+TEST_F(RnsPolyTest, AutomorphismWrapsWithSign)
+{
+    // Choose j*k past N so the negacyclic sign flip triggers.
+    RnsPoly a(n_, primes_, Domain::kCoeff);
+    const std::size_t j = 20;
+    for (std::size_t i = 0; i < primes_.size(); ++i) a.component(i)[j] = 1;
+    const u64 k = 5;
+    const u64 jk = (j * k) % (2 * n_); // 100 >= 64 -> -X^{100-64}
+    ASSERT_GE(jk, n_);
+    const auto out = a.automorphism(k);
+    for (std::size_t i = 0; i < primes_.size(); ++i) {
+        EXPECT_EQ(out.component(i)[jk - n_], primes_[i] - 1);
+    }
+}
+
+TEST_F(RnsPolyTest, AutomorphismPreservesRingMultiplication)
+{
+    // sigma(a * b) == sigma(a) * sigma(b): the property HRot relies on.
+    auto a = random_poly(Domain::kCoeff, 15);
+    auto b = random_poly(Domain::kCoeff, 16);
+    const u64 exp = 13; // odd
+
+    auto prod = a;
+    prod.to_ntt(tables_);
+    auto b_ntt = b;
+    b_ntt.to_ntt(tables_);
+    prod.mul_inplace(b_ntt);
+    prod.to_coeff(tables_);
+    const auto lhs = prod.automorphism(exp);
+
+    auto sa = a.automorphism(exp);
+    auto sb = b.automorphism(exp);
+    sa.to_ntt(tables_);
+    sb.to_ntt(tables_);
+    sa.mul_inplace(sb);
+    sa.to_coeff(tables_);
+    EXPECT_TRUE(lhs.equals(sa));
+}
+
+} // namespace
+} // namespace bts

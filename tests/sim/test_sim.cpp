@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include "sim/engine.h"
+#include "sim/timeline.h"
+
+namespace bts::sim {
+namespace {
+
+TEST(HwConfig, Table3Totals)
+{
+    EXPECT_NEAR(BtsConfig::total_area_mm2(), 373.6, 0.2);
+    EXPECT_NEAR(BtsConfig::total_peak_power_w(), 163.2, 0.2);
+}
+
+TEST(HwConfig, EpochLength)
+{
+    // N log N / (2 n_PE): 2^17 * 17 / 4096 = 544 cycles (Section 5.1).
+    const BtsConfig hw;
+    EXPECT_DOUBLE_EQ(hw.epoch_cycles(1ULL << 17), 544);
+    EXPECT_NEAR(hw.epoch_seconds(1ULL << 17) * 1e9, 453.3, 0.2);
+}
+
+TEST(OpTrace, EvkOpsClassified)
+{
+    EXPECT_TRUE(needs_evk(HeOpKind::kHMult));
+    EXPECT_TRUE(needs_evk(HeOpKind::kHRot));
+    EXPECT_TRUE(needs_evk(HeOpKind::kConj));
+    EXPECT_FALSE(needs_evk(HeOpKind::kPMult));
+    EXPECT_FALSE(needs_evk(HeOpKind::kHRescale));
+    EXPECT_FALSE(needs_evk(HeOpKind::kModRaise));
+}
+
+TEST(OpTrace, BuilderTracksIds)
+{
+    TraceBuilder b("t");
+    const int x = b.fresh_id();
+    const int y = b.add(HeOpKind::kHMult, 5, {x, x});
+    EXPECT_NE(x, y);
+    const int z = b.add_into(y, HeOpKind::kHRescale, 5, {y});
+    EXPECT_EQ(z, y);
+    EXPECT_EQ(b.trace().ops.size(), 2u);
+    EXPECT_THROW(b.add(HeOpKind::kHAdd, -1, {x}), std::invalid_argument);
+}
+
+TEST(SoftwareCache, HitMissAndLru)
+{
+    SoftwareCache cache(100.0);
+    EXPECT_EQ(cache.access(1, 40), 40); // miss
+    EXPECT_EQ(cache.access(1, 40), 0);  // hit
+    EXPECT_EQ(cache.access(2, 40), 40); // miss
+    EXPECT_EQ(cache.access(3, 40), 40); // miss, evicts 1 (LRU)
+    EXPECT_EQ(cache.access(2, 40), 0);  // 2 still resident
+    EXPECT_EQ(cache.access(1, 40), 40); // 1 was evicted
+    EXPECT_NEAR(cache.hit_rate(), 2.0 / 6.0, 1e-12);
+}
+
+TEST(SoftwareCache, OversizedObjectStreamsThrough)
+{
+    SoftwareCache cache(100.0);
+    EXPECT_EQ(cache.access(1, 500), 500);
+    EXPECT_EQ(cache.access(1, 500), 500); // never cached
+    EXPECT_EQ(cache.used_bytes(), 0);
+}
+
+TEST(SoftwareCache, InsertReplaces)
+{
+    SoftwareCache cache(100.0);
+    cache.insert(7, 60);
+    cache.insert(7, 30); // replaces, does not double-count
+    EXPECT_EQ(cache.used_bytes(), 30);
+    EXPECT_EQ(cache.access(7, 30), 0);
+}
+
+class CostModelTest : public ::testing::Test
+{
+  protected:
+    BtsConfig hw_;
+    hw::CkksInstance inst_ = hw::ins1();
+    CostModel model_{hw_, inst_};
+};
+
+TEST_F(CostModelTest, HMultEvkBytesMatchEq10Denominator)
+{
+    HeOp op;
+    op.kind = HeOpKind::kHMult;
+    op.level = inst_.max_level;
+    const OpCost c = model_.op_cost(op);
+    EXPECT_DOUBLE_EQ(c.evk_bytes, inst_.evk_bytes(inst_.max_level));
+    EXPECT_NEAR(c.evk_bytes / (1 << 20), 112.0, 0.1);
+}
+
+TEST_F(CostModelTest, MaxLevelHMultIsHbmBound)
+{
+    // Fig. 8: the op is bound by evk streaming (~120us), with compute
+    // comfortably underneath.
+    HeOp op;
+    op.kind = HeOpKind::kHMult;
+    op.level = inst_.max_level;
+    const OpCost c = model_.op_cost(op);
+    const double evk_s = c.evk_bytes / hw_.hbm_effective();
+    EXPECT_GT(evk_s, c.compute_s);
+    EXPECT_NEAR(evk_s * 1e6, 120.0, 3.0);
+}
+
+TEST_F(CostModelTest, CostsShrinkWithLevel)
+{
+    for (auto kind : {HeOpKind::kHMult, HeOpKind::kHRot,
+                      HeOpKind::kPMult}) {
+        HeOp high, low;
+        high.kind = low.kind = kind;
+        high.level = inst_.max_level;
+        low.level = 5;
+        EXPECT_LT(model_.op_cost(low).compute_s,
+                  model_.op_cost(high).compute_s);
+    }
+}
+
+TEST_F(CostModelTest, OverlapReducesCriticalPath)
+{
+    BtsConfig no_overlap = hw_;
+    no_overlap.overlap_bconv_intt = false;
+    const CostModel serial(no_overlap, inst_);
+    HeOp op;
+    op.kind = HeOpKind::kHMult;
+    op.level = inst_.max_level;
+    EXPECT_LT(model_.op_cost(op).compute_s,
+              serial.op_cost(op).compute_s);
+}
+
+TEST_F(CostModelTest, RotationHasNocTraffic)
+{
+    HeOp rot;
+    rot.kind = HeOpKind::kHRot;
+    rot.level = 20;
+    EXPECT_GT(model_.op_cost(rot).noc_bytes, 0);
+    HeOp mult;
+    mult.kind = HeOpKind::kHMult;
+    mult.level = 20;
+    EXPECT_EQ(model_.op_cost(mult).noc_bytes, 0);
+}
+
+TEST_F(CostModelTest, RejectsBadLevel)
+{
+    HeOp op;
+    op.kind = HeOpKind::kHMult;
+    op.level = inst_.max_level + 1;
+    EXPECT_THROW(model_.op_cost(op), std::invalid_argument);
+}
+
+TEST(Engine, SingleHMultLatency)
+{
+    const BtsConfig hw;
+    const auto inst = hw::ins1();
+    const BtsSimulator sim(hw, inst);
+    TraceBuilder b("one-mult");
+    const int x = b.fresh_id();
+    b.add(HeOpKind::kHMult, inst.max_level, {x, x});
+    const auto r = sim.run(b.trace());
+    // First-touch miss on the operand + evk stream.
+    EXPECT_NEAR(r.total_s * 1e6, 120.0, 60.0);
+    EXPECT_EQ(r.op_count, 1);
+}
+
+TEST(Engine, CacheCapacityPartitioning)
+{
+    const BtsConfig hw;
+    for (const auto& inst : hw::table4_instances()) {
+        const BtsSimulator sim(hw, inst);
+        const double cap = sim.cache_capacity_bytes();
+        EXPECT_LT(cap, hw.scratchpad_bytes);
+        EXPECT_GT(cap, 0);
+        // Bigger temp data -> smaller ct cache (INS-3 worst).
+    }
+    const double c1 =
+        BtsSimulator(hw, hw::ins1()).cache_capacity_bytes();
+    const double c3 =
+        BtsSimulator(hw, hw::ins3()).cache_capacity_bytes();
+    EXPECT_GT(c1, c3);
+}
+
+TEST(Engine, MoreScratchpadNeverHurts)
+{
+    const auto inst = hw::ins2();
+    TraceBuilder b("loop");
+    int ct = b.fresh_id();
+    for (int i = 0; i < 40; ++i) {
+        ct = b.add(HeOpKind::kHMult, 20, {ct, ct});
+        b.add_into(ct, HeOpKind::kHRescale, 20, {ct});
+    }
+    double prev = 1e18;
+    for (double mb : {256.0, 512.0, 1024.0, 2048.0}) {
+        BtsConfig hw;
+        hw.scratchpad_bytes = mb * (1 << 20);
+        const auto r = BtsSimulator(hw, inst).run(b.trace());
+        EXPECT_LE(r.total_s, prev * 1.0001);
+        prev = r.total_s;
+    }
+}
+
+TEST(Engine, DoublingHbmHelpsSublinearly)
+{
+    // Fig. 9's last step: 2TB/s gives only ~1.26x because compute
+    // starts to bind.
+    const auto inst = hw::ins1();
+    TraceBuilder b("mults");
+    const int x = b.fresh_id();
+    for (int i = 0; i < 10; ++i) {
+        b.add(HeOpKind::kHMult, inst.max_level, {x, x});
+    }
+    BtsConfig hw1tb;
+    BtsConfig hw2tb;
+    hw2tb.hbm_bytes_per_s = 2e12;
+    const double t1 = BtsSimulator(hw1tb, inst).run(b.trace()).total_s;
+    const double t2 = BtsSimulator(hw2tb, inst).run(b.trace()).total_s;
+    EXPECT_GT(t1 / t2, 1.1);
+    EXPECT_LT(t1 / t2, 2.0);
+}
+
+TEST(Engine, EnergyWithinPowerEnvelope)
+{
+    const BtsConfig hw;
+    const auto inst = hw::ins1();
+    TraceBuilder b("mults");
+    const int x = b.fresh_id();
+    for (int i = 0; i < 20; ++i) {
+        b.add(HeOpKind::kHMult, inst.max_level, {x, x});
+    }
+    const auto r = BtsSimulator(hw, inst).run(b.trace());
+    EXPECT_GT(r.energy_j, 0);
+    // Average power must not exceed the Table 3 peak.
+    EXPECT_LT(r.energy_j / r.total_s, BtsConfig::total_peak_power_w());
+    EXPECT_GT(r.edap, 0);
+}
+
+TEST(Timeline, MatchesFig8Shape)
+{
+    const BtsConfig hw;
+    const auto tl = hmult_timeline(hw, hw::ins1());
+    EXPECT_NEAR(tl.total_ns / 1e3, 120.0, 5.0); // ~120us
+    EXPECT_GT(tl.hbm_util, 0.9);
+    EXPECT_GT(tl.nttu_busy_frac, 0.5);
+    EXPECT_LT(tl.nttu_busy_frac, 0.95);
+    EXPECT_GT(tl.bconv_busy_frac, 0.15);
+    EXPECT_LT(tl.bconv_busy_frac, 0.5);
+    EXPECT_FALSE(tl.segments.empty());
+    for (const auto& seg : tl.segments) {
+        EXPECT_LE(seg.start_ns, seg.end_ns);
+        EXPECT_LE(seg.end_ns, tl.total_ns * 1.01);
+    }
+    // Peak scratchpad usage near the instance's temp working set.
+    double peak = 0;
+    for (const auto& u : tl.usage) {
+        peak = std::max(peak, u.scratchpad_mb);
+    }
+    EXPECT_NEAR(peak, hw::ins1().temp_bytes() / 1e6, 20);
+}
+
+} // namespace
+} // namespace bts::sim
