@@ -12,6 +12,7 @@
 #include "ckks/encryptor.h"
 #include "ckks/keygen.h"
 #include "common/bit_ops.h"
+#include "common/parallel.h"
 #include "math/prime_gen.h"
 
 namespace {
@@ -80,6 +81,55 @@ BM_Ntt(benchmark::State& state)
                             log2_exact(n));
 }
 BENCHMARK(BM_Ntt)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16);
+
+void
+BM_NttLimbSweep(benchmark::State& state)
+{
+    // The limb-parallel acceptance sweep: a 2^16-point forward NTT over
+    // 24 RNS limbs (one ciphertext polynomial of the paper's Set-A
+    // scale), swept over the thread knob. Arg(0) is the lane count.
+    const std::size_t n = 1 << 16;
+    const int limbs = 24;
+    const int threads = static_cast<int>(state.range(0));
+
+    static const std::vector<u64> primes =
+        generate_ntt_primes(50, 2 * n, limbs);
+    static const std::vector<NttTables>* tables = [n] {
+        auto* t = new std::vector<NttTables>;
+        t->reserve(primes.size());
+        for (u64 q : primes) t->emplace_back(n, q);
+        return t;
+    }();
+    std::vector<const NttTables*> table_ptrs;
+    for (const auto& t : *tables) table_ptrs.push_back(&t);
+
+    Sampler s(7);
+    RnsPoly poly(n, primes, Domain::kCoeff);
+    for (int i = 0; i < limbs; ++i) {
+        poly.component(i) = s.uniform_poly(n, primes[i]);
+    }
+
+    const int saved_threads = num_threads();
+    set_num_threads(threads);
+    for (auto _ : state) {
+        poly.to_ntt(table_ptrs);
+        benchmark::DoNotOptimize(poly.component(0).data());
+        state.PauseTiming();
+        poly.set_domain(Domain::kCoeff); // re-arm without timing an iNTT
+        state.ResumeTiming();
+    }
+    set_num_threads(saved_threads); // don't clobber later benchmarks
+    state.SetItemsProcessed(state.iterations() * limbs * n / 2 *
+                            log2_exact(n));
+    state.counters["threads"] = threads;
+}
+BENCHMARK(BM_NttLimbSweep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_BaseConv(benchmark::State& state)

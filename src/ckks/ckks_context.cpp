@@ -146,6 +146,9 @@ CkksContext::converter(const std::vector<u64>& source,
                        const std::vector<u64>& target) const
 {
     const auto key = std::make_pair(source, target);
+    // Map entries are pointer-stable, so the reference stays valid
+    // after the lock drops; the lock only serializes lazy insertion.
+    std::lock_guard<std::mutex> lock(converters_mutex_);
     auto it = converters_.find(key);
     if (it == converters_.end()) {
         it = converters_

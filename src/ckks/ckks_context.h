@@ -19,6 +19,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/types.h"
@@ -121,6 +122,7 @@ class CkksContext
     RnsBase p_base_;
     int log_pq_bits_;
     std::map<u64, std::unique_ptr<NttTables>> ntt_tables_;
+    mutable std::mutex converters_mutex_; //!< guards converters_
     mutable std::map<std::pair<std::vector<u64>, std::vector<u64>>,
                      std::unique_ptr<BaseConverter>>
         converters_;

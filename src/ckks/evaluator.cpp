@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "math/mod_arith.h"
 
 namespace bts {
@@ -346,7 +347,9 @@ Evaluator::rescale_poly(RnsPoly& poly) const
     ctx_.tables(q_last).inverse(last.data());
 
     const u64 half = q_last >> 1;
-    for (std::size_t i = 0; i + 1 < count; ++i) {
+    // Every remaining limb rescales independently (lift, NTT, fused
+    // subtract-multiply) — the hot per-limb path of HRescale.
+    parallel_for(0, count - 1, [&](std::size_t i) {
         const u64 qi = poly.prime(i);
         const Barrett barrett(qi);
         // Centered lift of the top residue into Z_qi.
@@ -364,7 +367,7 @@ Evaluator::rescale_poly(RnsPoly& poly) const
         for (std::size_t c = 0; c < comp.size(); ++c) {
             comp[c] = inv.mul(sub_mod(comp[c], lifted[c], qi), qi);
         }
-    }
+    });
     poly.pop_component();
 }
 
@@ -534,6 +537,9 @@ const std::vector<u64>&
 Evaluator::monomial_ntt(u64 prime, std::size_t power) const
 {
     const auto key = std::make_pair(prime, power);
+    // Entries are never erased and map references are stable, so the
+    // returned reference outlives the lock safely.
+    std::lock_guard<std::mutex> lock(monomial_mutex_);
     auto it = monomial_cache_.find(key);
     if (it == monomial_cache_.end()) {
         std::vector<u64> mono(ctx_.n(), 0);
@@ -606,7 +612,7 @@ Evaluator::mod_raise(const Ciphertext& ct) const
         src.to_coeff(ctx_.tables_for(src));
         RnsPoly out(ctx_.n(), primes, Domain::kCoeff);
         const auto& base = src.component(0);
-        for (std::size_t i = 0; i < primes.size(); ++i) {
+        parallel_for(0, primes.size(), [&](std::size_t i) {
             const u64 qi = primes[i];
             const u64 q0_mod_qi = q0 % qi;
             auto& comp = out.component(i);
@@ -616,7 +622,7 @@ Evaluator::mod_raise(const Ciphertext& ct) const
                 if (base[c] > half) v = sub_mod(v, q0_mod_qi, qi);
                 comp[c] = v;
             }
-        }
+        });
         out.to_ntt(ctx_.tables_for(primes));
         return out;
     };

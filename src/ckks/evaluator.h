@@ -14,6 +14,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 
 #include "ckks/ciphertext.h"
 #include "ckks/ckks_context.h"
@@ -154,6 +155,7 @@ class Evaluator
 
     const CkksContext& ctx_;
     const CkksEncoder& encoder_;
+    mutable std::mutex monomial_mutex_; //!< guards monomial_cache_
     mutable std::map<std::pair<u64, std::size_t>, std::vector<u64>>
         monomial_cache_;
 };

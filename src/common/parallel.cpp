@@ -1,0 +1,199 @@
+#include "common/parallel.h"
+
+#include <cstdlib>
+#include <memory>
+
+#include "common/check.h"
+
+namespace bts {
+
+namespace {
+
+/** Set while a thread executes task indices; gates nested calls. */
+thread_local bool t_in_parallel_region = false;
+
+} // namespace
+
+ThreadPool::ThreadPool(int n_threads)
+{
+    if (n_threads < 1) n_threads = 1;
+    workers_.reserve(static_cast<std::size_t>(n_threads - 1));
+    for (int i = 0; i < n_threads - 1; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void
+ThreadPool::worker_loop()
+{
+    u64 seen_generation = 0;
+    for (;;) {
+        TaskState* task = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            // A worker can wake after the caller already finished the
+            // task and reset task_; require a live task to proceed.
+            work_cv_.wait(lock, [&] {
+                return shutdown_ ||
+                       (generation_ != seen_generation &&
+                        task_ != nullptr);
+            });
+            if (shutdown_) return;
+            seen_generation = generation_;
+            task = task_;
+            task->active += 1;
+        }
+        participate(*task);
+    }
+}
+
+void
+ThreadPool::participate(TaskState& task)
+{
+    t_in_parallel_region = true;
+    for (;;) {
+        const std::size_t i = task.next.fetch_add(1);
+        if (i >= task.end) break;
+        try {
+            (*task.body)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!task.error) task.error = std::current_exception();
+            // Drain the remaining indices so the loop quiesces fast.
+            task.next.store(task.end);
+        }
+    }
+    t_in_parallel_region = false;
+    bool last = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        task.active -= 1;
+        last = task.active == 0;
+    }
+    if (last) done_cv_.notify_all();
+}
+
+void
+ThreadPool::run(std::size_t begin, std::size_t end,
+                const std::function<void(std::size_t)>& body)
+{
+    if (begin >= end) return;
+    // Nested call from a worker of this (or any) pool: run serially on
+    // the current thread; waking the pool would deadlock on mutex_.
+    if (t_in_parallel_region || size() == 1 || end - begin == 1) {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+        return;
+    }
+
+    // One task in flight at a time: a second external caller queues
+    // here instead of clobbering the task_ slot mid-run.
+    std::lock_guard<std::mutex> run_lock(run_mutex_);
+
+    TaskState task;
+    task.body = &body;
+    task.next.store(begin);
+    task.end = end;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        task_ = &task;
+        generation_ += 1;
+        task.active += 1; // the caller's own participation
+    }
+    work_cv_.notify_all();
+    participate(task);
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_cv_.wait(lock, [&] { return task.active == 0; });
+        task_ = nullptr;
+    }
+    if (task.error) std::rethrow_exception(task.error);
+}
+
+namespace {
+
+std::mutex g_pool_mutex;
+// shared_ptr so an in-flight parallel_for keeps its pool alive while
+// set_num_threads() swaps in a replacement from another thread; the
+// old pool joins its workers when the last user releases it.
+std::shared_ptr<ThreadPool> g_pool; // under g_pool_mutex
+int g_num_threads = 0;              // 0 = not yet initialized
+
+int
+initial_num_threads()
+{
+    if (const char* env = std::getenv("BTS_NUM_THREADS")) {
+        char* end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end == env || *end != '\0') return 1; // garbage: stay serial
+        if (v >= 1) return static_cast<int>(v);
+        if (v == 0) { // explicit 0 = auto-detect
+            const unsigned hc = std::thread::hardware_concurrency();
+            return hc == 0 ? 1 : static_cast<int>(hc);
+        }
+    }
+    return 1;
+}
+
+/** Callers must hold g_pool_mutex. */
+void
+ensure_initialized_locked()
+{
+    if (g_num_threads == 0) g_num_threads = initial_num_threads();
+}
+
+} // namespace
+
+void
+set_num_threads(int n_threads)
+{
+    BTS_CHECK(n_threads >= 0, "thread count must be >= 0 (0 = auto)");
+    if (n_threads == 0) {
+        const unsigned hc = std::thread::hardware_concurrency();
+        n_threads = hc == 0 ? 1 : static_cast<int>(hc);
+    }
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    if (g_num_threads == n_threads && (g_pool || n_threads == 1)) return;
+    g_num_threads = n_threads;
+    g_pool.reset(); // joins the old workers unless a run is in flight
+    if (n_threads > 1) g_pool = std::make_shared<ThreadPool>(n_threads);
+}
+
+int
+num_threads()
+{
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    ensure_initialized_locked();
+    return g_num_threads;
+}
+
+void
+parallel_for(std::size_t begin, std::size_t end,
+             const std::function<void(std::size_t)>& body)
+{
+    std::shared_ptr<ThreadPool> pool;
+    {
+        std::lock_guard<std::mutex> lock(g_pool_mutex);
+        ensure_initialized_locked();
+        if (g_num_threads > 1 && !g_pool && !t_in_parallel_region) {
+            g_pool = std::make_shared<ThreadPool>(g_num_threads);
+        }
+        pool = g_pool;
+    }
+    if (!pool) {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+        return;
+    }
+    pool->run(begin, end, body);
+}
+
+} // namespace bts

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Limb-parallel execution layer.
+ *
+ * BTS's hardware premise is massive parallelism across RNS limbs and NTT
+ * lanes (Section 4.3: coefficient-level parallelism keeps all 2,048 PEs
+ * busy regardless of the fluctuating level). The software model mirrors
+ * the limb axis on the host: hot per-limb loops (NTT/iNTT over a
+ * residue matrix, BConv ModMult/MMAU passes, rescale) fan out over a
+ * fixed pool of worker threads via parallel_for().
+ *
+ * Design constraints:
+ *  - dependency-light: <thread>/<mutex>/<condition_variable> only, no
+ *    work stealing — per-limb work items are large and uniform, so a
+ *    shared atomic index is contention-free in practice.
+ *  - bit-exact: every schedule executes the same per-limb arithmetic on
+ *    disjoint data; results are identical at any thread count, and
+ *    n_threads == 1 short-circuits to the plain serial loop.
+ *  - nested-call safe: a parallel_for() issued from inside a worker
+ *    (e.g. a parallelized callee of an already-parallel caller) runs
+ *    serially on that worker instead of deadlocking the pool.
+ *  - exceptions propagate: the first exception thrown by any index is
+ *    rethrown on the calling thread after the loop quiesces.
+ */
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+
+namespace bts {
+
+/**
+ * A fixed-size pool of worker threads executing index-range tasks.
+ *
+ * One task is in flight at a time (run() is a barrier: it returns only
+ * after every index has executed). The calling thread participates in
+ * the loop: size() counts it, so a ThreadPool(4) spawns 3 workers and
+ * uses the caller as the fourth lane.
+ */
+class ThreadPool
+{
+  public:
+    /** @p n_threads total lanes (caller included); clamped to >= 1. */
+    explicit ThreadPool(int n_threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Total execution lanes (worker threads + the calling thread). */
+    int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+    /**
+     * Execute body(i) for every i in [begin, end), spread across the
+     * pool. Blocks until all indices finished. Rethrows the first
+     * exception any index raised. Safe to call from inside a body
+     * running on this pool (the nested loop runs serially).
+     */
+    void run(std::size_t begin, std::size_t end,
+             const std::function<void(std::size_t)>& body);
+
+  private:
+    struct TaskState
+    {
+        const std::function<void(std::size_t)>* body = nullptr;
+        std::atomic<std::size_t> next{0};
+        std::size_t end = 0;
+        std::exception_ptr error; //!< first exception, under mutex_
+        int active = 0;           //!< participants still inside the task
+    };
+
+    void worker_loop();
+    void participate(TaskState& task);
+
+    std::vector<std::thread> workers_;
+    std::mutex run_mutex_; //!< serializes concurrent external run() calls
+    std::mutex mutex_;
+    std::condition_variable work_cv_; //!< wakes workers on a new task
+    std::condition_variable done_cv_; //!< wakes the caller on completion
+    TaskState* task_ = nullptr;       //!< current task, under mutex_
+    u64 generation_ = 0;              //!< bumps once per run()
+    bool shutdown_ = false;
+};
+
+/**
+ * Set the global lane count used by parallel_for(). Thread-safe.
+ * @p n_threads >= 1; pass 0 to auto-detect (hardware_concurrency).
+ * The initial value comes from the BTS_NUM_THREADS environment
+ * variable, defaulting to 1 (fully serial) when unset.
+ */
+void set_num_threads(int n_threads);
+
+/** Current global lane count (>= 1). */
+int num_threads();
+
+/**
+ * Run body(i) for i in [begin, end) on the global pool. Serial when
+ * num_threads() == 1, when the range has a single index, or when
+ * called from inside another parallel_for (nested-call safety).
+ */
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body);
+
+} // namespace bts

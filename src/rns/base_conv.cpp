@@ -1,6 +1,7 @@
 #include "rns/base_conv.h"
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "math/mod_arith.h"
 
 namespace bts {
@@ -34,21 +35,24 @@ BaseConverter::convert(const RnsPoly& input) const
               "input must live exactly on the source base");
     const std::size_t n = input.degree();
 
-    // Part 1 (ModMult in the BConvU): y_j = [x_j * q_hat_inv_j]_{q_j}.
-    std::vector<std::vector<u64>> scaled(source_.size());
+    // Part 1 (ModMult in the BConvU): y_j = [x_j * q_hat_inv_j]_{q_j},
+    // one source limb per lane.
     for (std::size_t j = 0; j < source_.size(); ++j) {
         BTS_CHECK(input.prime(j) == source_.prime(j), "prime mismatch");
+    }
+    std::vector<std::vector<u64>> scaled(source_.size());
+    parallel_for(0, source_.size(), [&](std::size_t j) {
         const u64 q = source_.prime(j);
         const ShoupMul s(hat_inv_[j], q);
         scaled[j] = input.component(j);
         for (auto& v : scaled[j]) v = s.mul(v, q);
-    }
+    });
 
     // Part 2 (MMAU): out_i = [ sum_j y_j * q_hat_j ]_{p_i}, accumulated
     // lazily in 128 bits (q_j < 2^61 keeps sums of 64 terms overflow-free;
     // we reduce defensively every 8 terms for arbitrary base sizes).
     RnsPoly out(n, target_.primes(), Domain::kCoeff);
-    for (std::size_t i = 0; i < target_.size(); ++i) {
+    parallel_for(0, target_.size(), [&](std::size_t i) {
         const u64 p = target_.prime(i);
         const Barrett barrett(p);
         auto& dst = out.component(i);
@@ -60,7 +64,7 @@ BaseConverter::convert(const RnsPoly& input) const
             }
             dst[c] = barrett.reduce(acc);
         }
-    }
+    });
     return out;
 }
 
@@ -81,7 +85,9 @@ BaseConverter::convert_grouped(const RnsPoly& input, int l_sub) const
          j0 += static_cast<std::size_t>(l_sub)) {
         const std::size_t j1 =
             std::min(src_count, j0 + static_cast<std::size_t>(l_sub));
-        for (std::size_t i = 0; i < target_.size(); ++i) {
+        // Target limbs are independent within a group; the group loop
+        // itself stays sequential (partial sums accumulate in order).
+        parallel_for(0, target_.size(), [&](std::size_t i) {
             const u64 p = target_.prime(i);
             const Barrett barrett(p);
             auto& dst = out.component(i);
@@ -95,7 +101,7 @@ BaseConverter::convert_grouped(const RnsPoly& input, int l_sub) const
                 }
                 dst[c] = barrett.reduce(acc);
             }
-        }
+        });
     }
     return out;
 }

@@ -2,6 +2,7 @@
 
 #include "common/bit_ops.h"
 #include "common/check.h"
+#include "common/parallel.h"
 #include "math/mod_arith.h"
 
 namespace bts {
@@ -56,39 +57,39 @@ void
 RnsPoly::add_inplace(const RnsPoly& other)
 {
     check_compatible(*this, other);
-    for (std::size_t i = 0; i < num_primes(); ++i) {
+    parallel_for(0, num_primes(), [&](std::size_t i) {
         const u64 q = primes_[i];
         const auto& src = other.component(i);
         auto& dst = comps_[i];
         for (std::size_t j = 0; j < n_; ++j) {
             dst[j] = add_mod(dst[j], src[j], q);
         }
-    }
+    });
 }
 
 void
 RnsPoly::sub_inplace(const RnsPoly& other)
 {
     check_compatible(*this, other);
-    for (std::size_t i = 0; i < num_primes(); ++i) {
+    parallel_for(0, num_primes(), [&](std::size_t i) {
         const u64 q = primes_[i];
         const auto& src = other.component(i);
         auto& dst = comps_[i];
         for (std::size_t j = 0; j < n_; ++j) {
             dst[j] = sub_mod(dst[j], src[j], q);
         }
-    }
+    });
 }
 
 void
 RnsPoly::negate_inplace()
 {
-    for (std::size_t i = 0; i < num_primes(); ++i) {
+    parallel_for(0, num_primes(), [&](std::size_t i) {
         const u64 q = primes_[i];
         for (auto& v : comps_[i]) {
             v = v == 0 ? 0 : q - v;
         }
-    }
+    });
 }
 
 void
@@ -97,27 +98,27 @@ RnsPoly::mul_inplace(const RnsPoly& other)
     check_compatible(*this, other);
     BTS_CHECK(domain_ == Domain::kNtt,
               "element-wise polynomial product requires NTT domain");
-    for (std::size_t i = 0; i < num_primes(); ++i) {
+    parallel_for(0, num_primes(), [&](std::size_t i) {
         const Barrett barrett(primes_[i]);
         const auto& src = other.component(i);
         auto& dst = comps_[i];
         for (std::size_t j = 0; j < n_; ++j) {
             dst[j] = barrett.mul(dst[j], src[j]);
         }
-    }
+    });
 }
 
 void
 RnsPoly::mul_scalar_inplace(const std::vector<u64>& scalars)
 {
     BTS_CHECK(scalars.size() >= num_primes(), "scalar count mismatch");
-    for (std::size_t i = 0; i < num_primes(); ++i) {
+    parallel_for(0, num_primes(), [&](std::size_t i) {
         const ShoupMul s(scalars[i] % primes_[i], primes_[i]);
         const u64 q = primes_[i];
         for (auto& v : comps_[i]) {
             v = s.mul(v, q);
         }
-    }
+    });
 }
 
 void
@@ -125,10 +126,10 @@ RnsPoly::to_ntt(const std::vector<const NttTables*>& tables)
 {
     BTS_CHECK(domain_ == Domain::kCoeff, "already in NTT domain");
     BTS_CHECK(tables.size() >= num_primes(), "NTT table count mismatch");
-    for (std::size_t i = 0; i < num_primes(); ++i) {
+    parallel_for(0, num_primes(), [&](std::size_t i) {
         BTS_ASSERT(tables[i]->modulus() == primes_[i], "table prime mismatch");
         tables[i]->forward(comps_[i].data());
-    }
+    });
     domain_ = Domain::kNtt;
 }
 
@@ -137,10 +138,10 @@ RnsPoly::to_coeff(const std::vector<const NttTables*>& tables)
 {
     BTS_CHECK(domain_ == Domain::kNtt, "already in coefficient domain");
     BTS_CHECK(tables.size() >= num_primes(), "NTT table count mismatch");
-    for (std::size_t i = 0; i < num_primes(); ++i) {
+    parallel_for(0, num_primes(), [&](std::size_t i) {
         BTS_ASSERT(tables[i]->modulus() == primes_[i], "table prime mismatch");
         tables[i]->inverse(comps_[i].data());
-    }
+    });
     domain_ = Domain::kCoeff;
 }
 
@@ -152,7 +153,7 @@ RnsPoly::automorphism(u64 galois_exp) const
     BTS_CHECK((galois_exp & 1) == 1, "Galois exponent must be odd");
     const u64 two_n = 2 * static_cast<u64>(n_);
     RnsPoly out(n_, primes_, Domain::kCoeff);
-    for (std::size_t i = 0; i < num_primes(); ++i) {
+    parallel_for(0, num_primes(), [&](std::size_t i) {
         const u64 q = primes_[i];
         const auto& src = comps_[i];
         auto& dst = out.comps_[i];
@@ -165,7 +166,7 @@ RnsPoly::automorphism(u64 galois_exp) const
                 dst[target - n_] = v == 0 ? 0 : q - v;
             }
         }
-    }
+    });
     return out;
 }
 

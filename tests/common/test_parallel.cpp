@@ -1,0 +1,202 @@
+/**
+ * @file
+ * ThreadPool / parallel_for coverage: scheduling correctness, exception
+ * propagation, nested-call safety, and bit-exactness of the
+ * limb-parallel NTT against the serial path.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/random.h"
+#include "math/ntt.h"
+#include "math/prime_gen.h"
+#include "rns/rns_poly.h"
+
+namespace bts {
+namespace {
+
+/** Restore the global lane count on scope exit so tests stay isolated. */
+struct ThreadGuard
+{
+    int saved = num_threads();
+    ~ThreadGuard() { set_num_threads(saved); }
+};
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.run(0, hits.size(), [&](std::size_t i) { hits[i] += 1; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, HandlesEmptyAndSingleIndexRanges)
+{
+    ThreadPool pool(3);
+    int calls = 0;
+    pool.run(5, 5, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    pool.run(7, 8, [&](std::size_t i) {
+        ++calls;
+        EXPECT_EQ(i, 7u);
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, SingleLanePoolRunsSerially)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.size(), 1);
+    std::vector<std::size_t> order;
+    pool.run(0, 16, [&](std::size_t i) { order.push_back(i); });
+    std::vector<std::size_t> expect(16);
+    std::iota(expect.begin(), expect.end(), 0u);
+    EXPECT_EQ(order, expect); // no workers: deterministic serial order
+}
+
+TEST(ThreadPool, ReusableAcrossManyRuns)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 50; ++round) {
+        std::atomic<long> sum{0};
+        pool.run(0, 100, [&](std::size_t i) {
+            sum += static_cast<long>(i);
+        });
+        EXPECT_EQ(sum.load(), 4950);
+    }
+}
+
+TEST(ThreadPool, PropagatesFirstException)
+{
+    ThreadPool pool(4);
+    std::atomic<int> executed{0};
+    try {
+        pool.run(0, 256, [&](std::size_t i) {
+            if (i == 17) throw std::runtime_error("limb 17 failed");
+            executed += 1;
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "limb 17 failed");
+    }
+    // The pool must stay usable after an exception.
+    std::atomic<int> hits{0};
+    pool.run(0, 8, [&](std::size_t) { hits += 1; });
+    EXPECT_EQ(hits.load(), 8);
+}
+
+TEST(ParallelFor, PropagatesExceptionsOnTheGlobalPool)
+{
+    ThreadGuard guard;
+    set_num_threads(4);
+    EXPECT_THROW(parallel_for(0, 64,
+                              [&](std::size_t i) {
+                                  if (i % 2 == 1) {
+                                      throw std::invalid_argument("odd");
+                                  }
+                              }),
+                 std::invalid_argument);
+}
+
+TEST(ParallelFor, NestedCallsRunWithoutDeadlock)
+{
+    ThreadGuard guard;
+    set_num_threads(4);
+    std::vector<std::atomic<int>> hits(8 * 8);
+    parallel_for(0, 8, [&](std::size_t i) {
+        // A nested parallel_for must serialize on this lane instead of
+        // re-entering the pool (which would deadlock).
+        parallel_for(0, 8, [&](std::size_t j) { hits[i * 8 + j] += 1; });
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, SetNumThreadsReconfiguresTheGlobalPool)
+{
+    ThreadGuard guard;
+    set_num_threads(1);
+    EXPECT_EQ(num_threads(), 1);
+    set_num_threads(6);
+    EXPECT_EQ(num_threads(), 6);
+    std::atomic<int> hits{0};
+    parallel_for(0, 12, [&](std::size_t) { hits += 1; });
+    EXPECT_EQ(hits.load(), 12);
+    set_num_threads(0); // auto-detect resolves to >= 1
+    EXPECT_GE(num_threads(), 1);
+}
+
+TEST(ParallelFor, ConcurrentExternalCallersAndReconfiguration)
+{
+    // Two external threads drive the global pool at once while a third
+    // swaps the lane count — the pool must neither crash nor lose
+    // indices (callers serialize; a swapped-out pool stays alive until
+    // its in-flight run finishes).
+    ThreadGuard guard;
+    set_num_threads(4);
+    std::vector<std::atomic<int>> hits(2 * 64);
+    std::thread caller_a([&] {
+        for (int round = 0; round < 20; ++round) {
+            parallel_for(0, 64, [&](std::size_t i) { hits[i] += 1; });
+        }
+    });
+    std::thread caller_b([&] {
+        for (int round = 0; round < 20; ++round) {
+            parallel_for(0, 64,
+                         [&](std::size_t i) { hits[64 + i] += 1; });
+        }
+    });
+    std::thread reconfigurer([&] {
+        for (int n : {2, 8, 3, 4}) set_num_threads(n);
+    });
+    caller_a.join();
+    caller_b.join();
+    reconfigurer.join();
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 20);
+}
+
+TEST(ParallelFor, NttBitExactAcrossThreadCounts)
+{
+    // The acceptance bar of the execution layer: an 8-limb forward +
+    // inverse NTT must produce identical residues at 1 and 8 threads.
+    ThreadGuard guard;
+    const std::size_t n = 1 << 10;
+    const int limbs = 8;
+    const auto primes = generate_ntt_primes(50, 2 * n, limbs);
+
+    std::vector<NttTables> tables;
+    std::vector<const NttTables*> table_ptrs;
+    tables.reserve(primes.size());
+    for (u64 q : primes) tables.emplace_back(n, q);
+    for (const auto& t : tables) table_ptrs.push_back(&t);
+
+    Sampler sampler(42);
+    RnsPoly base(n, primes, Domain::kCoeff);
+    for (int i = 0; i < limbs; ++i) {
+        base.component(i) = sampler.uniform_poly(n, primes[i]);
+    }
+
+    set_num_threads(1);
+    RnsPoly serial_fwd = base;
+    serial_fwd.to_ntt(table_ptrs);
+    RnsPoly serial_round = serial_fwd;
+    serial_round.to_coeff(table_ptrs);
+
+    set_num_threads(8);
+    RnsPoly parallel_fwd = base;
+    parallel_fwd.to_ntt(table_ptrs);
+    RnsPoly parallel_round = parallel_fwd;
+    parallel_round.to_coeff(table_ptrs);
+
+    EXPECT_TRUE(serial_fwd.equals(parallel_fwd));
+    EXPECT_TRUE(serial_round.equals(parallel_round));
+    EXPECT_TRUE(parallel_round.equals(base));
+}
+
+} // namespace
+} // namespace bts
