@@ -106,7 +106,7 @@ BM_NttLimbSweep(benchmark::State& state)
     Sampler s(7);
     RnsPoly poly(n, primes, Domain::kCoeff);
     for (int i = 0; i < limbs; ++i) {
-        poly.component(i) = s.uniform_poly(n, primes[i]);
+        poly.component(i).copy_from(s.uniform_poly(n, primes[i]));
     }
 
     const int saved_threads = num_threads();
@@ -141,7 +141,7 @@ BM_BaseConv(benchmark::State& state)
     Sampler s(2);
     RnsPoly poly(e.ctx.n(), src, Domain::kCoeff);
     for (std::size_t i = 0; i < src.size(); ++i) {
-        poly.component(i) = s.uniform_poly(e.ctx.n(), src[i]);
+        poly.component(i).copy_from(s.uniform_poly(e.ctx.n(), src[i]));
     }
     for (auto _ : state) {
         auto out = conv.convert(poly);
@@ -197,6 +197,50 @@ BM_Rescale(benchmark::State& state)
     }
 }
 BENCHMARK(BM_Rescale);
+
+void
+BM_RescaleLowLevel(benchmark::State& state)
+{
+    // The acceptance sweep for coefficient-level tiling: rescale at a
+    // 3-limb chain (the bootstrap-tail regime where per-limb
+    // parallelism caps at 2 lanes), swept over the thread knob.
+    // Arg(0) is the lane count.
+    static Env* re = [] {
+        CkksParams p;
+        p.n = 1 << 14;
+        p.max_level = 8;
+        p.dnum = 3;
+        return new Env(p);
+    }();
+    const int threads = static_cast<int>(state.range(0));
+
+    static const Ciphertext* low = [] {
+        auto* ct = new Ciphertext(re->ct);
+        Evaluator& ev = re->eval;
+        ev.drop_level_inplace(*ct, 2); // 3 limbs
+        return ct;
+    }();
+
+    const int saved_threads = num_threads();
+    set_num_threads(threads);
+    for (auto _ : state) {
+        state.PauseTiming();
+        Ciphertext scratch = *low;
+        state.ResumeTiming();
+        re->eval.rescale_inplace(scratch);
+        benchmark::DoNotOptimize(scratch.b.data());
+    }
+    set_num_threads(saved_threads);
+    state.counters["threads"] = threads;
+    state.counters["limbs"] = 3;
+}
+BENCHMARK(BM_RescaleLowLevel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
 
 void
 BM_Bootstrap(benchmark::State& state)

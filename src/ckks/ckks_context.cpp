@@ -44,12 +44,36 @@ CkksContext::CkksContext(const CkksParams& params)
         ntt_tables_.emplace(p, std::make_unique<NttTables>(params.n, p));
     }
 
+    // Per-level NTT-table pointer chains (prefixes of the q chain).
+    level_tables_.resize(params.max_level + 1);
+    for (int l = 0; l <= params.max_level; ++l) {
+        for (int i = 0; i <= l; ++i) {
+            level_tables_[l].push_back(ntt_tables_.at(q_primes_[i]).get());
+        }
+    }
+
     // Level bases (prefixes of the q chain).
     q_bases_.reserve(params.max_level + 1);
     for (int l = 0; l <= params.max_level; ++l) {
         q_bases_.emplace_back(std::vector<u64>(q_primes_.begin(),
                                                q_primes_.begin() + l + 1));
     }
+    // Rescale constants: dropping the prime at chain index `top` needs
+    // [q_top]_{q_i} and a Shoup context for its inverse on every
+    // remaining limb i < top.
+    rescale_q_mod_.resize(params.max_level + 1);
+    rescale_inv_.resize(params.max_level + 1);
+    for (int top = 1; top <= params.max_level; ++top) {
+        rescale_q_mod_[top].resize(top);
+        rescale_inv_[top].resize(top);
+        for (int i = 0; i < top; ++i) {
+            const u64 qi = q_primes_[i];
+            const u64 q_top_mod = q_primes_[top] % qi;
+            rescale_q_mod_[top][i] = q_top_mod;
+            rescale_inv_[top][i] = ShoupMul(inv_mod(q_top_mod, qi), qi);
+        }
+    }
+
     p_base_ = RnsBase(p_primes_);
 
     log_pq_bits_ = q_bases_.back().product().bit_length() +
@@ -114,6 +138,13 @@ CkksContext::tables_for(const RnsPoly& poly) const
     return tables_for(poly.primes());
 }
 
+const std::vector<const NttTables*>&
+CkksContext::level_tables(int level) const
+{
+    BTS_CHECK(level >= 0 && level <= params_.max_level, "level out of range");
+    return level_tables_[level];
+}
+
 std::pair<int, int>
 CkksContext::slice_range(int slice, int level) const
 {
@@ -127,6 +158,22 @@ CkksContext::num_slices(int level) const
 {
     return static_cast<int>(ceil_div(static_cast<u64>(level + 1),
                                      static_cast<u64>(alpha_)));
+}
+
+u64
+CkksContext::rescale_q_mod(int top, int i) const
+{
+    BTS_CHECK(top >= 1 && top <= params_.max_level && i >= 0 && i < top,
+              "rescale constant index out of range");
+    return rescale_q_mod_[top][i];
+}
+
+const ShoupMul&
+CkksContext::rescale_inv(int top, int i) const
+{
+    BTS_CHECK(top >= 1 && top <= params_.max_level && i >= 0 && i < top,
+              "rescale constant index out of range");
+    return rescale_inv_[top][i];
 }
 
 u64

@@ -89,6 +89,12 @@ class CkksContext
     std::vector<const NttTables*> tables_for(const RnsPoly& poly) const;
 
     /**
+     * Cached table pointers for {q_0..q_l} — the per-call vector builds
+     * would otherwise be the last allocations on the rescale hot path.
+     */
+    const std::vector<const NttTables*>& level_tables(int level) const;
+
+    /**
      * Key-switching slice j at level l: the half-open index range
      * [begin, end) into the q-prime chain (Eq. 7). Slices partition
      * {0..l} into ceil((l+1)/alpha) groups of up to alpha primes.
@@ -97,6 +103,16 @@ class CkksContext
 
     /** Number of key-switching slices at level l. */
     int num_slices(int level) const;
+
+    /**
+     * [q_top]_{q_i}, precomputed for rescaling away the prime at chain
+     * index @p top (1 <= top <= L, i < top) — the hottest CKKS path
+     * must not recompute per-limb constants per call.
+     */
+    u64 rescale_q_mod(int top, int i) const;
+
+    /** Shoup context for [q_top^{-1}]_{q_i} (same indexing). */
+    const ShoupMul& rescale_inv(int top, int i) const;
 
     /** [P]_q for prime q (P = product of special primes). */
     u64 p_mod(u64 q) const;
@@ -119,9 +135,12 @@ class CkksContext
     std::vector<u64> p_primes_;
     std::vector<u64> full_primes_;
     std::vector<RnsBase> q_bases_; // index = level
+    std::vector<std::vector<u64>> rescale_q_mod_;      // [top][i], i < top
+    std::vector<std::vector<ShoupMul>> rescale_inv_;   // [top][i], i < top
     RnsBase p_base_;
     int log_pq_bits_;
     std::map<u64, std::unique_ptr<NttTables>> ntt_tables_;
+    std::vector<std::vector<const NttTables*>> level_tables_; // index = level
     mutable std::mutex converters_mutex_; //!< guards converters_
     mutable std::map<std::pair<std::vector<u64>, std::vector<u64>>,
                      std::unique_ptr<BaseConverter>>

@@ -19,7 +19,7 @@ small_poly_ntt(Sampler& sampler, const CkksContext& ctx,
                               : sampler.gaussian_poly(ctx.n());
     RnsPoly out(ctx.n(), primes, Domain::kCoeff);
     for (std::size_t i = 0; i < primes.size(); ++i) {
-        auto& comp = out.component(i);
+        const Span comp = out.component(i);
         for (std::size_t c = 0; c < ctx.n(); ++c) {
             comp[c] = signed_to_mod(vals[c], primes[i]);
         }
@@ -38,7 +38,7 @@ Encryptor::encrypt_symmetric(const Plaintext& pt, const SecretKey& sk)
 
     RnsPoly a(ctx_.n(), primes, Domain::kNtt);
     for (std::size_t i = 0; i < primes.size(); ++i) {
-        a.component(i) = sampler_.uniform_poly(ctx_.n(), primes[i]);
+        a.component(i).copy_from(sampler_.uniform_poly(ctx_.n(), primes[i]));
     }
     RnsPoly e = small_poly_ntt(sampler_, ctx_, primes, /*ternary=*/false);
 

@@ -1,9 +1,11 @@
 #include "ckks/evaluator.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "common/workspace.h"
 #include "math/mod_arith.h"
 
 namespace bts {
@@ -17,6 +19,10 @@ namespace {
 void
 check_scale_match(double s1, double s2)
 {
+    // Guard before dividing: a zero / negative / NaN scale would turn
+    // the ratio test into a meaningless (or division-by-zero) check.
+    BTS_CHECK(s1 > 0.0 && s2 > 0.0,
+              "operand scales must be positive: " << s1 << " vs " << s2);
     BTS_CHECK(std::abs(s1 / s2 - 1.0) < Evaluator::kScaleTolerance,
               "operand scales differ beyond tolerance: " << s1 << " vs "
                                                          << s2);
@@ -80,12 +86,12 @@ Evaluator::gather_evk(const RnsPoly& key_poly, int level) const
     // need {q_0..q_l, p_0..p_{k-1}}.
     const auto ext = ctx_.extended_primes(level);
     const int L = ctx_.max_level();
-    RnsPoly out(ctx_.n(), ext, Domain::kNtt);
+    RnsPoly out(ctx_.n(), ext, Domain::kNtt, RnsPoly::Uninit{});
     for (int i = 0; i <= level; ++i) {
-        out.component(i) = key_poly.component(i);
+        out.component(i).copy_from(key_poly.component(i));
     }
     for (int t = 0; t < ctx_.num_special(); ++t) {
-        out.component(level + 1 + t) = key_poly.component(L + 1 + t);
+        out.component(level + 1 + t).copy_from(key_poly.component(L + 1 + t));
     }
     return out;
 }
@@ -122,9 +128,9 @@ Evaluator::key_switch(const RnsPoly& d, const EvalKey& evk, int level) const
         tgt.insert(tgt.end(), ctx_.p_primes().begin(),
                    ctx_.p_primes().end());
 
-        RnsPoly d_slice(ctx_.n(), src, Domain::kNtt);
+        RnsPoly d_slice(ctx_.n(), src, Domain::kNtt, RnsPoly::Uninit{});
         for (int i = begin; i < end; ++i) {
-            d_slice.component(i - begin) = d.component(i);
+            d_slice.component(i - begin).copy_from(d.component(i));
         }
         d_slice.to_coeff(ctx_.tables_for(src));
 
@@ -133,14 +139,14 @@ Evaluator::key_switch(const RnsPoly& d, const EvalKey& evk, int level) const
 
         // Reassemble the extended polynomial: slice components stay in
         // the NTT domain untouched; converted components fill the rest.
-        RnsPoly f(ctx_.n(), ext, Domain::kNtt);
+        RnsPoly f(ctx_.n(), ext, Domain::kNtt, RnsPoly::Uninit{});
         std::size_t conv_idx = 0;
         for (std::size_t i = 0; i < ext.size(); ++i) {
             const int ii = static_cast<int>(i);
             if (ii >= begin && ii < end && ii <= level) {
-                f.component(i) = d.component(i);
+                f.component(i).copy_from(d.component(i));
             } else {
-                f.component(i) = converted.component(conv_idx++);
+                f.component(i).copy_from(converted.component(conv_idx++));
             }
         }
 
@@ -167,9 +173,10 @@ Evaluator::mod_down_inplace(RnsPoly& acc, int level) const
     // of Fig. 3a.
     const auto q_primes = ctx_.level_primes(level);
     const int k = ctx_.num_special();
-    RnsPoly p_part(ctx_.n(), ctx_.p_primes(), Domain::kNtt);
+    RnsPoly p_part(ctx_.n(), ctx_.p_primes(), Domain::kNtt,
+                   RnsPoly::Uninit{});
     for (int t = 0; t < k; ++t) {
-        p_part.component(t) = acc.component(level + 1 + t);
+        p_part.component(t).copy_from(acc.component(level + 1 + t));
     }
     p_part.to_coeff(ctx_.tables_for(ctx_.p_primes()));
     RnsPoly lifted =
@@ -208,20 +215,21 @@ Evaluator::mod_up_slices(const RnsPoly& d_ntt, int level) const
         tgt.insert(tgt.end(), ctx_.p_primes().begin(),
                    ctx_.p_primes().end());
 
-        RnsPoly d_slice(ctx_.n(), src, Domain::kCoeff);
+        RnsPoly d_slice(ctx_.n(), src, Domain::kCoeff,
+                        RnsPoly::Uninit{});
         for (int i = begin; i < end; ++i) {
-            d_slice.component(i - begin) = d.component(i);
+            d_slice.component(i - begin).copy_from(d.component(i));
         }
         RnsPoly converted = ctx_.converter(src, tgt).convert(d_slice);
 
-        RnsPoly f(ctx_.n(), ext, Domain::kCoeff);
+        RnsPoly f(ctx_.n(), ext, Domain::kCoeff, RnsPoly::Uninit{});
         std::size_t conv_idx = 0;
         for (std::size_t i = 0; i < ext.size(); ++i) {
             const int ii = static_cast<int>(i);
             if (ii >= begin && ii < end && ii <= level) {
-                f.component(i) = d.component(i);
+                f.component(i).copy_from(d.component(i));
             } else {
-                f.component(i) = converted.component(conv_idx++);
+                f.component(i).copy_from(converted.component(conv_idx++));
             }
         }
         slices.push_back(std::move(f));
@@ -340,34 +348,61 @@ Evaluator::rescale_poly(RnsPoly& poly) const
 {
     const std::size_t count = poly.num_primes();
     BTS_CHECK(count >= 2, "cannot rescale a level-0 polynomial");
+    const std::size_t n = poly.degree();
+    const int top = static_cast<int>(count) - 1;
     const u64 q_last = poly.prime(count - 1);
+    // The cached constants are indexed by position in the q chain; the
+    // whole chain must be a prefix of it, not just the top prime (a
+    // re-based polynomial would otherwise pick up wrong constants).
+    for (std::size_t i = 0; i < count; ++i) {
+        BTS_ASSERT(poly.prime(i) == ctx_.q_primes()[i],
+                   "rescale expects a q-chain-prefix polynomial");
+    }
 
-    // Bring the top component to the coefficient domain.
-    std::vector<u64> last = poly.component(count - 1);
-    ctx_.tables(q_last).inverse(last.data());
+    // Bring the top component to the coefficient domain in place — the
+    // row is discarded by pop_component below, so no copy is needed
+    // (a single-limb transform stage-parallelizes across lanes). The
+    // cached per-level table chain keeps this path allocation-free.
+    const auto& q_tables = ctx_.level_tables(top);
+    u64* const last_base = poly.component(count - 1).data();
+    ntt_inverse_batch(q_tables.data() + top, last_base, 1, n);
 
+    // HRescale over (limb x coefficient block): the per-limb axis alone
+    // collapses at low level (2 of 8 lanes busy at level 2 — exactly
+    // the parallelism cliff of PAPER.md Section 3), so every phase
+    // below tiles the coefficient axis too.
     const u64 half = q_last >> 1;
-    // Every remaining limb rescales independently (lift, NTT, fused
-    // subtract-multiply) — the hot per-limb path of HRescale.
-    parallel_for(0, count - 1, [&](std::size_t i) {
-        const u64 qi = poly.prime(i);
-        const Barrett barrett(qi);
-        // Centered lift of the top residue into Z_qi.
-        std::vector<u64> lifted(last.size());
-        const u64 q_last_mod_qi = q_last % qi;
-        for (std::size_t c = 0; c < last.size(); ++c) {
-            u64 v = last[c] % qi;
-            if (last[c] > half) v = sub_mod(v, q_last_mod_qi, qi);
-            lifted[c] = v;
-        }
-        ctx_.tables(qi).forward(lifted.data());
+    Workspace lifted((count - 1) * n);
+    u64* const lifted_base = lifted.data();
+    parallel_for_2d(
+        count - 1, n,
+        [&](std::size_t i, std::size_t c0, std::size_t c1) {
+            // Centered lift of the top residue into Z_qi.
+            const u64 qi = poly.prime(i);
+            const u64 q_last_mod_qi =
+                ctx_.rescale_q_mod(top, static_cast<int>(i));
+            u64* dst = lifted_base + i * n;
+            for (std::size_t c = c0; c < c1; ++c) {
+                u64 v = last_base[c] % qi;
+                if (last_base[c] > half) v = sub_mod(v, q_last_mod_qi, qi);
+                dst[c] = v;
+            }
+        });
 
-        const ShoupMul inv(inv_mod(q_last_mod_qi, qi), qi);
-        auto& comp = poly.component(i);
-        for (std::size_t c = 0; c < comp.size(); ++c) {
-            comp[c] = inv.mul(sub_mod(comp[c], lifted[c], qi), qi);
-        }
-    });
+    ntt_forward_batch(q_tables.data(), lifted_base, count - 1, n);
+
+    // Fused subtract-multiply with the cached Shoup inverse constants.
+    parallel_for_2d(
+        count - 1, n,
+        [&](std::size_t i, std::size_t c0, std::size_t c1) {
+            const u64 qi = poly.prime(i);
+            const ShoupMul& inv = ctx_.rescale_inv(top, static_cast<int>(i));
+            const u64* src = lifted_base + i * n;
+            u64* dst = poly.component(i).data();
+            for (std::size_t c = c0; c < c1; ++c) {
+                dst[c] = inv.mul(sub_mod(dst[c], src[c], qi), qi);
+            }
+        });
     poly.pop_component();
 }
 
@@ -560,7 +595,7 @@ Evaluator::mult_by_i(const Ciphertext& ct) const
         const Barrett barrett(q);
         const auto& mono = monomial_ntt(q, power);
         for (auto* poly : {&out.b, &out.a}) {
-            auto& comp = poly->component(i);
+            const Span comp = poly->component(i);
             for (std::size_t c = 0; c < comp.size(); ++c) {
                 comp[c] = barrett.mul(comp[c], mono[c]);
             }
@@ -610,19 +645,21 @@ Evaluator::mod_raise(const Ciphertext& ct) const
     auto raise_poly = [&](const RnsPoly& src_ntt) {
         RnsPoly src = src_ntt;
         src.to_coeff(ctx_.tables_for(src));
-        RnsPoly out(ctx_.n(), primes, Domain::kCoeff);
-        const auto& base = src.component(0);
-        parallel_for(0, primes.size(), [&](std::size_t i) {
-            const u64 qi = primes[i];
-            const u64 q0_mod_qi = q0 % qi;
-            auto& comp = out.component(i);
-            for (std::size_t c = 0; c < base.size(); ++c) {
-                // Centered lift of the mod-q0 residue into Z_qi.
-                u64 v = base[c] % qi;
-                if (base[c] > half) v = sub_mod(v, q0_mod_qi, qi);
-                comp[c] = v;
-            }
-        });
+        RnsPoly out(ctx_.n(), primes, Domain::kCoeff, RnsPoly::Uninit{});
+        const u64* base = src.component(0).data();
+        parallel_for_2d(
+            primes.size(), ctx_.n(),
+            [&](std::size_t i, std::size_t c0, std::size_t c1) {
+                const u64 qi = primes[i];
+                const u64 q0_mod_qi = q0 % qi;
+                u64* comp = out.component(i).data();
+                for (std::size_t c = c0; c < c1; ++c) {
+                    // Centered lift of the mod-q0 residue into Z_qi.
+                    u64 v = base[c] % qi;
+                    if (base[c] > half) v = sub_mod(v, q0_mod_qi, qi);
+                    comp[c] = v;
+                }
+            });
         out.to_ntt(ctx_.tables_for(primes));
         return out;
     };

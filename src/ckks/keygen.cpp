@@ -20,7 +20,7 @@ KeyGenerator::gen_secret_key()
     sk.hamming_weight = ctx_.params().hamming_weight;
     sk.s_coeff = RnsPoly(ctx_.n(), primes, Domain::kCoeff);
     for (std::size_t i = 0; i < primes.size(); ++i) {
-        auto& comp = sk.s_coeff.component(i);
+        const Span comp = sk.s_coeff.component(i);
         for (std::size_t c = 0; c < ctx_.n(); ++c) {
             comp[c] = signed_to_mod(ternary[c], primes[i]);
         }
@@ -40,7 +40,7 @@ uniform_ntt_poly(Sampler& sampler, std::size_t n,
 {
     RnsPoly out(n, primes, Domain::kNtt);
     for (std::size_t i = 0; i < primes.size(); ++i) {
-        out.component(i) = sampler.uniform_poly(n, primes[i]);
+        out.component(i).copy_from(sampler.uniform_poly(n, primes[i]));
     }
     return out;
 }
@@ -53,7 +53,7 @@ gaussian_ntt_poly(Sampler& sampler, const CkksContext& ctx,
     const auto err = sampler.gaussian_poly(ctx.n());
     RnsPoly out(ctx.n(), primes, Domain::kCoeff);
     for (std::size_t i = 0; i < primes.size(); ++i) {
-        auto& comp = out.component(i);
+        const Span comp = out.component(i);
         for (std::size_t c = 0; c < ctx.n(); ++c) {
             comp[c] = signed_to_mod(err[c], primes[i]);
         }
@@ -113,8 +113,8 @@ KeyGenerator::gen_switching_key(const SecretKey& sk,
         for (int i = begin; i < end; ++i) {
             const u64 q = primes[i];
             const ShoupMul p_mod_q(ctx_.p_mod(q), q);
-            const auto& s_comp = s_src_ntt.component(i);
-            auto& b_comp = b.component(i);
+            const ConstSpan s_comp = s_src_ntt.component(i);
+            const Span b_comp = b.component(i);
             for (std::size_t c = 0; c < ctx_.n(); ++c) {
                 b_comp[c] = add_mod(b_comp[c], p_mod_q.mul(s_comp[c], q), q);
             }

@@ -1,5 +1,6 @@
 #include "common/parallel.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <memory>
 
@@ -174,6 +175,43 @@ num_threads()
     std::lock_guard<std::mutex> lock(g_pool_mutex);
     ensure_initialized_locked();
     return g_num_threads;
+}
+
+void
+parallel_for_2d(
+    std::size_t dim0, std::size_t dim1,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
+    std::size_t min_block)
+{
+    if (dim0 == 0 || dim1 == 0) return;
+    if (min_block == 0) min_block = 1;
+
+    // Aim for ~4 work items per lane so the shared-index schedule load
+    // balances; never tile rows once the row count alone gets there.
+    const auto lanes = static_cast<std::size_t>(num_threads());
+    const std::size_t target_items = lanes * 4;
+    std::size_t blocks = 1;
+    if (lanes > 1 && dim0 < target_items) {
+        const std::size_t wanted = (target_items + dim0 - 1) / dim0;
+        // Floor keeps every block >= min_block indices long.
+        const std::size_t max_blocks = dim1 / min_block;
+        blocks = std::max<std::size_t>(1, std::min(wanted, max_blocks));
+    }
+    if (blocks == 1) {
+        parallel_for(0, dim0,
+                     [&](std::size_t i) { body(i, 0, dim1); });
+        return;
+    }
+    // Even boundaries b*dim1/blocks keep every block within one index
+    // of dim1/blocks, so the floor-based block cap above guarantees no
+    // block ever shrinks below min_block (no short tail block).
+    parallel_for(0, dim0 * blocks, [&, blocks](std::size_t idx) {
+        const std::size_t i = idx / blocks;
+        const std::size_t b = idx % blocks;
+        const std::size_t j0 = b * dim1 / blocks;
+        const std::size_t j1 = (b + 1) * dim1 / blocks;
+        body(i, j0, j1);
+    });
 }
 
 void

@@ -108,4 +108,30 @@ int num_threads();
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body);
 
+/**
+ * 2-D tiled loop: run body(i, j_begin, j_end) covering every
+ * (i, j) in [0, dim0) x [0, dim1), with the j axis split into
+ * contiguous blocks.
+ *
+ * This is the software image of the paper's coefficient-level
+ * parallelism (Section 3): per-limb fan-out alone collapses when the
+ * modulus chain is short (a level-2 rescale would use 2 lanes of 8),
+ * so the j axis (coefficients) is tiled until the schedule reaches
+ * ~4 work items per lane (the shared-index loop's load-balance
+ * target). Once dim0 (limbs) alone provides that many items, each row
+ * is a single block and the schedule degenerates to the plain
+ * per-limb parallel_for — zero tiling overhead on deep chains.
+ *
+ * Blocks never split below @p min_block j-indices (amortizes per-item
+ * scheduling and keeps writes cacheline-disjoint between lanes).
+ * Results must not depend on the block boundaries; every body call
+ * touches the disjoint (i, [j_begin, j_end)) tile only, so any
+ * schedule — including the serial nested fallback — is bit-exact.
+ * Exceptions propagate like parallel_for.
+ */
+void parallel_for_2d(
+    std::size_t dim0, std::size_t dim1,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
+    std::size_t min_block = 1024);
+
 } // namespace bts

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Lightweight residue-vector views over flat RnsPoly storage.
+ *
+ * RnsPoly stores all residue polynomials in one contiguous limb-major
+ * buffer (the paper's N x (l+1) residue matrix laid out row-per-limb);
+ * component accessors hand out non-owning views instead of per-limb
+ * vectors. The views are deliberately tiny — pointer + length — so hot
+ * loops see plain arrays and the 2-D (limb x coefficient-block) tiling
+ * can slice them freely.
+ *
+ * Invalidation rule: a view is valid until the owning polynomial grows
+ * (push_component may reallocate) or is destroyed. Shrinking (truncate,
+ * pop_component) keeps views over the surviving limbs valid.
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace bts {
+
+/** Read-only view of a residue vector (length-N row of u64). */
+class ConstSpan
+{
+  public:
+    ConstSpan() = default;
+    ConstSpan(const u64* data, std::size_t size) : data_(data), size_(size)
+    {}
+    /*implicit*/ ConstSpan(const std::vector<u64>& v)
+        : data_(v.data()), size_(v.size())
+    {}
+
+    const u64* data() const { return data_; }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    const u64& operator[](std::size_t i) const { return data_[i]; }
+    const u64* begin() const { return data_; }
+    const u64* end() const { return data_ + size_; }
+
+    /** Materialize an owning copy (for APIs that need a vector). */
+    std::vector<u64> to_vector() const
+    {
+        return std::vector<u64>(data_, data_ + size_);
+    }
+
+  private:
+    const u64* data_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+/** Mutable view of a residue vector. */
+class Span
+{
+  public:
+    Span() = default;
+    Span(u64* data, std::size_t size) : data_(data), size_(size) {}
+    /*implicit*/ Span(std::vector<u64>& v) : data_(v.data()), size_(v.size())
+    {}
+
+    Span(const Span&) = default;
+    // No copy assignment: it would rebind the view, so the pre-flat
+    // idiom `poly.component(i) = values` would compile as a silent
+    // no-op instead of a deep copy. Use copy_from() for elements.
+    Span& operator=(const Span&) = delete;
+
+    /*implicit*/ operator ConstSpan() const { return {data_, size_}; }
+
+    u64* data() const { return data_; }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    u64& operator[](std::size_t i) const { return data_[i]; }
+    u64* begin() const { return data_; }
+    u64* end() const { return data_ + size_; }
+
+    std::vector<u64> to_vector() const
+    {
+        return std::vector<u64>(data_, data_ + size_);
+    }
+
+    /** Element-wise copy; sizes must match and ranges must not overlap
+     *  partially (identical or disjoint). */
+    void
+    copy_from(ConstSpan src) const
+    {
+        BTS_CHECK(src.size() == size_, "span size mismatch");
+        if (src.data() == data_) return;
+        for (std::size_t i = 0; i < size_; ++i) data_[i] = src[i];
+    }
+
+    void
+    fill(u64 v) const
+    {
+        for (std::size_t i = 0; i < size_; ++i) data_[i] = v;
+    }
+
+  private:
+    u64* data_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+inline bool
+operator==(ConstSpan a, ConstSpan b)
+{
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] != b[i]) return false;
+    }
+    return true;
+}
+
+inline bool
+operator!=(ConstSpan a, ConstSpan b)
+{
+    return !(a == b);
+}
+
+} // namespace bts

@@ -1,0 +1,126 @@
+#include "common/workspace.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace bts {
+
+namespace {
+
+/** Bounded free list of recycled buffers. */
+class BufferPool
+{
+  public:
+    BufferPool() { free_.reserve(kMaxBuffers); } // keep release() noexcept-safe
+
+    U64Buffer
+    acquire(std::size_t min_capacity)
+    {
+        if (min_capacity == 0) return {}; // don't pin a cached buffer
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            // Best fit: smallest cached buffer that is large enough, so
+            // one oversized allocation does not get pinned to tiny asks.
+            std::size_t best = free_.size();
+            for (std::size_t i = 0; i < free_.size(); ++i) {
+                if (free_[i].capacity() < min_capacity) continue;
+                if (best == free_.size() ||
+                    free_[i].capacity() < free_[best].capacity()) {
+                    best = i;
+                }
+            }
+            if (best != free_.size()) {
+                U64Buffer out = std::move(free_[best]);
+                cached_bytes_ -= out.capacity() * sizeof(u64);
+                free_.erase(free_.begin() +
+                            static_cast<std::ptrdiff_t>(best));
+                hits_ += 1;
+                out.clear();
+                return out;
+            }
+            misses_ += 1;
+        }
+        U64Buffer out;
+        out.reserve(min_capacity);
+        return out;
+    }
+
+    void
+    release(U64Buffer&& buf)
+    {
+        const std::size_t bytes = buf.capacity() * sizeof(u64);
+        if (bytes == 0) return;
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (cached_bytes_ + bytes > kMaxBytes) {
+            return; // drop on the floor: vector frees to the allocator
+        }
+        if (free_.size() >= kMaxBuffers) {
+            // Evict the smallest cached buffer rather than the incoming
+            // one: steady-state traffic reuses the largest working-set
+            // buffers, and small ones are cheap to reallocate.
+            std::size_t min_i = 0;
+            for (std::size_t i = 1; i < free_.size(); ++i) {
+                if (free_[i].capacity() < free_[min_i].capacity()) {
+                    min_i = i;
+                }
+            }
+            if (free_[min_i].capacity() >= buf.capacity()) return;
+            cached_bytes_ -= free_[min_i].capacity() * sizeof(u64);
+            free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(min_i));
+        }
+        cached_bytes_ += bytes;
+        free_.push_back(std::move(buf));
+    }
+
+    WorkspaceStats
+    stats()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return {hits_, misses_};
+    }
+
+  private:
+    static constexpr std::size_t kMaxBuffers = 64;
+    static constexpr std::size_t kMaxBytes = 512u << 20; // 512 MiB
+
+    std::mutex mutex_;
+    std::vector<U64Buffer> free_;
+    std::size_t cached_bytes_ = 0;
+    std::size_t hits_ = 0;
+    std::size_t misses_ = 0;
+};
+
+/**
+ * Leaked singleton: RnsPoly destructors in static objects (cached test
+ * environments, benchmark fixtures) release buffers during program
+ * teardown, so the pool must outlive every static. The pointer itself
+ * stays reachable, so leak checkers do not flag the cached buffers.
+ */
+BufferPool&
+pool()
+{
+    static BufferPool* p = new BufferPool;
+    return *p;
+}
+
+} // namespace
+
+U64Buffer
+acquire_buffer(std::size_t min_capacity)
+{
+    return pool().acquire(min_capacity);
+}
+
+void
+release_buffer(U64Buffer&& buf)
+{
+    pool().release(std::move(buf));
+}
+
+WorkspaceStats
+workspace_stats()
+{
+    return pool().stats();
+}
+
+} // namespace bts

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Reusable u64 scratch-buffer pool.
+ *
+ * Key-switching and rescaling are called millions of times per
+ * bootstrap; before this pool every call allocated (and zeroed) fresh
+ * `std::vector<u64>` scratch — the software analogue of the paper's
+ * observation that HE working sets must live in managed on-chip storage
+ * rather than be re-fetched per op (Section 4.2). All RnsPoly backing
+ * buffers and the explicit Workspace scratch used by rescale/BConv
+ * recycle through one process-wide free list: after warm-up, steady-state
+ * evaluator traffic performs no heap allocation for polynomial data.
+ *
+ * Thread safety: acquire/release take one short mutex-protected pop/push
+ * each; buffers themselves are exclusively owned between the two calls.
+ * The pool is bounded (count and bytes); overflow buffers are simply
+ * freed to the allocator.
+ */
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/span.h"
+#include "common/types.h"
+
+namespace bts {
+
+/**
+ * Allocator whose default-construct is a no-op: resize() on a
+ * U64Buffer leaves the new elements uninitialized instead of
+ * memsetting them — scratch that is fully overwritten before being
+ * read (the lift/NTT/MMAU phases) must not pay a zero-fill per
+ * acquisition. Value-construction (assign(n, 0), push_back) still
+ * initializes normally, so owners that need zeroed storage ask for it
+ * explicitly.
+ */
+template <typename T>
+struct UninitAllocator : std::allocator<T>
+{
+    template <typename U>
+    struct rebind
+    {
+        using other = UninitAllocator<U>;
+    };
+
+    template <typename U>
+    void
+    construct(U* /*p*/) noexcept
+    {
+        // Default-init: intentionally left uninitialized — only sound
+        // for types with no construction invariants.
+        static_assert(std::is_trivially_default_constructible_v<U>,
+                      "UninitAllocator requires trivial default init");
+    }
+
+    template <typename U, typename... Args>
+    void
+    construct(U* p, Args&&... args)
+    {
+        ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+    }
+};
+
+/** Pooled flat u64 storage (resize does not zero; assign does). */
+using U64Buffer = std::vector<u64, UninitAllocator<u64>>;
+
+/**
+ * Take a buffer with capacity >= @p min_capacity from the pool (or the
+ * heap on a miss). The buffer is returned with size() == 0; contents
+ * beyond what the caller writes are unspecified.
+ */
+U64Buffer acquire_buffer(std::size_t min_capacity);
+
+/** Return a buffer to the pool (its contents become unspecified). */
+void release_buffer(U64Buffer&& buf);
+
+/** Pool observability for tests: hits / misses since process start. */
+struct WorkspaceStats
+{
+    std::size_t hits = 0;   //!< acquires served from the free list
+    std::size_t misses = 0; //!< acquires that hit the allocator
+};
+
+WorkspaceStats workspace_stats();
+
+/**
+ * RAII scratch array of @p size u64 (unspecified initial contents),
+ * drawn from and returned to the pool.
+ */
+class Workspace
+{
+  public:
+    explicit Workspace(std::size_t size) : buf_(acquire_buffer(size))
+    {
+        buf_.resize(size);
+    }
+    ~Workspace() { release_buffer(std::move(buf_)); }
+
+    Workspace(const Workspace&) = delete;
+    Workspace& operator=(const Workspace&) = delete;
+
+    std::size_t size() const { return buf_.size(); }
+    u64* data() { return buf_.data(); }
+    const u64* data() const { return buf_.data(); }
+    Span span() { return {buf_.data(), buf_.size()}; }
+    u64& operator[](std::size_t i) { return buf_[i]; }
+
+  private:
+    U64Buffer buf_;
+};
+
+} // namespace bts

@@ -104,10 +104,14 @@ struct ShoupMul
 
     ShoupMul() = default;
 
+    /**
+     * @p operand may be unreduced; it is reduced mod @p modulus here.
+     * (An unreduced w would silently produce a wrong w_shoup: the
+     * quotient estimate in mul() assumes w < m.)
+     */
     ShoupMul(u64 operand, u64 modulus)
-        : w(operand),
-          w_shoup(static_cast<u64>((static_cast<u128>(operand) << 64) /
-                                   modulus))
+        : w(operand % modulus),
+          w_shoup(static_cast<u64>((static_cast<u128>(w) << 64) / modulus))
     {}
 
     /** @return (x * w) mod m. */

@@ -1,7 +1,10 @@
 #include "math/ntt.h"
 
+#include <algorithm>
+
 #include "common/bit_ops.h"
 #include "common/check.h"
+#include "common/parallel.h"
 #include "math/prime_gen.h"
 
 namespace bts {
@@ -74,6 +77,154 @@ NttTables::inverse(u64* a) const
     for (std::size_t j = 0; j < n_; ++j) {
         a[j] = n_inv.mul(a[j], q);
     }
+}
+
+void
+NttTables::forward_stage(u64* a, std::size_t m, std::size_t b_begin,
+                         std::size_t b_end) const
+{
+    // Stage m has m groups of t butterflies; butterfly b lives in group
+    // g = b / t at offset k, pairing a[2gt + k] with a[2gt + k + t].
+    const u64 q = prime_;
+    const std::size_t t = n_ / (2 * m);
+    std::size_t b = b_begin;
+    while (b < b_end) {
+        const std::size_t g = b / t;
+        const std::size_t k = b - g * t;
+        const std::size_t run = std::min(t - k, b_end - b);
+        const ShoupMul& s = psi_br_[m + g];
+        u64* x = a + 2 * g * t + k;
+        u64* y = x + t;
+        for (std::size_t j = 0; j < run; ++j) {
+            const u64 u = x[j];
+            const u64 v = s.mul(y[j], q);
+            x[j] = add_mod(u, v, q);
+            y[j] = sub_mod(u, v, q);
+        }
+        b += run;
+    }
+}
+
+void
+NttTables::inverse_stage(u64* a, std::size_t m, std::size_t b_begin,
+                         std::size_t b_end) const
+{
+    const u64 q = prime_;
+    const std::size_t t = n_ / m;
+    const std::size_t h = m >> 1;
+    std::size_t b = b_begin;
+    while (b < b_end) {
+        const std::size_t g = b / t;
+        const std::size_t k = b - g * t;
+        const std::size_t run = std::min(t - k, b_end - b);
+        const ShoupMul& s = psi_inv_br_[h + g];
+        u64* x = a + 2 * g * t + k;
+        u64* y = x + t;
+        for (std::size_t j = 0; j < run; ++j) {
+            const u64 u = x[j];
+            const u64 v = y[j];
+            x[j] = add_mod(u, v, q);
+            y[j] = s.mul(sub_mod(u, v, q), q);
+        }
+        b += run;
+    }
+}
+
+void
+NttTables::scale_n_inv(u64* a, std::size_t j_begin, std::size_t j_end) const
+{
+    ShoupMul n_inv;
+    n_inv.w = n_inv_;
+    n_inv.w_shoup = n_inv_shoup_;
+    for (std::size_t j = j_begin; j < j_end; ++j) {
+        a[j] = n_inv.mul(a[j], prime_);
+    }
+}
+
+namespace {
+
+/**
+ * Below this N a stage split costs more in barriers than it buys:
+ * parallel_for_2d's >=1024-coefficient blocks mean the N/2 butterflies
+ * of a stage only split into multiple tiles once N >= 4096.
+ */
+constexpr std::size_t kStageParallelMinN = 4096;
+
+bool
+use_whole_limb_schedule(std::size_t count, std::size_t n)
+{
+    // Whole-limb transforms are one cache-friendly pass per limb; only
+    // trade them for log2(N) barrier-separated stage sweeps when they
+    // would leave at least half the lanes idle (the 1-3 limb regime the
+    // split exists for), not at count = lanes-1 where utilization is
+    // already near full.
+    const auto lanes = static_cast<std::size_t>(num_threads());
+    return lanes <= 1 || 2 * count > lanes || n < kStageParallelMinN;
+}
+
+void
+check_batch(const NttTables* const* tables, std::size_t count,
+            std::size_t stride, std::size_t n)
+{
+    BTS_ASSERT(stride >= n, "batch stride smaller than transform size");
+    for (std::size_t i = 1; i < count; ++i) {
+        BTS_ASSERT(tables[i]->n() == n, "mixed transform sizes in batch");
+    }
+}
+
+} // namespace
+
+void
+ntt_forward_batch(const NttTables* const* tables, u64* data,
+                  std::size_t count, std::size_t stride)
+{
+    if (count == 0) return;
+    const std::size_t n = tables[0]->n();
+    check_batch(tables, count, stride, n);
+    if (use_whole_limb_schedule(count, n)) {
+        parallel_for(0, count, [&](std::size_t i) {
+            tables[i]->forward(data + i * stride);
+        });
+        return;
+    }
+    // Fewer limbs than lanes: run stage by stage, each stage a 2-D
+    // (limb x butterfly-block) sweep. Stages are barriers — butterflies
+    // of stage m read results of stage m/2.
+    const std::size_t half = n / 2;
+    for (std::size_t m = 1; m < n; m <<= 1) {
+        parallel_for_2d(count, half,
+                        [&](std::size_t i, std::size_t b0, std::size_t b1) {
+                            tables[i]->forward_stage(data + i * stride, m,
+                                                     b0, b1);
+                        });
+    }
+}
+
+void
+ntt_inverse_batch(const NttTables* const* tables, u64* data,
+                  std::size_t count, std::size_t stride)
+{
+    if (count == 0) return;
+    const std::size_t n = tables[0]->n();
+    check_batch(tables, count, stride, n);
+    if (use_whole_limb_schedule(count, n)) {
+        parallel_for(0, count, [&](std::size_t i) {
+            tables[i]->inverse(data + i * stride);
+        });
+        return;
+    }
+    const std::size_t half = n / 2;
+    for (std::size_t m = n; m > 1; m >>= 1) {
+        parallel_for_2d(count, half,
+                        [&](std::size_t i, std::size_t b0, std::size_t b1) {
+                            tables[i]->inverse_stage(data + i * stride, m,
+                                                     b0, b1);
+                        });
+    }
+    parallel_for_2d(count, n,
+                    [&](std::size_t i, std::size_t j0, std::size_t j1) {
+                        tables[i]->scale_n_inv(data + i * stride, j0, j1);
+                    });
 }
 
 std::vector<u64>

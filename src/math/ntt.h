@@ -39,6 +39,27 @@ class NttTables
     /** In-place inverse negacyclic NTT; input in bit-reversed order. */
     void inverse(u64* data) const;
 
+    // ----- stage-granular entry points (coefficient-level parallelism) --
+    // A radix-2 transform is log2(N) stages of N/2 independent
+    // butterflies; the batch drivers below split each stage across
+    // lanes when there are fewer limbs than threads (the paper's PE
+    // mapping, Section 4.3). Butterflies are indexed 0..N/2-1 in stage
+    // order; any partition of that range computes the same bits.
+
+    /** Forward-stage butterflies [b_begin, b_end) for stage @p m
+     *  (m = 1, 2, 4, ..., N/2 in execution order). */
+    void forward_stage(u64* data, std::size_t m, std::size_t b_begin,
+                       std::size_t b_end) const;
+
+    /** Inverse-stage butterflies [b_begin, b_end) for stage @p m
+     *  (m = N, N/2, ..., 2 in execution order). */
+    void inverse_stage(u64* data, std::size_t m, std::size_t b_begin,
+                       std::size_t b_end) const;
+
+    /** Final inverse-NTT scaling by N^{-1} over [j_begin, j_end). */
+    void scale_n_inv(u64* data, std::size_t j_begin,
+                     std::size_t j_end) const;
+
     /** Number of butterfly operations one transform performs. */
     std::size_t butterfly_count() const { return n_ / 2 * log_n_; }
 
@@ -53,6 +74,46 @@ class NttTables
     std::vector<ShoupMul> psi_br_;     // psi powers, bit-reversed order
     std::vector<ShoupMul> psi_inv_br_; // inverse psi powers, bit-reversed
 };
+
+/**
+ * Batch forward NTT over @p count limbs stored at @p stride words apart
+ * in one flat buffer (limb i occupies data[i*stride .. i*stride+N)).
+ *
+ * Scheduling: with at least as many limbs as lanes (or a small N), each
+ * limb transforms whole on one lane — identical to the per-limb path.
+ * With fewer limbs than lanes the transform runs stage by stage, each
+ * stage tiled over (limb x butterfly-block) so utilization stays full
+ * at any chain length. Both schedules are bit-exact.
+ *
+ * tables[i] must match limb i's modulus; all limbs share one N.
+ *
+ * The raw-pointer overloads take an array of at least @p count table
+ * pointers (callers with cached per-level vectors pass .data() and
+ * avoid building a fresh vector per call); the vector overloads add a
+ * size check.
+ */
+void ntt_forward_batch(const NttTables* const* tables, u64* data,
+                       std::size_t count, std::size_t stride);
+
+/** Batch inverse NTT; same layout and scheduling as ntt_forward_batch. */
+void ntt_inverse_batch(const NttTables* const* tables, u64* data,
+                       std::size_t count, std::size_t stride);
+
+inline void
+ntt_forward_batch(const std::vector<const NttTables*>& tables, u64* data,
+                  std::size_t count, std::size_t stride)
+{
+    BTS_CHECK(tables.size() >= count, "NTT table count mismatch");
+    ntt_forward_batch(tables.data(), data, count, stride);
+}
+
+inline void
+ntt_inverse_batch(const std::vector<const NttTables*>& tables, u64* data,
+                  std::size_t count, std::size_t stride)
+{
+    BTS_CHECK(tables.size() >= count, "NTT table count mismatch");
+    ntt_inverse_batch(tables.data(), data, count, stride);
+}
 
 /**
  * Reference O(N^2) negacyclic convolution used by the tests to validate

@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "common/workspace.h"
 #include "math/mod_arith.h"
 
 namespace bts {
@@ -14,12 +15,14 @@ BaseConverter::BaseConverter(const RnsBase& source, const RnsBase& target)
             BTS_CHECK(p != q, "source/target bases must be disjoint");
         }
     }
-    hat_inv_.resize(source.size());
+    hat_inv_shoup_.resize(source.size());
     for (std::size_t j = 0; j < source.size(); ++j) {
-        hat_inv_[j] = source.hat_inv(j);
+        hat_inv_shoup_[j] = ShoupMul(source.hat_inv(j), source.prime(j));
     }
     hat_mod_.assign(target.size(), std::vector<u64>(source.size()));
+    target_barrett_.resize(target.size());
     for (std::size_t i = 0; i < target.size(); ++i) {
+        target_barrett_[i] = Barrett(target.prime(i));
         for (std::size_t j = 0; j < source.size(); ++j) {
             hat_mod_[i][j] = source.hat_mod(j, target.prime(i));
         }
@@ -36,35 +39,49 @@ BaseConverter::convert(const RnsPoly& input) const
     const std::size_t n = input.degree();
 
     // Part 1 (ModMult in the BConvU): y_j = [x_j * q_hat_inv_j]_{q_j},
-    // one source limb per lane.
+    // tiled over (source limb x coefficient block) into pooled flat
+    // scratch (limb-major, like RnsPoly storage).
     for (std::size_t j = 0; j < source_.size(); ++j) {
         BTS_CHECK(input.prime(j) == source_.prime(j), "prime mismatch");
     }
-    std::vector<std::vector<u64>> scaled(source_.size());
-    parallel_for(0, source_.size(), [&](std::size_t j) {
-        const u64 q = source_.prime(j);
-        const ShoupMul s(hat_inv_[j], q);
-        scaled[j] = input.component(j);
-        for (auto& v : scaled[j]) v = s.mul(v, q);
-    });
+    const std::size_t src_count = source_.size();
+    Workspace scaled(src_count * n);
+    u64* const scaled_base = scaled.data();
+    parallel_for_2d(
+        src_count, n,
+        [&](std::size_t j, std::size_t c0, std::size_t c1) {
+            const u64 q = source_.prime(j);
+            const ShoupMul& s = hat_inv_shoup_[j];
+            const u64* src = input.component(j).data();
+            u64* dst = scaled_base + j * n;
+            for (std::size_t c = c0; c < c1; ++c) {
+                dst[c] = s.mul(src[c], q);
+            }
+        });
 
     // Part 2 (MMAU): out_i = [ sum_j y_j * q_hat_j ]_{p_i}, accumulated
     // lazily in 128 bits (q_j < 2^61 keeps sums of 64 terms overflow-free;
     // we reduce defensively every 8 terms for arbitrary base sizes).
-    RnsPoly out(n, target_.primes(), Domain::kCoeff);
-    parallel_for(0, target_.size(), [&](std::size_t i) {
-        const u64 p = target_.prime(i);
-        const Barrett barrett(p);
-        auto& dst = out.component(i);
-        for (std::size_t c = 0; c < n; ++c) {
-            u128 acc = 0;
-            for (std::size_t j = 0; j < source_.size(); ++j) {
-                acc += static_cast<u128>(scaled[j][c]) * hat_mod_[i][j];
-                if ((j & 7) == 7) acc = barrett.reduce(acc);
+    // Each coefficient's sum is self-contained, so the 2-D tiling
+    // cannot change the result.
+    // Part 2 writes every coefficient of every target limb: the
+    // output can skip the zero-fill.
+    RnsPoly out(n, target_.primes(), Domain::kCoeff, RnsPoly::Uninit{});
+    parallel_for_2d(
+        target_.size(), n,
+        [&](std::size_t i, std::size_t c0, std::size_t c1) {
+            const Barrett& barrett = target_barrett_[i];
+            u64* dst = out.component(i).data();
+            for (std::size_t c = c0; c < c1; ++c) {
+                u128 acc = 0;
+                for (std::size_t j = 0; j < src_count; ++j) {
+                    acc += static_cast<u128>(scaled_base[j * n + c]) *
+                           hat_mod_[i][j];
+                    if ((j & 7) == 7) acc = barrett.reduce(acc);
+                }
+                dst[c] = barrett.reduce(acc);
             }
-            dst[c] = barrett.reduce(acc);
-        }
-    });
+        });
     return out;
 }
 
@@ -85,23 +102,25 @@ BaseConverter::convert_grouped(const RnsPoly& input, int l_sub) const
          j0 += static_cast<std::size_t>(l_sub)) {
         const std::size_t j1 =
             std::min(src_count, j0 + static_cast<std::size_t>(l_sub));
-        // Target limbs are independent within a group; the group loop
-        // itself stays sequential (partial sums accumulate in order).
-        parallel_for(0, target_.size(), [&](std::size_t i) {
-            const u64 p = target_.prime(i);
-            const Barrett barrett(p);
-            auto& dst = out.component(i);
-            for (std::size_t c = 0; c < n; ++c) {
-                u128 acc = dst[c];
-                for (std::size_t j = j0; j < j1; ++j) {
-                    const u64 q = source_.prime(j);
-                    const u64 y =
-                        mul_mod(input.component(j)[c], hat_inv_[j], q);
-                    acc += static_cast<u128>(y) * hat_mod_[i][j];
+        // Target limbs and coefficients are independent within a group;
+        // the group loop itself stays sequential (partial sums
+        // accumulate in order).
+        parallel_for_2d(
+            target_.size(), n,
+            [&](std::size_t i, std::size_t c0, std::size_t c1) {
+                const Barrett& barrett = target_barrett_[i];
+                u64* dst = out.component(i).data();
+                for (std::size_t c = c0; c < c1; ++c) {
+                    u128 acc = dst[c];
+                    for (std::size_t j = j0; j < j1; ++j) {
+                        const u64 q = source_.prime(j);
+                        const u64 y = hat_inv_shoup_[j].mul(
+                            input.component(j)[c], q);
+                        acc += static_cast<u128>(y) * hat_mod_[i][j];
+                    }
+                    dst[c] = barrett.reduce(acc);
                 }
-                dst[c] = barrett.reduce(acc);
-            }
-        });
+            });
     }
     return out;
 }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "math/mod_arith.h"
 #include "rns/rns_base.h"
 #include "rns/rns_poly.h"
 
@@ -53,8 +54,12 @@ class BaseConverter
   private:
     RnsBase source_;
     RnsBase target_;
-    std::vector<u64> hat_inv_;              // per source prime j
     std::vector<std::vector<u64>> hat_mod_; // [target i][source j]
+    // Hot-path reducers, built once per converter so the tiled loops
+    // never reconstruct them (each costs a 128-bit division). The
+    // Shoup contexts carry q_hat_inv_j themselves (member w).
+    std::vector<ShoupMul> hat_inv_shoup_;   // per source prime j
+    std::vector<Barrett> target_barrett_;   // per target prime i
 };
 
 } // namespace bts

@@ -1,25 +1,86 @@
 #include "rns/rns_poly.h"
 
+#include <algorithm>
+#include <array>
+
 #include "common/bit_ops.h"
 #include "common/check.h"
 #include "common/parallel.h"
+#include "common/workspace.h"
 #include "math/mod_arith.h"
 
 namespace bts {
 
 RnsPoly::RnsPoly(std::size_t n, std::vector<u64> primes, Domain domain)
-    : n_(n), domain_(domain), primes_(std::move(primes))
+    : RnsPoly(n, std::move(primes), domain, Uninit{})
+{
+    std::fill(data_.begin(), data_.end(), 0);
+}
+
+RnsPoly::RnsPoly(std::size_t n, std::vector<u64> primes, Domain domain,
+                 Uninit)
+    : n_(n),
+      domain_(domain),
+      primes_(std::move(primes)),
+      data_(acquire_buffer(primes_.size() * n))
 {
     BTS_CHECK(is_power_of_two(n), "polynomial degree must be a power of two");
-    comps_.assign(primes_.size(), std::vector<u64>(n, 0));
+    data_.resize(primes_.size() * n_); // no zero-fill (UninitAllocator)
+}
+
+RnsPoly::~RnsPoly()
+{
+    if (data_.capacity() != 0) release_buffer(std::move(data_));
+}
+
+RnsPoly::RnsPoly(const RnsPoly& other)
+    : n_(other.n_),
+      domain_(other.domain_),
+      primes_(other.primes_),
+      data_(acquire_buffer(other.data_.size()))
+{
+    data_.assign(other.data_.begin(), other.data_.end());
+}
+
+RnsPoly&
+RnsPoly::operator=(const RnsPoly& other)
+{
+    if (this == &other) return *this;
+    n_ = other.n_;
+    domain_ = other.domain_;
+    primes_ = other.primes_;
+    if (data_.capacity() < other.data_.size()) {
+        release_buffer(std::move(data_));
+        data_ = acquire_buffer(other.data_.size());
+    }
+    data_.assign(other.data_.begin(), other.data_.end());
+    return *this;
+}
+
+RnsPoly&
+RnsPoly::operator=(RnsPoly&& other) noexcept
+{
+    if (this == &other) return *this;
+    if (data_.capacity() != 0) release_buffer(std::move(data_));
+    n_ = other.n_;
+    domain_ = other.domain_;
+    primes_ = std::move(other.primes_);
+    data_ = std::move(other.data_);
+    return *this;
 }
 
 void
-RnsPoly::push_component(u64 prime, std::vector<u64> values)
+RnsPoly::push_component(u64 prime, ConstSpan values)
 {
     BTS_CHECK(values.size() == n_, "component size mismatch");
+    // Growing may reallocate; inserting from our own rows would read
+    // freed memory mid-copy. The old by-value API made self-aliasing
+    // impossible — keep that safety as an explicit check.
+    BTS_CHECK(values.data() + values.size() <= data_.data() ||
+                  values.data() >= data_.data() + data_.size(),
+              "push_component source must not alias this polynomial");
     primes_.push_back(prime);
-    comps_.push_back(std::move(values));
+    data_.insert(data_.end(), values.begin(), values.end());
 }
 
 void
@@ -27,7 +88,7 @@ RnsPoly::pop_component()
 {
     BTS_CHECK(!primes_.empty(), "pop on empty polynomial");
     primes_.pop_back();
-    comps_.pop_back();
+    data_.resize(primes_.size() * n_);
 }
 
 void
@@ -35,7 +96,7 @@ RnsPoly::truncate(std::size_t count)
 {
     BTS_CHECK(count <= primes_.size(), "truncate beyond size");
     primes_.resize(count);
-    comps_.resize(count);
+    data_.resize(count * n_);
 }
 
 namespace {
@@ -51,45 +112,81 @@ check_compatible(const RnsPoly& a, const RnsPoly& b)
     }
 }
 
+/**
+ * Per-limb reducer staging for the element-wise hot paths: inline
+ * storage for every realistic chain length (evk chains top out well
+ * below 64 limbs), heap fallback beyond it — constant setup stays off
+ * both the tile bodies and, normally, the allocator.
+ */
+template <typename Reducer>
+class ReducerArray
+{
+  public:
+    explicit ReducerArray(std::size_t count)
+    {
+        if (count > inline_.size()) {
+            heap_.resize(count);
+            ptr_ = heap_.data();
+        } else {
+            ptr_ = inline_.data();
+        }
+    }
+
+    Reducer& operator[](std::size_t i) { return ptr_[i]; }
+    const Reducer& operator[](std::size_t i) const { return ptr_[i]; }
+
+  private:
+    std::array<Reducer, 64> inline_;
+    std::vector<Reducer> heap_;
+    Reducer* ptr_;
+};
+
 } // namespace
 
 void
 RnsPoly::add_inplace(const RnsPoly& other)
 {
     check_compatible(*this, other);
-    parallel_for(0, num_primes(), [&](std::size_t i) {
-        const u64 q = primes_[i];
-        const auto& src = other.component(i);
-        auto& dst = comps_[i];
-        for (std::size_t j = 0; j < n_; ++j) {
-            dst[j] = add_mod(dst[j], src[j], q);
-        }
-    });
+    parallel_for_2d(
+        num_primes(), n_,
+        [&](std::size_t i, std::size_t c0, std::size_t c1) {
+            const u64 q = primes_[i];
+            const u64* src = other.component(i).data();
+            u64* dst = data_.data() + i * n_;
+            for (std::size_t c = c0; c < c1; ++c) {
+                dst[c] = add_mod(dst[c], src[c], q);
+            }
+        });
 }
 
 void
 RnsPoly::sub_inplace(const RnsPoly& other)
 {
     check_compatible(*this, other);
-    parallel_for(0, num_primes(), [&](std::size_t i) {
-        const u64 q = primes_[i];
-        const auto& src = other.component(i);
-        auto& dst = comps_[i];
-        for (std::size_t j = 0; j < n_; ++j) {
-            dst[j] = sub_mod(dst[j], src[j], q);
-        }
-    });
+    parallel_for_2d(
+        num_primes(), n_,
+        [&](std::size_t i, std::size_t c0, std::size_t c1) {
+            const u64 q = primes_[i];
+            const u64* src = other.component(i).data();
+            u64* dst = data_.data() + i * n_;
+            for (std::size_t c = c0; c < c1; ++c) {
+                dst[c] = sub_mod(dst[c], src[c], q);
+            }
+        });
 }
 
 void
 RnsPoly::negate_inplace()
 {
-    parallel_for(0, num_primes(), [&](std::size_t i) {
-        const u64 q = primes_[i];
-        for (auto& v : comps_[i]) {
-            v = v == 0 ? 0 : q - v;
-        }
-    });
+    parallel_for_2d(
+        num_primes(), n_,
+        [&](std::size_t i, std::size_t c0, std::size_t c1) {
+            const u64 q = primes_[i];
+            u64* dst = data_.data() + i * n_;
+            for (std::size_t c = c0; c < c1; ++c) {
+                dst[c] = dst[c] == 0 ? 0 : q - dst[c];
+            }
+        });
 }
 
 void
@@ -98,27 +195,42 @@ RnsPoly::mul_inplace(const RnsPoly& other)
     check_compatible(*this, other);
     BTS_CHECK(domain_ == Domain::kNtt,
               "element-wise polynomial product requires NTT domain");
-    parallel_for(0, num_primes(), [&](std::size_t i) {
-        const Barrett barrett(primes_[i]);
-        const auto& src = other.component(i);
-        auto& dst = comps_[i];
-        for (std::size_t j = 0; j < n_; ++j) {
-            dst[j] = barrett.mul(dst[j], src[j]);
-        }
-    });
+    // One Barrett reducer per limb, shared by all that limb's blocks
+    // (the per-block constant setup must stay off the inner loop).
+    const std::size_t count = num_primes();
+    ReducerArray<Barrett> barrett(count);
+    for (std::size_t i = 0; i < count; ++i) barrett[i] = Barrett(primes_[i]);
+    parallel_for_2d(
+        count, n_,
+        [&](std::size_t i, std::size_t c0, std::size_t c1) {
+            const Barrett& b = barrett[i];
+            const u64* src = other.component(i).data();
+            u64* dst = data_.data() + i * n_;
+            for (std::size_t c = c0; c < c1; ++c) {
+                dst[c] = b.mul(dst[c], src[c]);
+            }
+        });
 }
 
 void
 RnsPoly::mul_scalar_inplace(const std::vector<u64>& scalars)
 {
     BTS_CHECK(scalars.size() >= num_primes(), "scalar count mismatch");
-    parallel_for(0, num_primes(), [&](std::size_t i) {
-        const ShoupMul s(scalars[i] % primes_[i], primes_[i]);
-        const u64 q = primes_[i];
-        for (auto& v : comps_[i]) {
-            v = s.mul(v, q);
-        }
-    });
+    const std::size_t count = num_primes();
+    ReducerArray<ShoupMul> shoup(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        shoup[i] = ShoupMul(scalars[i], primes_[i]);
+    }
+    parallel_for_2d(
+        count, n_,
+        [&](std::size_t i, std::size_t c0, std::size_t c1) {
+            const ShoupMul& s = shoup[i];
+            const u64 q = primes_[i];
+            u64* dst = data_.data() + i * n_;
+            for (std::size_t c = c0; c < c1; ++c) {
+                dst[c] = s.mul(dst[c], q);
+            }
+        });
 }
 
 void
@@ -126,10 +238,11 @@ RnsPoly::to_ntt(const std::vector<const NttTables*>& tables)
 {
     BTS_CHECK(domain_ == Domain::kCoeff, "already in NTT domain");
     BTS_CHECK(tables.size() >= num_primes(), "NTT table count mismatch");
-    parallel_for(0, num_primes(), [&](std::size_t i) {
-        BTS_ASSERT(tables[i]->modulus() == primes_[i], "table prime mismatch");
-        tables[i]->forward(comps_[i].data());
-    });
+    for (std::size_t i = 0; i < num_primes(); ++i) {
+        BTS_ASSERT(tables[i]->modulus() == primes_[i],
+                   "table prime mismatch");
+    }
+    ntt_forward_batch(tables, data_.data(), num_primes(), n_);
     domain_ = Domain::kNtt;
 }
 
@@ -138,10 +251,11 @@ RnsPoly::to_coeff(const std::vector<const NttTables*>& tables)
 {
     BTS_CHECK(domain_ == Domain::kNtt, "already in coefficient domain");
     BTS_CHECK(tables.size() >= num_primes(), "NTT table count mismatch");
-    parallel_for(0, num_primes(), [&](std::size_t i) {
-        BTS_ASSERT(tables[i]->modulus() == primes_[i], "table prime mismatch");
-        tables[i]->inverse(comps_[i].data());
-    });
+    for (std::size_t i = 0; i < num_primes(); ++i) {
+        BTS_ASSERT(tables[i]->modulus() == primes_[i],
+                   "table prime mismatch");
+    }
+    ntt_inverse_batch(tables, data_.data(), num_primes(), n_);
     domain_ = Domain::kCoeff;
 }
 
@@ -152,21 +266,27 @@ RnsPoly::automorphism(u64 galois_exp) const
               "automorphism implemented in coefficient domain");
     BTS_CHECK((galois_exp & 1) == 1, "Galois exponent must be odd");
     const u64 two_n = 2 * static_cast<u64>(n_);
-    RnsPoly out(n_, primes_, Domain::kCoeff);
-    parallel_for(0, num_primes(), [&](std::size_t i) {
-        const u64 q = primes_[i];
-        const auto& src = comps_[i];
-        auto& dst = out.comps_[i];
-        for (std::size_t j = 0; j < n_; ++j) {
-            const u64 target = (static_cast<u128>(j) * galois_exp) % two_n;
-            if (target < n_) {
-                dst[target] = src[j];
-            } else {
-                const u64 v = src[j];
-                dst[target - n_] = v == 0 ? 0 : q - v;
+    RnsPoly out(n_, primes_, Domain::kCoeff, Uninit{});
+    // The index map j -> j*galois_exp mod 2N is a bijection on odd
+    // exponents, so source blocks write disjoint target sets and the
+    // 2-D tiling stays race-free.
+    parallel_for_2d(
+        num_primes(), n_,
+        [&](std::size_t i, std::size_t c0, std::size_t c1) {
+            const u64 q = primes_[i];
+            const u64* src = data_.data() + i * n_;
+            u64* dst = out.data_.data() + i * n_;
+            for (std::size_t j = c0; j < c1; ++j) {
+                const u64 target =
+                    (static_cast<u128>(j) * galois_exp) % two_n;
+                if (target < n_) {
+                    dst[target] = src[j];
+                } else {
+                    const u64 v = src[j];
+                    dst[target - n_] = v == 0 ? 0 : q - v;
+                }
             }
-        }
-    });
+        });
     return out;
 }
 
@@ -177,7 +297,7 @@ RnsPoly::equals(const RnsPoly& other) const
         primes_ != other.primes_) {
         return false;
     }
-    return comps_ == other.comps_;
+    return data_ == other.data_;
 }
 
 } // namespace bts

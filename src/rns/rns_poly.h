@@ -1,20 +1,29 @@
 /**
  * @file
- * RNS residue-matrix polynomial.
+ * RNS residue-matrix polynomial over flat contiguous storage.
  *
  * A level-l polynomial in R_Q is an N x (l+1) matrix of residues
- * (Section 2.2 of the paper): column i holds the residue polynomial
- * modulo q_i. Each component tracks whether it currently lives in the
- * coefficient ("RNS") domain or the NTT domain; BTS keeps polynomials in
- * the NTT domain by default and drops back only for BConv and the
- * automorphism (Section 4.1).
+ * (Section 2.2 of the paper): row i holds the residue polynomial modulo
+ * q_i. The whole matrix lives in ONE contiguous limb-major buffer of
+ * num_primes x N words — the same layout the accelerator streams
+ * through its coefficient-level PEs — so hot loops tile over 2-D
+ * (limb x coefficient-block) work items via parallel_for_2d and thread
+ * utilization does not collapse as the modulus chain shrinks. Backing
+ * buffers recycle through the common workspace pool, so temporary
+ * polynomials on the key-switch/rescale paths stop hitting the heap.
+ *
+ * Each polynomial tracks whether it currently lives in the coefficient
+ * ("RNS") domain or the NTT domain; BTS keeps polynomials in the NTT
+ * domain by default and drops back only for BConv and the automorphism
+ * (Section 4.1).
  */
 #pragma once
 
-#include <memory>
 #include <vector>
 
+#include "common/span.h"
 #include "common/types.h"
+#include "common/workspace.h"
 #include "math/ntt.h"
 #include "rns/rns_base.h"
 
@@ -24,7 +33,7 @@ namespace bts {
 enum class Domain { kCoeff, kNtt };
 
 /**
- * A polynomial with one residue vector per prime of an RNS base.
+ * A polynomial with one residue row per prime of an RNS base.
  *
  * The object does not own NTT tables; callers pass per-prime tables
  * (matching its primes, in order) for domain changes. The CKKS context
@@ -33,10 +42,29 @@ enum class Domain { kCoeff, kNtt };
 class RnsPoly
 {
   public:
+    /** Tag requesting uninitialized residues (see the tagged ctor). */
+    struct Uninit
+    {};
+
     RnsPoly() = default;
 
     /** Zero polynomial of degree @p n over @p primes. */
     RnsPoly(std::size_t n, std::vector<u64> primes, Domain domain);
+
+    /**
+     * Polynomial with UNINITIALIZED residues — for temporaries whose
+     * every word is provably overwritten before being read (row-copy
+     * reassembly, bijective scatters, full-tile kernels). Skips the
+     * O(num_primes x N) zero-fill the default constructor pays.
+     * Accumulators and sparse writers must use the zeroing constructor.
+     */
+    RnsPoly(std::size_t n, std::vector<u64> primes, Domain domain, Uninit);
+
+    ~RnsPoly();
+    RnsPoly(const RnsPoly& other);
+    RnsPoly& operator=(const RnsPoly& other);
+    RnsPoly(RnsPoly&& other) noexcept = default;
+    RnsPoly& operator=(RnsPoly&& other) noexcept;
 
     std::size_t degree() const { return n_; }
     std::size_t num_primes() const { return primes_.size(); }
@@ -45,35 +73,50 @@ class RnsPoly
     Domain domain() const { return domain_; }
     void set_domain(Domain d) { domain_ = d; }
 
-    /** Residue vector for prime index @p i (length N). */
-    std::vector<u64>& component(std::size_t i) { return comps_[i]; }
-    const std::vector<u64>& component(std::size_t i) const
+    /**
+     * View of the residue row for prime index @p i (length N). Rows are
+     * contiguous: component(i).data() == data() + i * degree(). Views
+     * are invalidated by push_component (may reallocate) and by
+     * destruction; truncate/pop keep surviving rows valid.
+     */
+    Span component(std::size_t i)
     {
-        return comps_[i];
+        return {data_.data() + i * n_, n_};
+    }
+    ConstSpan component(std::size_t i) const
+    {
+        return {data_.data() + i * n_, n_};
     }
 
-    /** Append a component for an extra prime (used by ModUp). */
-    void push_component(u64 prime, std::vector<u64> values);
+    /** The flat limb-major buffer (num_primes() * degree() words). */
+    u64* data() { return data_.data(); }
+    const u64* data() const { return data_.data(); }
 
-    /** Drop the last component (used by rescaling). */
+    /**
+     * Append a row for an extra prime (used by ModUp). @p values must
+     * not alias this polynomial's own storage.
+     */
+    void push_component(u64 prime, ConstSpan values);
+
+    /** Drop the last row (used by rescaling). */
     void pop_component();
 
-    /** Keep only the first @p count components (level drop). */
+    /** Keep only the first @p count rows (level drop). */
     void truncate(std::size_t count);
 
     // ----- element-wise arithmetic (both operands in the same domain and
-    //       over compatible prime prefixes) -----
+    //       over compatible prime prefixes); all 2-D tiled -----
     void add_inplace(const RnsPoly& other);
     void sub_inplace(const RnsPoly& other);
     void negate_inplace();
     void mul_inplace(const RnsPoly& other);
-    /** Multiply every component by per-prime scalars. */
+    /** Multiply every row by per-prime scalars. */
     void mul_scalar_inplace(const std::vector<u64>& scalars);
 
-    // ----- domain changes -----
-    /** Forward NTT on all components using matching @p tables. */
+    // ----- domain changes (batch NTT over the flat buffer) -----
+    /** Forward NTT on all rows using matching @p tables. */
     void to_ntt(const std::vector<const NttTables*>& tables);
-    /** Inverse NTT on all components. */
+    /** Inverse NTT on all rows. */
     void to_coeff(const std::vector<const NttTables*>& tables);
 
     /**
@@ -91,7 +134,7 @@ class RnsPoly
     std::size_t n_ = 0;
     Domain domain_ = Domain::kCoeff;
     std::vector<u64> primes_;
-    std::vector<std::vector<u64>> comps_;
+    U64Buffer data_; //!< limb-major, primes_.size() * n_ words
 };
 
 } // namespace bts

@@ -71,6 +71,23 @@ TEST(Evaluator, AddRejectsScaleMismatch)
     EXPECT_THROW(env.evaluator.add(c1, c2), std::invalid_argument);
 }
 
+TEST(Evaluator, AddRejectsNonPositiveScales)
+{
+    // Regression: the scale-match check divided s1/s2 with no guard, so
+    // a zero scale passed the tolerance test via inf/nan semantics
+    // instead of failing loudly.
+    auto& env = default_env();
+    const auto z = env.random_message(64, 1.0, 38);
+    const Ciphertext good = env.encrypt(z);
+    for (double bad_scale : {0.0, -env.ctx.delta()}) {
+        Ciphertext bad = good;
+        bad.scale = bad_scale;
+        EXPECT_THROW(env.evaluator.add(good, bad), std::invalid_argument);
+        EXPECT_THROW(env.evaluator.add(bad, good), std::invalid_argument);
+        EXPECT_THROW(env.evaluator.sub(good, bad), std::invalid_argument);
+    }
+}
+
 class EvaluatorMultTest : public ::testing::TestWithParam<int>
 {};
 

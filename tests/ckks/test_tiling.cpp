@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Bit-exactness of the coefficient-tiled hot paths across thread
+ * counts, at the low levels where per-limb parallelism collapses (the
+ * regime the 2-D schedule exists for), plus workspace-pool behavior.
+ */
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "common/thread_guard.h"
+#include "common/workspace.h"
+#include "test_utils.h"
+
+namespace bts {
+namespace {
+
+using testing::TestEnv;
+using testing::ThreadGuard;
+using testing::default_env;
+
+bool
+same_ciphertext(const Ciphertext& a, const Ciphertext& b)
+{
+    return a.level == b.level && a.scale == b.scale && a.b.equals(b.b) &&
+           a.a.equals(b.a);
+}
+
+TEST(Tiling, RescaleBitExactAcrossThreadCountsAtLowLevel)
+{
+    // Rescale at 3 limbs used to offer only 2-way parallelism; the
+    // tiled version uses every lane but must compute identical bits.
+    ThreadGuard guard;
+    auto& env = default_env();
+    const auto z = env.random_message(64, 1.0, 401);
+    Ciphertext ct = env.encrypt(z);
+    env.evaluator.drop_level_inplace(ct, 2);
+
+    set_num_threads(1);
+    Ciphertext serial = ct;
+    env.evaluator.rescale_inplace(serial);
+
+    set_num_threads(8);
+    Ciphertext tiled = ct;
+    env.evaluator.rescale_inplace(tiled);
+
+    EXPECT_TRUE(same_ciphertext(serial, tiled));
+    EXPECT_EQ(tiled.level, 1);
+}
+
+TEST(Tiling, ModRaiseBitExactAcrossThreadCounts)
+{
+    ThreadGuard guard;
+    auto& env = default_env();
+    const auto z = env.random_message(64, 0.5, 402);
+    Ciphertext ct = env.encrypt(z, /*level=*/0);
+
+    set_num_threads(1);
+    const Ciphertext serial = env.evaluator.mod_raise(ct);
+
+    set_num_threads(8);
+    const Ciphertext tiled = env.evaluator.mod_raise(ct);
+
+    EXPECT_TRUE(same_ciphertext(serial, tiled));
+    EXPECT_EQ(tiled.level, env.ctx.max_level());
+}
+
+TEST(Tiling, RotateHoistedBitExactAcrossThreadCountsAtLowLevel)
+{
+    ThreadGuard guard;
+    auto& env = default_env();
+    const auto z = env.random_message(64, 1.0, 403);
+    Ciphertext ct = env.encrypt(z);
+    env.evaluator.drop_level_inplace(ct, 2);
+
+    const std::vector<int> amounts = {1, 5, 17};
+    const RotationKeys keys = env.keygen.gen_rotation_keys(env.sk, amounts);
+
+    set_num_threads(1);
+    const auto serial = env.evaluator.rotate_hoisted(ct, amounts, keys);
+
+    set_num_threads(8);
+    const auto tiled = env.evaluator.rotate_hoisted(ct, amounts, keys);
+
+    ASSERT_EQ(serial.size(), tiled.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_TRUE(same_ciphertext(serial[i], tiled[i]))
+            << "amount " << amounts[i];
+    }
+}
+
+TEST(Tiling, MultAndKeySwitchBitExactAcrossThreadCounts)
+{
+    ThreadGuard guard;
+    auto& env = default_env();
+    const auto z = env.random_message(64, 0.5, 404);
+    Ciphertext ct = env.encrypt(z);
+    env.evaluator.drop_level_inplace(ct, 2);
+
+    set_num_threads(1);
+    const Ciphertext serial = env.evaluator.mult(ct, ct, env.mult_key);
+
+    set_num_threads(8);
+    const Ciphertext tiled = env.evaluator.mult(ct, ct, env.mult_key);
+
+    EXPECT_TRUE(same_ciphertext(serial, tiled));
+}
+
+TEST(Tiling, WorkspacePoolRecyclesHotPathScratch)
+{
+    // After warm-up, repeated rescales must be served from the pool's
+    // free list, not the allocator.
+    auto& env = default_env();
+    const auto z = env.random_message(64, 1.0, 405);
+    Ciphertext ct = env.encrypt(z);
+    env.evaluator.drop_level_inplace(ct, 3);
+
+    // Warm-up round, scoped so every buffer (including the ciphertext
+    // copies) returns to the free list before measuring.
+    {
+        Ciphertext warm = ct;
+        env.evaluator.rescale_inplace(warm);
+    }
+
+    const WorkspaceStats before = workspace_stats();
+    for (int round = 0; round < 4; ++round) {
+        Ciphertext scratch = ct;
+        env.evaluator.rescale_inplace(scratch);
+    }
+    const WorkspaceStats after = workspace_stats();
+    EXPECT_GT(after.hits, before.hits);
+    EXPECT_EQ(after.misses, before.misses);
+}
+
+} // namespace
+} // namespace bts

@@ -7,11 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/thread_guard.h"
 #include "common/random.h"
 #include "math/ntt.h"
 #include "math/prime_gen.h"
@@ -20,12 +23,7 @@
 namespace bts {
 namespace {
 
-/** Restore the global lane count on scope exit so tests stay isolated. */
-struct ThreadGuard
-{
-    int saved = num_threads();
-    ~ThreadGuard() { set_num_threads(saved); }
-};
+using testing::ThreadGuard;
 
 TEST(ThreadPool, CoversEveryIndexExactlyOnce)
 {
@@ -178,7 +176,7 @@ TEST(ParallelFor, NttBitExactAcrossThreadCounts)
     Sampler sampler(42);
     RnsPoly base(n, primes, Domain::kCoeff);
     for (int i = 0; i < limbs; ++i) {
-        base.component(i) = sampler.uniform_poly(n, primes[i]);
+        base.component(i).copy_from(sampler.uniform_poly(n, primes[i]));
     }
 
     set_num_threads(1);
@@ -196,6 +194,165 @@ TEST(ParallelFor, NttBitExactAcrossThreadCounts)
     EXPECT_TRUE(serial_fwd.equals(parallel_fwd));
     EXPECT_TRUE(serial_round.equals(parallel_round));
     EXPECT_TRUE(parallel_round.equals(base));
+}
+
+TEST(ParallelFor2d, CoversEveryCellExactlyOnce)
+{
+    ThreadGuard guard;
+    set_num_threads(4);
+    const std::size_t dim0 = 3, dim1 = 5000;
+    std::vector<std::atomic<int>> hits(dim0 * dim1);
+    parallel_for_2d(dim0, dim1,
+                    [&](std::size_t i, std::size_t j0, std::size_t j1) {
+                        ASSERT_LT(j0, j1);
+                        ASSERT_LE(j1, dim1);
+                        for (std::size_t j = j0; j < j1; ++j) {
+                            hits[i * dim1 + j] += 1;
+                        }
+                    },
+                    /*min_block=*/256);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor2d, TilesColumnsWhenRowsAreFew)
+{
+    // The point of the 2-D schedule: one limb must still split across
+    // lanes (coefficient-level parallelism), instead of leaving 7 of 8
+    // threads idle like the per-limb loop.
+    ThreadGuard guard;
+    set_num_threads(8);
+    std::mutex m;
+    std::vector<std::pair<std::size_t, std::size_t>> blocks;
+    parallel_for_2d(1, 1 << 16,
+                    [&](std::size_t, std::size_t j0, std::size_t j1) {
+                        std::lock_guard<std::mutex> lock(m);
+                        blocks.emplace_back(j0, j1);
+                    });
+    EXPECT_GT(blocks.size(), 1u);
+    std::size_t covered = 0;
+    for (const auto& [j0, j1] : blocks) covered += j1 - j0;
+    EXPECT_EQ(covered, static_cast<std::size_t>(1 << 16));
+}
+
+TEST(ParallelFor2d, WholeRowsWhenRowsSaturateTheLanes)
+{
+    // Deep modulus chains keep the zero-overhead per-limb schedule:
+    // 24 rows >= the 4-items-per-lane target at 4 threads.
+    ThreadGuard guard;
+    set_num_threads(4);
+    const std::size_t dim0 = 24, dim1 = 1 << 14;
+    std::atomic<int> calls{0};
+    parallel_for_2d(dim0, dim1,
+                    [&](std::size_t, std::size_t j0, std::size_t j1) {
+                        EXPECT_EQ(j0, 0u);
+                        EXPECT_EQ(j1, dim1);
+                        calls += 1;
+                    });
+    EXPECT_EQ(calls.load(), static_cast<int>(dim0));
+}
+
+TEST(ParallelFor2d, RespectsMinBlock)
+{
+    ThreadGuard guard;
+    set_num_threads(8);
+    // Column counts that do NOT divide evenly must not produce a short
+    // tail block — every tile stays >= min_block.
+    for (std::size_t dim1 : {3000u, 4097u, 5000u, 1 << 16 | 1u}) {
+        std::atomic<std::size_t> covered{0};
+        parallel_for_2d(1, dim1,
+                        [&](std::size_t, std::size_t j0, std::size_t j1) {
+                            EXPECT_GE(j1 - j0, 1024u);
+                            covered += j1 - j0;
+                        },
+                        /*min_block=*/1024);
+        EXPECT_EQ(covered.load(), dim1);
+    }
+}
+
+TEST(ParallelFor2d, PropagatesExceptions)
+{
+    ThreadGuard guard;
+    set_num_threads(4);
+    EXPECT_THROW(
+        parallel_for_2d(4, 4096,
+                        [&](std::size_t i, std::size_t, std::size_t) {
+                            if (i == 2) throw std::runtime_error("tile");
+                        },
+                        /*min_block=*/64),
+        std::runtime_error);
+    // The pool must stay usable afterwards.
+    std::atomic<int> hits{0};
+    parallel_for(0, 8, [&](std::size_t) { hits += 1; });
+    EXPECT_EQ(hits.load(), 8);
+}
+
+TEST(ParallelFor2d, NestedCallsRunWithoutDeadlock)
+{
+    ThreadGuard guard;
+    set_num_threads(4);
+    const std::size_t inner = 2048;
+    std::vector<std::atomic<int>> hits(4 * inner);
+    parallel_for(0, 4, [&](std::size_t i) {
+        parallel_for_2d(1, inner,
+                        [&](std::size_t, std::size_t j0, std::size_t j1) {
+                            for (std::size_t j = j0; j < j1; ++j) {
+                                hits[i * inner + j] += 1;
+                            }
+                        },
+                        /*min_block=*/64);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor2d, EmptyDimensionsAreNoops)
+{
+    ThreadGuard guard;
+    set_num_threads(4);
+    int calls = 0;
+    parallel_for_2d(0, 100,
+                    [&](std::size_t, std::size_t, std::size_t) { ++calls; });
+    parallel_for_2d(100, 0,
+                    [&](std::size_t, std::size_t, std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, StageParallelNttBitExactAcrossThreadCounts)
+{
+    // Fewer limbs than lanes routes the batch NTT through the
+    // stage-parallel (limb x butterfly-block) schedule; it must be
+    // bit-identical to the serial whole-limb transforms.
+    ThreadGuard guard;
+    const std::size_t n = 1 << 12; // >= the stage-parallel threshold
+    const int limbs = 2;
+    const auto primes = generate_ntt_primes(50, 2 * n, limbs);
+
+    std::vector<NttTables> tables;
+    std::vector<const NttTables*> table_ptrs;
+    tables.reserve(primes.size());
+    for (u64 q : primes) tables.emplace_back(n, q);
+    for (const auto& t : tables) table_ptrs.push_back(&t);
+
+    Sampler sampler(43);
+    RnsPoly base(n, primes, Domain::kCoeff);
+    for (int i = 0; i < limbs; ++i) {
+        base.component(i).copy_from(sampler.uniform_poly(n, primes[i]));
+    }
+
+    set_num_threads(1);
+    RnsPoly serial_fwd = base;
+    serial_fwd.to_ntt(table_ptrs);
+    RnsPoly serial_round = serial_fwd;
+    serial_round.to_coeff(table_ptrs);
+
+    set_num_threads(8);
+    RnsPoly tiled_fwd = base;
+    tiled_fwd.to_ntt(table_ptrs);
+    RnsPoly tiled_round = tiled_fwd;
+    tiled_round.to_coeff(table_ptrs);
+
+    EXPECT_TRUE(serial_fwd.equals(tiled_fwd));
+    EXPECT_TRUE(serial_round.equals(tiled_round));
+    EXPECT_TRUE(tiled_round.equals(base));
 }
 
 } // namespace

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Shared test scaffolding for suites that touch the global lane count.
+ */
+#pragma once
+
+#include "common/parallel.h"
+
+namespace bts::testing {
+
+/** Restore the global lane count on scope exit so tests stay isolated. */
+struct ThreadGuard
+{
+    int saved = num_threads();
+    ~ThreadGuard() { set_num_threads(saved); }
+};
+
+} // namespace bts::testing

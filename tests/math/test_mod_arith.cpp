@@ -109,5 +109,30 @@ TEST(ModArith, ShoupMatchesDirect)
     }
 }
 
+TEST(ModArith, ShoupReducesUnreducedOperand)
+{
+    // Regression: the constructor documents w as "reduced mod m" but
+    // used to store the raw operand, silently producing a wrong
+    // w_shoup (and wrong products) for operand >= modulus.
+    Xoshiro256 rng(5);
+    const u64 q = (1ULL << 50) + 4867;
+    for (int i = 0; i < 100; ++i) {
+        const u64 w = rng.uniform(q);
+        const u64 unreduced = w + q * (1 + rng.uniform(1000));
+        const ShoupMul raw(unreduced, q);
+        const ShoupMul reduced(w, q);
+        EXPECT_EQ(raw.w, w);
+        EXPECT_EQ(raw.w_shoup, reduced.w_shoup);
+        for (int j = 0; j < 4; ++j) {
+            const u64 x = rng.uniform(q);
+            EXPECT_EQ(raw.mul(x, q), mul_mod(x, w, q));
+        }
+    }
+    // Exact multiple of the modulus reduces to zero.
+    const ShoupMul zero(3 * q, q);
+    EXPECT_EQ(zero.w, 0u);
+    EXPECT_EQ(zero.mul(12345, q), 0u);
+}
+
 } // namespace
 } // namespace bts

@@ -120,7 +120,7 @@ TEST_F(BaseConvTest, GroupedMatchesUngrouped)
     Sampler s(13);
     RnsPoly input(64, source_.primes(), Domain::kCoeff);
     for (std::size_t j = 0; j < source_.size(); ++j) {
-        input.component(j) = s.uniform_poly(64, source_.prime(j));
+        input.component(j).copy_from(s.uniform_poly(64, source_.prime(j)));
     }
     const RnsPoly plain = conv.convert(input);
     for (int l_sub : {1, 2, 3, 4, 7}) {

@@ -30,7 +30,7 @@ class RnsPolyTest : public ::testing::Test
         Sampler s(seed);
         RnsPoly poly(n_, primes_, domain);
         for (std::size_t i = 0; i < primes_.size(); ++i) {
-            poly.component(i) = s.uniform_poly(n_, primes_[i]);
+            poly.component(i).copy_from(s.uniform_poly(n_, primes_[i]));
         }
         return poly;
     }
@@ -85,7 +85,8 @@ TEST_F(RnsPolyTest, MulMatchesPerComponentReference)
     std::vector<std::vector<u64>> expected;
     for (std::size_t i = 0; i < primes_.size(); ++i) {
         expected.push_back(negacyclic_mul_reference(
-            a.component(i), b.component(i), primes_[i]));
+            a.component(i).to_vector(), b.component(i).to_vector(),
+            primes_[i]));
     }
     a.to_ntt(tables_);
     b.to_ntt(tables_);
@@ -113,7 +114,7 @@ TEST_F(RnsPolyTest, ScalarMul)
 TEST_F(RnsPolyTest, TruncateAndPush)
 {
     auto a = random_poly(Domain::kCoeff, 10);
-    const auto comp2 = a.component(2);
+    const std::vector<u64> comp2 = a.component(2).to_vector();
     a.truncate(2);
     EXPECT_EQ(a.num_primes(), 2u);
     a.push_component(primes_[2], comp2);
@@ -121,6 +122,79 @@ TEST_F(RnsPolyTest, TruncateAndPush)
     EXPECT_EQ(a.component(2), comp2);
     a.pop_component();
     EXPECT_EQ(a.num_primes(), 2u);
+}
+
+TEST_F(RnsPolyTest, FlatStorageIsLimbMajorContiguous)
+{
+    const auto a = random_poly(Domain::kCoeff, 21);
+    const u64* base = a.data();
+    for (std::size_t i = 0; i < primes_.size(); ++i) {
+        EXPECT_EQ(a.component(i).data(), base + i * n_);
+        EXPECT_EQ(a.component(i).size(), n_);
+    }
+}
+
+TEST_F(RnsPolyTest, TruncateKeepsSurvivingRowsInPlace)
+{
+    auto a = random_poly(Domain::kCoeff, 22);
+    const std::vector<u64> row0 = a.component(0).to_vector();
+    const std::vector<u64> row1 = a.component(1).to_vector();
+    const u64* base = a.data();
+    a.truncate(2);
+    // Shrinking must not move the flat buffer or disturb survivors.
+    EXPECT_EQ(a.data(), base);
+    EXPECT_EQ(a.component(0), row0);
+    EXPECT_EQ(a.component(1), row1);
+}
+
+TEST_F(RnsPolyTest, PushComponentAppendsContiguously)
+{
+    auto a = random_poly(Domain::kCoeff, 23);
+    Sampler s(24);
+    const std::vector<u64> extra = s.uniform_poly(n_, primes_[2]);
+    a.truncate(2);
+    a.push_component(primes_[2], extra);
+    EXPECT_EQ(a.num_primes(), 3u);
+    EXPECT_EQ(a.component(2), extra);
+    // Contiguity must hold across the grow.
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(a.component(i).data(), a.data() + i * n_);
+    }
+    EXPECT_THROW(a.push_component(primes_[0], std::vector<u64>(n_ / 2)),
+                 std::invalid_argument);
+}
+
+TEST_F(RnsPolyTest, PopComponentDropsExactlyTheLastRow)
+{
+    auto a = random_poly(Domain::kCoeff, 25);
+    const std::vector<u64> row0 = a.component(0).to_vector();
+    const std::vector<u64> row1 = a.component(1).to_vector();
+    a.pop_component();
+    EXPECT_EQ(a.num_primes(), 2u);
+    EXPECT_EQ(a.primes(), std::vector<u64>(primes_.begin(),
+                                           primes_.begin() + 2));
+    EXPECT_EQ(a.component(0), row0);
+    EXPECT_EQ(a.component(1), row1);
+    a.pop_component();
+    a.pop_component();
+    EXPECT_THROW(a.pop_component(), std::invalid_argument);
+}
+
+TEST_F(RnsPolyTest, CopyAndMoveKeepResidues)
+{
+    const auto a = random_poly(Domain::kNtt, 26);
+    RnsPoly copy = a;
+    EXPECT_TRUE(copy.equals(a));
+    EXPECT_NE(copy.data(), a.data()); // deep copy of the flat buffer
+
+    RnsPoly moved = std::move(copy);
+    EXPECT_TRUE(moved.equals(a));
+
+    RnsPoly assigned;
+    assigned = a;
+    EXPECT_TRUE(assigned.equals(a));
+    assigned = random_poly(Domain::kCoeff, 27); // reassign over live data
+    EXPECT_FALSE(assigned.equals(a));
 }
 
 TEST_F(RnsPolyTest, OperandPrefixCompatibility)
