@@ -7,6 +7,11 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <map>
+#include <memory>
+#include <tuple>
+
 #include "ckks/bootstrapper.h"
 #include "ckks/decryptor.h"
 #include "ckks/encryptor.h"
@@ -242,39 +247,122 @@ BENCHMARK(BM_RescaleLowLevel)
     ->UseRealTime()
     ->Unit(benchmark::kMicrosecond);
 
-void
-BM_Bootstrap(benchmark::State& state)
+/** Shared machinery for the bootstrap benchmarks: one Env + one
+ *  Bootstrapper (with its rotation keys) per (params, radix). */
+struct BootBench
 {
-    // A full small-instance bootstrap — the operation the accelerator
-    // exists to make cheap. Single iteration: this is seconds on a CPU.
+    BootBench(CkksParams p, std::size_t slots, int radix, int sine_degree)
+        : env(p)
+    {
+        BootstrapConfig cfg;
+        cfg.slots = slots;
+        cfg.sine_degree = sine_degree;
+        cfg.cts_radix = radix;
+        cfg.stc_radix = radix;
+        boot = std::make_unique<Bootstrapper>(env.ctx, env.encoder, env.eval,
+                                              cfg);
+        rot_keys = env.keygen.gen_rotation_keys(env.sk,
+                                                boot->required_rotations());
+        conj = env.keygen.gen_conjugation_key(env.sk);
+        boot->set_keys(&env.mult_key, &rot_keys, &conj);
+        const auto z = std::vector<Complex>(slots, Complex(0.2, 0.1));
+        ct = env.encryptor.encrypt_symmetric(
+            env.encoder.encode(z, env.ctx.delta(), 0), env.sk);
+    }
+
+    /** One timed bootstrap with a per-stage breakdown (seconds). */
+    void
+    run(double& subsum, double& cts, double& eval_mod, double& stc)
+    {
+        using clock = std::chrono::steady_clock;
+        const auto t0 = clock::now();
+        const Ciphertext raised = boot->stage_raise_and_subsum(ct);
+        const auto t1 = clock::now();
+        const auto [u_re, u_im] = boot->stage_coeff_to_slot(raised);
+        const auto t2 = clock::now();
+        const Ciphertext v_re = boot->stage_eval_mod(u_re);
+        const Ciphertext v_im = boot->stage_eval_mod(u_im);
+        const auto t3 = clock::now();
+        Ciphertext out = boot->stage_slot_to_coeff(v_re, v_im);
+        const auto t4 = clock::now();
+        benchmark::DoNotOptimize(out);
+        const auto sec = [](auto a, auto b) {
+            return std::chrono::duration<double>(b - a).count();
+        };
+        subsum += sec(t0, t1);
+        cts += sec(t1, t2);
+        eval_mod += sec(t2, t3);
+        stc += sec(t3, t4);
+    }
+
+    Env env;
+    std::unique_ptr<Bootstrapper> boot;
+    RotationKeys rot_keys;
+    EvalKey conj;
+    Ciphertext ct;
+};
+
+void
+run_boot_bench(benchmark::State& state, std::size_t n_log2,
+               std::size_t slots, int sine_degree)
+{
+    // Arg(0) is the CtS/StC radix (0 = dense oracle). One cached
+    // Env+Bootstrapper per (ring, radix); per-stage timings land in
+    // the counters.
+    const int radix = static_cast<int>(state.range(0));
     CkksParams p;
-    p.n = 1 << 11;
+    p.n = std::size_t{1} << n_log2;
     p.max_level = 14;
     p.dnum = 3;
     p.q0_bits = 50;
     p.hamming_weight = 32;
-    static Env* be = new Env(p);
-    static Bootstrapper* boot = nullptr;
-    static RotationKeys rot_keys;
-    if (!boot) {
-        BootstrapConfig cfg;
-        cfg.slots = 512;
-        cfg.sine_degree = 159;
-        boot = new Bootstrapper(be->ctx, be->encoder, be->eval, cfg);
-        rot_keys = be->keygen.gen_rotation_keys(
-            be->sk, boot->required_rotations());
-        static EvalKey conj = be->keygen.gen_conjugation_key(be->sk);
-        boot->set_keys(&be->mult_key, &rot_keys, &conj);
+    static std::map<std::tuple<std::size_t, std::size_t, int, int>,
+                    BootBench*>
+        cache;
+    const auto key = std::make_tuple(n_log2, slots, sine_degree, radix);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        it = cache.emplace(key, new BootBench(p, slots, radix, sine_degree))
+                 .first;
     }
-    const auto z = std::vector<Complex>(512, Complex(0.2, 0.1));
-    Ciphertext ct = be->encryptor.encrypt_symmetric(
-        be->encoder.encode(z, be->ctx.delta(), 0), be->sk);
+    BootBench& bb = *it->second;
+    double subsum = 0, cts = 0, eval_mod = 0, stc = 0;
     for (auto _ : state) {
-        auto fresh = boot->bootstrap(ct);
-        benchmark::DoNotOptimize(fresh);
+        bb.run(subsum, cts, eval_mod, stc);
     }
+    const double iters = static_cast<double>(state.iterations());
+    state.counters["subsum_ms"] = 1e3 * subsum / iters;
+    state.counters["cts_ms"] = 1e3 * cts / iters;
+    state.counters["evalmod_ms"] = 1e3 * eval_mod / iters;
+    state.counters["stc_ms"] = 1e3 * stc / iters;
+    state.counters["rot_keys"] =
+        static_cast<double>(bb.boot->required_rotations().size());
+    state.counters["radix"] = radix;
 }
-BENCHMARK(BM_Bootstrap)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void
+BM_Bootstrap(benchmark::State& state)
+{
+    // Full bootstrap at slots=64 (gap=2), dense oracle vs factored
+    // CtS/StC. Small ring so the CI bench job can afford it.
+    run_boot_bench(state, 8, 64, 119);
+}
+BENCHMARK(BM_Bootstrap)->Arg(0)->Arg(4)->Arg(8)->Unit(
+    benchmark::kMillisecond);
+
+void
+BM_BootstrapLarge(benchmark::State& state)
+{
+    // The paper-scale (for this repo) instance: N=2^11, slots=512.
+    // Excluded from the CI bench job (seconds per iteration); run
+    // locally for the dense-vs-factored acceptance numbers.
+    run_boot_bench(state, 11, 512, 119);
+}
+BENCHMARK(BM_BootstrapLarge)
+    ->Arg(0)
+    ->Arg(32)
+    ->Iterations(2)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

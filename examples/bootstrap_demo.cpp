@@ -42,8 +42,14 @@ main()
     BootstrapConfig cfg;
     cfg.slots = 512;
     cfg.k_range = 12.0;
-    cfg.sine_degree = 159;
-    printf("setting up bootstrapper (matrices + rotation keys)...\n");
+    cfg.sine_degree = 119;
+    // Factored CtS/StC (radix 32 -> 2 sparse stages per direction, ~5x
+    // fewer diagonal PMults and >2x fewer key-switches than the dense
+    // single-shot transform); set both to 0 for the dense oracle.
+    cfg.cts_radix = 32;
+    cfg.stc_radix = 32;
+    printf("setting up bootstrapper (factored DFT stages + rotation "
+           "keys)...\n");
     Bootstrapper boot(ctx, encoder, eval, cfg);
     const RotationKeys rot_keys =
         keygen.gen_rotation_keys(sk, boot.required_rotations());

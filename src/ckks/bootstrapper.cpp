@@ -8,30 +8,6 @@
 
 namespace bts {
 
-namespace {
-
-/** The special Fourier matrix A: A[t][k] = zeta^{5^t * k}, zeta the
- *  primitive 4n-th root of unity (see encoder.cpp for the derivation). */
-std::vector<std::vector<Complex>>
-special_fourier_matrix(std::size_t n)
-{
-    const u64 m = 4 * static_cast<u64>(n);
-    std::vector<std::vector<Complex>> a(n, std::vector<Complex>(n));
-    u64 rot = 1;
-    for (std::size_t t = 0; t < n; ++t) {
-        for (std::size_t k = 0; k < n; ++k) {
-            const u64 idx = (rot * k) % m;
-            const double angle = 2.0 * M_PI * static_cast<double>(idx) /
-                                 static_cast<double>(m);
-            a[t][k] = Complex(std::cos(angle), std::sin(angle));
-        }
-        rot = (rot * 5) % m;
-    }
-    return a;
-}
-
-} // namespace
-
 Bootstrapper::Bootstrapper(const CkksContext& ctx, const CkksEncoder& encoder,
                            const Evaluator& eval,
                            const BootstrapConfig& config)
@@ -47,36 +23,89 @@ Bootstrapper::Bootstrapper(const CkksContext& ctx, const CkksEncoder& encoder,
     BTS_CHECK(is_power_of_two(config_.slots) &&
                   config_.slots <= ctx.n() / 2,
               "slots must be a power of two <= N/2");
+    BTS_CHECK((config_.cts_radix == 0) == (config_.stc_radix == 0),
+              "cts_radix/stc_radix must be both zero (dense oracle) or "
+              "both nonzero: the factored stages defer the DFT "
+              "bit-reversal across EvalMod, so one side cannot be dense");
+    for (int radix : {config_.cts_radix, config_.stc_radix}) {
+        BTS_CHECK(radix == 0 ||
+                      (radix >= 2 &&
+                       is_power_of_two(static_cast<u64>(radix))),
+                  "radix must be 0 (dense) or a power of two >= 2, got "
+                      << radix);
+    }
     const std::size_t n = config_.slots;
-    const auto a_matrix = special_fourier_matrix(n);
 
-    // CoeffToSlot matrix: (1/(2n)) * A^dagger. The 1/2 folds the later
+    // CoeffToSlot: (1/(2n)) * A^dagger. The 1/2 folds the later
     // real/imag split. SubSum's gap amplification must NOT be divided
     // out here: EvalMod needs slots of the exact form (gap*m + q0*I)/q0
     // with integer I — the 1/gap is folded into the scale metadata after
     // EvalMod instead (stage_eval_mod).
-    std::vector<std::vector<Complex>> cts_matrix(
-        n, std::vector<Complex>(n));
-    const double scale = 1.0 / (2.0 * static_cast<double>(n));
-    for (std::size_t t = 0; t < n; ++t) {
-        for (std::size_t k = 0; k < n; ++k) {
-            cts_matrix[t][k] = std::conj(a_matrix[k][t]) * scale;
+    if (config_.cts_radix == 0) {
+        const auto a_matrix = special_fourier_matrix(n);
+        std::vector<std::vector<Complex>> cts_matrix(
+            n, std::vector<Complex>(n));
+        const double scale = 1.0 / (2.0 * static_cast<double>(n));
+        for (std::size_t t = 0; t < n; ++t) {
+            for (std::size_t k = 0; k < n; ++k) {
+                cts_matrix[t][k] = std::conj(a_matrix[k][t]) * scale;
+            }
         }
+        cts_dense_ = std::make_unique<LinearTransform>(
+            ctx_, encoder_, cts_matrix, ctx_.max_level());
+    } else {
+        cts_factored_ = std::make_unique<FactoredDft>(
+            ctx_, encoder_, n, DftDirection::kCoeffToSlot,
+            config_.cts_radix, ctx_.max_level());
     }
-    cts_ = std::make_unique<LinearTransform>(ctx_, encoder_, cts_matrix,
-                                             ctx_.max_level());
+
+    // SlotToCoeff compiles eagerly too, at the exact level the pipeline
+    // reaches after CtS and EvalMod (the Chebyshev depth is known at
+    // setup), so required_rotations() is exact from construction.
+    const int eval_mod_levels =
+        ChebyshevEvaluator::depth(config_.sine_degree) + 1;
+    stc_input_level_ = ctx_.max_level() - cts_levels() - eval_mod_levels;
+    const int stc_needs =
+        config_.stc_radix == 0
+            ? 1
+            : FactoredDft::num_stages_for(n, config_.stc_radix);
+    BTS_CHECK(stc_input_level_ >= stc_needs,
+              "level budget exhausted before SlotToCoeff: max_level "
+                  << ctx_.max_level() << " - CtS " << cts_levels()
+                  << " - EvalMod " << eval_mod_levels << " leaves "
+                  << stc_input_level_ << " < " << stc_needs);
+    if (config_.stc_radix == 0) {
+        stc_dense_ = std::make_unique<LinearTransform>(
+            ctx_, encoder_, special_fourier_matrix(n), stc_input_level_);
+    } else {
+        stc_factored_ = std::make_unique<FactoredDft>(
+            ctx_, encoder_, n, DftDirection::kSlotToCoeff,
+            config_.stc_radix, stc_input_level_);
+    }
+}
+
+int
+Bootstrapper::cts_levels() const
+{
+    return cts_factored_ ? cts_factored_->num_stages() : 1;
+}
+
+int
+Bootstrapper::stc_levels() const
+{
+    return stc_factored_ ? stc_factored_->num_stages() : 1;
 }
 
 std::vector<int>
 Bootstrapper::required_rotations() const
 {
     std::set<int> amounts;
-    for (int r : cts_->required_rotations()) amounts.insert(r);
-    // SlotToCoeff uses the same BSGS geometry on a dense matrix, so its
-    // rotation set is a subset of CoeffToSlot's; include it explicitly
-    // once compiled, and conservatively reuse the CtS set beforehand.
-    if (stc_) {
-        for (int r : stc_->required_rotations()) amounts.insert(r);
+    if (cts_dense_) {
+        for (int r : cts_dense_->required_rotations()) amounts.insert(r);
+        for (int r : stc_dense_->required_rotations()) amounts.insert(r);
+    } else {
+        for (int r : cts_factored_->required_rotations()) amounts.insert(r);
+        for (int r : stc_factored_->required_rotations()) amounts.insert(r);
     }
     // SubSum amounts: slots, 2*slots, ..., N/4.
     for (std::size_t r = config_.slots; r < ctx_.n() / 2; r *= 2) {
@@ -124,11 +153,15 @@ Bootstrapper::stage_raise_and_subsum(const Ciphertext& ct) const
 std::pair<Ciphertext, Ciphertext>
 Bootstrapper::stage_coeff_to_slot(const Ciphertext& raised) const
 {
-    Ciphertext t = cts_->apply(eval_, raised, *rot_keys_);
+    Ciphertext t = cts_dense_ ? cts_dense_->apply(eval_, raised, *rot_keys_)
+                              : cts_factored_->apply(eval_, raised,
+                                                     *rot_keys_);
     Ciphertext tc = eval_.conjugate(t, *conj_key_);
 
     // u_re = t + conj(t), u_im = i*(conj(t) - t); the 1/2 was folded
     // into the CtS matrix and multiplication by i is the exact monomial.
+    // (Under the factored path the slots are in bit-reversed order
+    // here; the split and EvalMod are slot-wise, so StC undoes it.)
     Ciphertext u_re = t;
     u_re.b.add_inplace(tc.b);
     u_re.a.add_inplace(tc.a);
@@ -164,15 +197,8 @@ Bootstrapper::stage_slot_to_coeff(const Ciphertext& v_re,
     w.b.add_inplace(im.b);
     w.a.add_inplace(im.a);
 
-    if (!stc_) {
-        BTS_CHECK(w.level >= 1, "no level left for SlotToCoeff");
-        const std::size_t n = config_.slots;
-        auto a_matrix = special_fourier_matrix(n);
-        stc_ = std::make_unique<LinearTransform>(ctx_, encoder_, a_matrix,
-                                                 w.level);
-    }
-    Ciphertext out = stc_->apply(eval_, w, *rot_keys_);
-    return out;
+    return stc_dense_ ? stc_dense_->apply(eval_, w, *rot_keys_)
+                      : stc_factored_->apply(eval_, w, *rot_keys_);
 }
 
 Ciphertext

@@ -19,7 +19,11 @@
  *   5. SlotToCoeff— the inverse transform A.
  *
  * The heavy cost structure the paper accelerates — hundreds of HMult and
- * HRot ops, each streaming an evk — comes from steps 3-5.
+ * HRot ops, each streaming an evk — comes from steps 3-5. CtS and StC
+ * run either as single-shot dense BSGS transforms (radix 0, the
+ * reference oracle) or factored into radix-2^r butterfly stages
+ * (dft_factor.h): O(radix) diagonals per stage instead of n, at the
+ * price of one level per stage.
  */
 #pragma once
 
@@ -27,6 +31,7 @@
 #include <vector>
 
 #include "ckks/chebyshev.h"
+#include "ckks/dft_factor.h"
 #include "ckks/linear_transform.h"
 
 namespace bts {
@@ -35,9 +40,26 @@ namespace bts {
 struct BootstrapConfig
 {
     std::size_t slots = 64;   //!< packing width of bootstrappable inputs
-    double k_range = 12.0;    //!< EvalMod interval [-K, K] (|I| bound)
+    /**
+     * EvalMod interval [-K, K]. Must bound |u| at the EvalMod input:
+     * SubSum sums gap = N/(2*slots) rotated copies of the ModRaise
+     * integer part, so K scales ~linearly with gap (12 covers gap = 2
+     * at hamming weight 32; gap = 4 needs ~24). sine_degree must grow
+     * with K too (> e*pi*K for the Chebyshev series to converge).
+     */
+    double k_range = 12.0;
     int sine_degree = 119;    //!< Chebyshev degree for the scaled sine
     bool normalize_output_scale = true; //!< end at the canonical scale
+    /**
+     * CtS / StC decomposition radix: a power of two >= 2 factors the
+     * transform into ceil(log2(slots)/log2(radix)) sparse stages (one
+     * level each); 0 selects the dense single-shot oracle (one level,
+     * n diagonals). Must be both zero or both nonzero: the factored
+     * stages drop the DFT's bit-reversal, which only cancels when the
+     * matching factored inverse runs on the other side of EvalMod.
+     */
+    int cts_radix = 0;
+    int stc_radix = 0;
 };
 
 /** One-time-setup bootstrapper bound to a context and key set. */
@@ -47,7 +69,11 @@ class Bootstrapper
     Bootstrapper(const CkksContext& ctx, const CkksEncoder& encoder,
                  const Evaluator& eval, const BootstrapConfig& config);
 
-    /** All rotation amounts the caller must generate keys for. */
+    /**
+     * All rotation amounts the caller must generate keys for. Both
+     * transforms compile eagerly in the constructor, so this is exact
+     * (and stable across bootstrap() calls) from construction on.
+     */
     std::vector<int> required_rotations() const;
 
     /** Install the key material (borrowed; must outlive this object). */
@@ -66,6 +92,12 @@ class Bootstrapper
     const ChebyshevSeries& sine_series() const { return sine_series_; }
     const BootstrapConfig& config() const { return config_; }
 
+    /** Levels CtS / StC consume (1 for dense, #stages for factored). */
+    int cts_levels() const;
+    int stc_levels() const;
+    /** Ciphertext level when SlotToCoeff starts (fixed at setup). */
+    int stc_input_level() const { return stc_input_level_; }
+
     // Individual stages, exposed for tests and diagnostics.
     Ciphertext stage_raise_and_subsum(const Ciphertext& ct) const;
     std::pair<Ciphertext, Ciphertext> stage_coeff_to_slot(
@@ -82,8 +114,16 @@ class Bootstrapper
 
     std::size_t gap_;        // N/2 / slots
     ChebyshevSeries sine_series_;
-    std::unique_ptr<LinearTransform> cts_;
-    mutable std::unique_ptr<LinearTransform> stc_; // lazily compiled
+    // Dense oracle (radix == 0) or factored stages — exactly one pair
+    // is set, eagerly, in the constructor. (The previous lazy StC
+    // compile mutated state inside const bootstrap() with no
+    // synchronization — a data race for concurrent bootstraps — and
+    // made required_rotations() under-report until first use.)
+    std::unique_ptr<LinearTransform> cts_dense_;
+    std::unique_ptr<LinearTransform> stc_dense_;
+    std::unique_ptr<FactoredDft> cts_factored_;
+    std::unique_ptr<FactoredDft> stc_factored_;
+    int stc_input_level_ = -1;
     mutable int output_level_ = -1;
 
     const EvalKey* mult_key_ = nullptr;

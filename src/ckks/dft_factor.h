@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Factored homomorphic DFT: CoeffToSlot/SlotToCoeff as a product of
+ * radix-2^r butterfly stages (the decomposition the paper's bootstrap
+ * cost model assumes; cf. Cheon-Han-Hhan's faster homomorphic DFT and
+ * the Lattigo/HEAAN bootstrapping pipelines).
+ *
+ * The special Fourier matrix A (A[t][k] = zeta^{5^t k}, zeta the
+ * primitive 4n-th root of unity) factors exactly like the iterative
+ * radix-2 DIT FFT that evaluates it:
+ *
+ *     A = S_k * S_{k-1} * ... * S_1 * P,      k = log2(n),
+ *
+ * where P is the bit-reversal permutation and butterfly stage S_i has
+ * only the cyclic diagonals {0, +2^{i-1}, -2^{i-1}}. Merging r
+ * consecutive stages (radix 2^r) yields ceil(k/r) factors of at most
+ * 2^{r+1}-1 diagonals each — O(radix) diagonals per level spent,
+ * versus the n diagonals of the single-shot dense transform.
+ *
+ * The permutation P is never evaluated homomorphically: CoeffToSlot
+ * applies S_1^dagger ... S_k^dagger (= P * A^dagger, i.e. the dense
+ * CtS output in bit-reversed slot order) and SlotToCoeff applies
+ * S_k ... S_1 (= A * P, which consumes bit-reversed input). EvalMod
+ * between them is slot-wise, so the two P's cancel and the bootstrap
+ * pipeline is bit-for-bit the same message map as the dense oracle.
+ *
+ * Stage matrices are composed in sparse diagonal form; the dense n x n
+ * matrix is never materialized.
+ */
+#pragma once
+
+#include <memory>
+
+#include "ckks/linear_transform.h"
+
+namespace bts {
+
+/** Which direction of the homomorphic DFT to compile. */
+enum class DftDirection
+{
+    kCoeffToSlot, //!< (1/2n) A^dagger, bit-reversed output order
+    kSlotToCoeff, //!< A, bit-reversed input order
+};
+
+/**
+ * The dense special Fourier matrix A (testing/oracle helper — the
+ * factored path never calls this).
+ */
+std::vector<std::vector<Complex>> special_fourier_matrix(std::size_t n);
+
+/** out = M * v for a sparse diagonal matrix (clear-math test helper). */
+std::vector<Complex> apply_diagonals(const DiagonalMap& m,
+                                     const std::vector<Complex>& v);
+
+/**
+ * A compiled factored DFT: ceil(log2(n)/log2(radix)) sparse BSGS
+ * stages, each consuming one level, applied in sequence.
+ */
+class FactoredDft
+{
+  public:
+    /**
+     * Compile for @p slots slots at radix @p radix (a power of two
+     * >= 2), for inputs at level @p input_level. Stage s is compiled at
+     * level input_level - s; construction fails if the level budget
+     * cannot cover every stage.
+     *
+     * @param bsgs_ratio giant-step bias of each stage's BSGS. Sparse
+     * stages default to 4 (vs 1 for dense transforms): baby rotations
+     * are hoisted (they share one decompose+ModUp) while every giant
+     * step pays a full key-switch, so with only O(radix) diagonals a
+     * wider baby front trades cheap hoisted rotations for expensive
+     * giant ones.
+     */
+    FactoredDft(const CkksContext& ctx, const CkksEncoder& encoder,
+                std::size_t slots, DftDirection direction, int radix,
+                int input_level, double bsgs_ratio = 4.0);
+
+    /** Number of radix stages == levels consumed by apply(). */
+    int num_stages() const { return static_cast<int>(stages_.size()); }
+
+    /**
+     * Stage count a (slots, radix) pair compiles to — ceil(log2(slots)
+     * / log2(radix)) under the current chunking — for level-budget
+     * planning before construction.
+     */
+    static int num_stages_for(std::size_t slots, int radix);
+
+    DftDirection direction() const { return direction_; }
+
+    /** Sum of nonzero diagonals (PMult count) across all stages. */
+    int total_diagonals() const;
+
+    /** Union of every stage's rotation amounts. */
+    std::vector<int> required_rotations() const;
+
+    /** Apply all stages in order; consumes num_stages() levels. */
+    Ciphertext apply(const Evaluator& eval, const Ciphertext& ct,
+                     const RotationKeys& rot_keys) const;
+
+    const LinearTransform& stage(int s) const { return *stages_[s]; }
+
+    /**
+     * The merged radix-stage matrices in application order, as sparse
+     * diagonal maps (exposed for tests; also how the constructor builds
+     * its stages — no dense intermediate).
+     */
+    static std::vector<DiagonalMap> stage_diagonals(std::size_t n,
+                                                    DftDirection direction,
+                                                    int radix);
+
+  private:
+    std::size_t slots_;
+    DftDirection direction_;
+    std::vector<std::unique_ptr<LinearTransform>> stages_;
+};
+
+} // namespace bts

@@ -17,6 +17,23 @@ Evaluator::Evaluator(const CkksContext& ctx, const CkksEncoder& encoder)
 namespace {
 
 void
+check_plain_chain(const Ciphertext& ct, const Plaintext& pt)
+{
+    // Counting primes is not enough: the plaintext's chain must be a
+    // prefix match of the ciphertext's (mirroring rescale_poly's chain
+    // assertion). A re-based plaintext with the right *count* but the
+    // wrong primes would silently produce garbage residues.
+    BTS_CHECK(pt.num_primes() >= ct.level + 1,
+              "plaintext level too low for the ciphertext");
+    for (int i = 0; i <= ct.level; ++i) {
+        BTS_CHECK(pt.poly.prime(i) == ct.b.prime(i),
+                  "plaintext prime chain is not a prefix match of the "
+                  "ciphertext's (re-based plaintext?) at limb "
+                      << i);
+    }
+}
+
+void
 check_scale_match(double s1, double s2)
 {
     // Guard before dividing: a zero / negative / NaN scale would turn
@@ -79,21 +96,51 @@ Evaluator::negate(const Ciphertext& a) const
     return out;
 }
 
-RnsPoly
-Evaluator::gather_evk(const RnsPoly& key_poly, int level) const
+void
+Evaluator::accumulate_evk_product(RnsPoly& acc_b, RnsPoly& acc_a,
+                                  const RnsPoly& f, const RnsPoly& key_b,
+                                  const RnsPoly& key_a, int level) const
 {
-    // evk polynomials live over {q_0..q_L, p_0..p_{k-1}}; at level l we
-    // need {q_0..q_l, p_0..p_{k-1}}.
-    const auto ext = ctx_.extended_primes(level);
+    // evk polynomials live over {q_0..q_L, p_0..p_{k-1}}; f and the
+    // accumulators over {q_0..q_l, p_0..p_{k-1}}. Index ext limb i to
+    // key limb i (q part) or L+1+(i-level-1) (special part) and fuse
+    // multiply and accumulate in a single tiled pass.
     const int L = ctx_.max_level();
-    RnsPoly out(ctx_.n(), ext, Domain::kNtt, RnsPoly::Uninit{});
-    for (int i = 0; i <= level; ++i) {
-        out.component(i).copy_from(key_poly.component(i));
+    const std::size_t n = ctx_.n();
+    const std::size_t count = f.num_primes();
+    BTS_ASSERT(f.domain() == Domain::kNtt &&
+                   acc_b.num_primes() == count && acc_a.num_primes() == count,
+               "evk accumulate operands mismatch");
+
+    std::vector<Barrett> barrett(count);
+    std::vector<const u64*> kb(count), ka(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        barrett[i] = Barrett(f.prime(i));
+        const std::size_t ki =
+            static_cast<int>(i) <= level
+                ? i
+                : static_cast<std::size_t>(L + 1) - (level + 1) + i;
+        kb[i] = key_b.component(ki).data();
+        ka[i] = key_a.component(ki).data();
     }
-    for (int t = 0; t < ctx_.num_special(); ++t) {
-        out.component(level + 1 + t).copy_from(key_poly.component(L + 1 + t));
-    }
-    return out;
+    const u64* const fp = f.data();
+    u64* const ab = acc_b.data();
+    u64* const aa = acc_a.data();
+    parallel_for_2d(
+        count, n,
+        [&](std::size_t i, std::size_t c0, std::size_t c1) {
+            const Barrett& br = barrett[i];
+            const u64 q = br.modulus();
+            const u64* fc = fp + i * n;
+            const u64* kbc = kb[i];
+            const u64* kac = ka[i];
+            u64* abc = ab + i * n;
+            u64* aac = aa + i * n;
+            for (std::size_t c = c0; c < c1; ++c) {
+                abc[c] = add_mod(abc[c], br.mul(fc[c], kbc[c]), q);
+                aac[c] = add_mod(aac[c], br.mul(fc[c], kac[c]), q);
+            }
+        });
 }
 
 std::pair<RnsPoly, RnsPoly>
@@ -105,7 +152,6 @@ Evaluator::key_switch(const RnsPoly& d, const EvalKey& evk, int level) const
     BTS_CHECK(!evk.empty(), "evaluation key is empty");
 
     const auto ext = ctx_.extended_primes(level);
-    const auto ext_tables = ctx_.tables_for(ext);
     const auto q_primes = ctx_.level_primes(level);
 
     RnsPoly acc_b(ctx_.n(), ext, Domain::kNtt);
@@ -150,18 +196,13 @@ Evaluator::key_switch(const RnsPoly& d, const EvalKey& evk, int level) const
             }
         }
 
-        // Inner product with the key slice.
-        RnsPoly kb = gather_evk(evk.slices[j].first, level);
-        RnsPoly ka = gather_evk(evk.slices[j].second, level);
-        kb.mul_inplace(f);
-        ka.mul_inplace(f);
-        acc_b.add_inplace(kb);
-        acc_a.add_inplace(ka);
+        // Inner product with the key slice (read in place, fused).
+        accumulate_evk_product(acc_b, acc_a, f, evk.slices[j].first,
+                               evk.slices[j].second, level);
     }
 
     mod_down_inplace(acc_b, level);
     mod_down_inplace(acc_a, level);
-    (void)ext_tables;
     return {std::move(acc_b), std::move(acc_a)};
 }
 
@@ -279,12 +320,8 @@ Evaluator::rotate_hoisted(const Ciphertext& ct,
         for (std::size_t j = 0; j < slices.size(); ++j) {
             RnsPoly f = slices[j].automorphism(exp);
             f.to_ntt(ext_tables);
-            RnsPoly kb = gather_evk(key.slices[j].first, level);
-            RnsPoly ka = gather_evk(key.slices[j].second, level);
-            kb.mul_inplace(f);
-            ka.mul_inplace(f);
-            acc_b.add_inplace(kb);
-            acc_a.add_inplace(ka);
+            accumulate_evk_product(acc_b, acc_a, f, key.slices[j].first,
+                                   key.slices[j].second, level);
         }
         mod_down_inplace(acc_b, level);
         mod_down_inplace(acc_a, level);
@@ -484,8 +521,7 @@ Evaluator::conjugate(const Ciphertext& ct, const EvalKey& conj_key) const
 Ciphertext
 Evaluator::mult_plain(const Ciphertext& ct, const Plaintext& pt) const
 {
-    BTS_CHECK(pt.num_primes() >= ct.level + 1,
-              "plaintext level too low for the ciphertext");
+    check_plain_chain(ct, pt);
     RnsPoly m = pt.poly;
     m.truncate(ct.level + 1);
 
@@ -500,8 +536,7 @@ Ciphertext
 Evaluator::add_plain(const Ciphertext& ct, const Plaintext& pt) const
 {
     check_scale_match(ct.scale, pt.scale);
-    BTS_CHECK(pt.num_primes() >= ct.level + 1,
-              "plaintext level too low for the ciphertext");
+    check_plain_chain(ct, pt);
     RnsPoly m = pt.poly;
     m.truncate(ct.level + 1);
     Ciphertext out = ct;
@@ -513,8 +548,7 @@ Ciphertext
 Evaluator::sub_plain(const Ciphertext& ct, const Plaintext& pt) const
 {
     check_scale_match(ct.scale, pt.scale);
-    BTS_CHECK(pt.num_primes() >= ct.level + 1,
-              "plaintext level too low for the ciphertext");
+    check_plain_chain(ct, pt);
     RnsPoly m = pt.poly;
     m.truncate(ct.level + 1);
     Ciphertext out = ct;
@@ -568,8 +602,8 @@ Evaluator::mult_const_to_scale(const Ciphertext& ct, double c,
     return out;
 }
 
-const std::vector<u64>&
-Evaluator::monomial_ntt(u64 prime, std::size_t power) const
+const std::vector<ShoupMul>&
+Evaluator::monomial_shoup(u64 prime, std::size_t power) const
 {
     const auto key = std::make_pair(prime, power);
     // Entries are never erased and map references are stable, so the
@@ -580,7 +614,11 @@ Evaluator::monomial_ntt(u64 prime, std::size_t power) const
         std::vector<u64> mono(ctx_.n(), 0);
         mono[power] = 1;
         ctx_.tables(prime).forward(mono.data());
-        it = monomial_cache_.emplace(key, std::move(mono)).first;
+        std::vector<ShoupMul> shoup(ctx_.n());
+        for (std::size_t c = 0; c < ctx_.n(); ++c) {
+            shoup[c] = ShoupMul(mono[c], prime);
+        }
+        it = monomial_cache_.emplace(key, std::move(shoup)).first;
     }
     return it->second;
 }
@@ -588,19 +626,30 @@ Evaluator::monomial_ntt(u64 prime, std::size_t power) const
 Ciphertext
 Evaluator::mult_by_i(const Ciphertext& ct) const
 {
+    // Hot in bootstrapping (twice per bootstrap, on full-width
+    // ciphertexts): the monomial is a fixed operand, so use its cached
+    // Shoup constants and tile over (poly x limb) x coefficient-block.
     Ciphertext out = ct;
-    const std::size_t power = ctx_.n() / 2;
-    for (int i = 0; i <= ct.level; ++i) {
-        const u64 q = ct.b.prime(i);
-        const Barrett barrett(q);
-        const auto& mono = monomial_ntt(q, power);
-        for (auto* poly : {&out.b, &out.a}) {
-            const Span comp = poly->component(i);
-            for (std::size_t c = 0; c < comp.size(); ++c) {
-                comp[c] = barrett.mul(comp[c], mono[c]);
-            }
-        }
+    const std::size_t n = ctx_.n();
+    const std::size_t power = n / 2;
+    const std::size_t limbs = static_cast<std::size_t>(ct.level) + 1;
+    std::vector<const ShoupMul*> mono(limbs);
+    for (std::size_t i = 0; i < limbs; ++i) {
+        mono[i] = monomial_shoup(ct.b.prime(i), power).data();
     }
+    u64* const base_b = out.b.data();
+    u64* const base_a = out.a.data();
+    parallel_for_2d(
+        2 * limbs, n,
+        [&](std::size_t idx, std::size_t c0, std::size_t c1) {
+            const std::size_t i = idx % limbs;
+            const u64 q = ct.b.prime(i);
+            const ShoupMul* m = mono[i];
+            u64* dst = (idx < limbs ? base_b : base_a) + i * n;
+            for (std::size_t c = c0; c < c1; ++c) {
+                dst[c] = m[c].mul(dst[c], q);
+            }
+        });
     return out;
 }
 

@@ -20,6 +20,7 @@
 #include "ckks/ckks_context.h"
 #include "ckks/encoder.h"
 #include "ckks/keys.h"
+#include "math/mod_arith.h"
 
 namespace bts {
 
@@ -135,8 +136,16 @@ class Evaluator
     static constexpr double kScaleTolerance = 1e-6;
 
   private:
-    /** Gather evk slice components onto the level-l extended base. */
-    RnsPoly gather_evk(const RnsPoly& key_poly, int level) const;
+    /**
+     * acc_{b,a} += f * evk_slice over the level-l extended base, reading
+     * the key's components in place through the {q_0..q_l, p_*} ->
+     * evk-base index map. One fused pass; the key is never copied onto
+     * the extended base (the old per-rotation gather allocated and
+     * copied two full extended polynomials per slice).
+     */
+    void accumulate_evk_product(RnsPoly& acc_b, RnsPoly& acc_a,
+                                const RnsPoly& f, const RnsPoly& key_b,
+                                const RnsPoly& key_a, int level) const;
 
     /** Decompose + ModUp: per-slice extended polynomials over
      *  {q_0..q_l, p_*}, returned in the COEFFICIENT domain (the shared
@@ -150,13 +159,18 @@ class Evaluator
     /** Rescale one polynomial of a ciphertext by its top prime. */
     void rescale_poly(RnsPoly& poly) const;
 
-    /** NTT image of the monomial X^power over the given primes. */
-    const std::vector<u64>& monomial_ntt(u64 prime, std::size_t power) const;
+    /**
+     * NTT image of the monomial X^power mod @p prime, with Shoup
+     * constants precomputed per point (the monomial is a fixed operand
+     * on the hot mult_by_i bootstrap path).
+     */
+    const std::vector<ShoupMul>& monomial_shoup(u64 prime,
+                                                std::size_t power) const;
 
     const CkksContext& ctx_;
     const CkksEncoder& encoder_;
     mutable std::mutex monomial_mutex_; //!< guards monomial_cache_
-    mutable std::map<std::pair<u64, std::size_t>, std::vector<u64>>
+    mutable std::map<std::pair<u64, std::size_t>, std::vector<ShoupMul>>
         monomial_cache_;
 };
 

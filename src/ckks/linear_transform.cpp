@@ -6,43 +6,87 @@
 
 #include "common/bit_ops.h"
 #include "common/check.h"
+#include "math/mod_arith.h"
 
 namespace bts {
+
+namespace {
+
+/** Extract the cyclic diagonals of a dense square matrix (the
+ *  delegated-to constructor drops the near-zero ones). */
+DiagonalMap
+extract_diagonals(const std::vector<std::vector<Complex>>& matrix)
+{
+    const std::size_t n = matrix.size();
+    for (const auto& row : matrix) {
+        BTS_CHECK(row.size() == n, "matrix must be square");
+    }
+    DiagonalMap diagonals;
+    for (std::size_t d = 0; d < n; ++d) {
+        std::vector<Complex> diag(n);
+        for (std::size_t j = 0; j < n; ++j) {
+            diag[j] = matrix[j][(j + d) % n];
+        }
+        diagonals.emplace(static_cast<int>(d), std::move(diag));
+    }
+    return diagonals;
+}
+
+} // namespace
 
 LinearTransform::LinearTransform(
     const CkksContext& ctx, const CkksEncoder& encoder,
     const std::vector<std::vector<Complex>>& matrix, int level,
     double bsgs_ratio)
-    : ctx_(ctx), encoder_(encoder), n_(matrix.size()), level_(level)
+    : LinearTransform(ctx, encoder, matrix.size(),
+                      extract_diagonals(matrix), level, bsgs_ratio)
+{}
+
+LinearTransform::LinearTransform(const CkksContext& ctx,
+                                 const CkksEncoder& encoder, std::size_t n,
+                                 const DiagonalMap& diagonals, int level,
+                                 double bsgs_ratio)
+    : ctx_(ctx), encoder_(encoder), n_(n), level_(level)
 {
     BTS_CHECK(is_power_of_two(n_), "matrix dimension must be a power of two");
     BTS_CHECK(level >= 1, "transform needs one level headroom");
-    for (const auto& row : matrix) {
-        BTS_CHECK(row.size() == n_, "matrix must be square");
-    }
 
-    // Extract nonzero diagonals: diag_d[j] = M[j][(j + d) mod n].
     std::vector<int> shifts;
-    std::vector<std::vector<Complex>> diagonals;
-    for (std::size_t d = 0; d < n_; ++d) {
-        std::vector<Complex> diag(n_);
+    std::vector<const std::vector<Complex>*> diags;
+    for (const auto& [d, values] : diagonals) {
+        BTS_CHECK(d >= 0 && d < static_cast<int>(n_),
+                  "diagonal shift out of range");
+        BTS_CHECK(values.size() == n_, "diagonal length must equal n");
         bool nonzero = false;
-        for (std::size_t j = 0; j < n_; ++j) {
-            diag[j] = matrix[j][(j + d) % n_];
-            if (std::abs(diag[j]) > 1e-14) nonzero = true;
+        for (const Complex& v : values) {
+            if (std::abs(v) > 1e-14) {
+                nonzero = true;
+                break;
+            }
         }
-        if (nonzero) {
-            shifts.push_back(static_cast<int>(d));
-            diagonals.push_back(std::move(diag));
-        }
+        if (!nonzero) continue;
+        shifts.push_back(d);
+        diags.push_back(&values);
     }
     BTS_CHECK(!shifts.empty(), "matrix is identically zero");
 
-    // Giant-step width: ~sqrt(#diagonals * ratio), a power of two.
+    // Giant-step width: ~stride * sqrt(#diagonals * ratio), a power of
+    // two. `stride` is the gcd of the shifts — radix DFT stages have
+    // shifts that are all multiples of the butterfly span, and a
+    // stride-blind sqrt(#diags) width would leave every baby step empty
+    // while each diagonal occupies its own giant step.
+    u64 stride = 0;
+    for (int d : shifts) {
+        if (d != 0) stride = gcd_u64(stride, static_cast<u64>(d));
+    }
+    if (stride == 0) stride = 1;
     const double target =
-        std::sqrt(static_cast<double>(diagonals.size()) * bsgs_ratio);
-    g_ = 1;
-    while (g_ * 2 <= target && g_ * 2 < static_cast<int>(n_)) g_ *= 2;
+        std::sqrt(static_cast<double>(diags.size()) * bsgs_ratio);
+    g_ = static_cast<int>(stride);
+    while (g_ * 2 <= static_cast<double>(stride) * target &&
+           g_ * 2 < static_cast<int>(n_)) {
+        g_ *= 2;
+    }
 
     // Diagonal plaintexts are encoded once, at the level's top prime, so
     // the final rescale of apply() restores the input scale exactly.
@@ -59,7 +103,7 @@ LinearTransform::LinearTransform(
         const int gi = entry.giant * g_;
         std::vector<Complex> rotated(n_);
         for (std::size_t j = 0; j < n_; ++j) {
-            rotated[j] = diagonals[idx][(j + n_ - gi % n_) % n_];
+            rotated[j] = (*diags[idx])[(j + n_ - gi % n_) % n_];
         }
         entry.plaintext = encoder_.encode(rotated, pt_scale, level_);
         if (entry.baby != 0) rotations.insert(entry.baby);

@@ -9,9 +9,15 @@
  * this is the op structure of bootstrapping's CoeffToSlot/SlotToCoeff,
  * which dominates the HRot count the paper's Section 3.3 discusses
  * (the "more than 40 evks" workload).
+ *
+ * Transforms compile either from a dense matrix (diagonals are
+ * extracted) or directly from a sparse diagonal map — the factored
+ * homomorphic DFT (dft_factor.h) uses the latter so the dense n x n
+ * matrix is never materialized.
  */
 #pragma once
 
+#include <map>
 #include <vector>
 
 #include "ckks/encoder.h"
@@ -19,6 +25,12 @@
 #include "ckks/keys.h"
 
 namespace bts {
+
+/**
+ * A sparse complex matrix stored as its nonzero cyclic diagonals:
+ * diagonal d (0 <= d < n) holds diag_d[j] = M[j][(j + d) mod n].
+ */
+using DiagonalMap = std::map<int, std::vector<Complex>>;
 
 /** A precompiled homomorphic matrix-vector product. */
 class LinearTransform
@@ -36,6 +48,18 @@ class LinearTransform
                     const std::vector<std::vector<Complex>>& matrix,
                     int level, double bsgs_ratio = 1.0);
 
+    /**
+     * Compile directly from nonzero diagonals of an n x n matrix —
+     * the sparse path used by the factored DFT stages. Near-zero
+     * diagonals are dropped. The giant-step width honours the common
+     * stride of the shifts (a radix stage's shifts are all multiples of
+     * its butterfly span; a stride-blind g would put every diagonal in
+     * its own giant step).
+     */
+    LinearTransform(const CkksContext& ctx, const CkksEncoder& encoder,
+                    std::size_t n, const DiagonalMap& diagonals, int level,
+                    double bsgs_ratio = 1.0);
+
     /** Rotation amounts (all positive, < n) this transform needs. */
     const std::vector<int>& required_rotations() const
     {
@@ -52,6 +76,8 @@ class LinearTransform
     std::size_t dimension() const { return n_; }
     int num_diagonals() const { return static_cast<int>(diag_values_.size()); }
     int baby_steps() const { return g_; }
+    /** Input level the transform was compiled for (output is level-1). */
+    int level() const { return level_; }
 
   private:
     const CkksContext& ctx_;

@@ -29,20 +29,47 @@ struct BootEnv
 {
     BootEnv() : env(boot_params())
     {
+        // Factored CtS/StC (the paper's assumed radix decomposition):
+        // radix 32 splits the 512-slot DFT into 2 stages per direction,
+        // fitting L=14 alongside the degree-119 EvalMod (8 levels):
+        // 14 - 2 (CtS) - 8 (EvalMod) - 2 (StC) - 1 (normalize) = 1.
         BootstrapConfig cfg;
         cfg.slots = 512; // gap = 2
         cfg.k_range = 12.0;
-        cfg.sine_degree = 159;
+        cfg.sine_degree = 119;
+        cfg.cts_radix = 32;
+        cfg.stc_radix = 32;
         boot = std::make_unique<Bootstrapper>(env.ctx, env.encoder,
                                               env.evaluator, cfg);
         rot_keys =
             env.keygen.gen_rotation_keys(env.sk, boot->required_rotations());
         boot->set_keys(&env.mult_key, &rot_keys, &env.conj_key);
+
+        // A second bootstrapper on the same context/keys: sparse slot
+        // count under the factored path (radix 16 -> 2 stages as well).
+        // SubSum sums gap copies of the ModRaise integer part, so the
+        // EvalMod range K must grow ~linearly with gap (|u| reaches 16
+        // at gap = 4) and the sine degree with K (> e*pi*K for the
+        // Chebyshev series to converge on [-K, K]).
+        BootstrapConfig sparse_cfg = cfg;
+        sparse_cfg.slots = 256; // gap = 4
+        sparse_cfg.k_range = 24.0;
+        sparse_cfg.sine_degree = 239;
+        sparse_cfg.cts_radix = 16;
+        sparse_cfg.stc_radix = 16;
+        sparse_cfg.normalize_output_scale = false; // spend the last level
+        sparse = std::make_unique<Bootstrapper>(env.ctx, env.encoder,
+                                                env.evaluator, sparse_cfg);
+        sparse_rot_keys = env.keygen.gen_rotation_keys(
+            env.sk, sparse->required_rotations());
+        sparse->set_keys(&env.mult_key, &sparse_rot_keys, &env.conj_key);
     }
 
     TestEnv env;
     std::unique_ptr<Bootstrapper> boot;
     RotationKeys rot_keys;
+    std::unique_ptr<Bootstrapper> sparse;
+    RotationKeys sparse_rot_keys;
 };
 
 BootEnv&
@@ -63,6 +90,23 @@ TEST(Bootstrap, RequiredRotationsIncludeSubSum)
         EXPECT_GT(r, 0);
         EXPECT_LT(r, 1 << 10);
     }
+}
+
+TEST(Bootstrap, RequiredRotationsExactFromConstruction)
+{
+    // Regression: StC used to compile lazily inside const bootstrap()
+    // (a data race for concurrent bootstraps) and required_rotations()
+    // under-reported until the first call. Both transforms now compile
+    // in the constructor, so the set must be identical before and
+    // after bootstrapping.
+    auto& be = boot_env();
+    auto& env = be.env;
+    const auto before = be.boot->required_rotations();
+    const auto z = env.random_message(512, 0.3, 200);
+    Ciphertext ct = env.encrypt(z, 0);
+    (void)be.boot->bootstrap(ct);
+    const auto after = be.boot->required_rotations();
+    EXPECT_EQ(before, after);
 }
 
 TEST(Bootstrap, StageRaiseAndSubsum)
@@ -91,6 +135,18 @@ TEST(Bootstrap, EndToEndMessageRefresh)
     const auto back = env.decrypt(fresh);
     const double err = TestEnv::max_err(z, back);
     EXPECT_LT(err, 1e-2) << "bootstrap precision too low";
+}
+
+TEST(Bootstrap, SparseSlotsEndToEndFactored)
+{
+    // The sparse-packing path (gap = 4) through the factored CtS/StC.
+    auto& be = boot_env();
+    auto& env = be.env;
+    const auto z = env.random_message(256, 0.3, 206);
+    Ciphertext ct = env.encrypt(z, 0);
+    const Ciphertext fresh = be.sparse->bootstrap(ct);
+    EXPECT_GE(fresh.level, 1);
+    EXPECT_LT(TestEnv::max_err(z, env.decrypt(fresh)), 1e-2);
 }
 
 TEST(Bootstrap, RefreshedCiphertextIsUsable)
@@ -127,6 +183,57 @@ TEST(Bootstrap, RejectsNonExhaustedInput)
     const auto z = env.random_message(512, 0.3, 205);
     Ciphertext ct = env.encrypt(z, 3);
     EXPECT_THROW(be.boot->bootstrap(ct), std::invalid_argument);
+}
+
+TEST(Bootstrap, DenseOracleEndToEnd)
+{
+    // The radix-0 reference path must stay a working oracle (the
+    // factored-vs-dense equivalence tests compare transforms against
+    // it); keep one full dense refresh alive on a small ring.
+    CkksParams p;
+    p.n = 1 << 8;
+    p.max_level = 14;
+    p.dnum = 3;
+    p.q0_bits = 50;
+    p.scale_bits = 40;
+    p.special_bits = 50;
+    p.hamming_weight = 32;
+    p.seed = 778;
+    auto& env = testing::cached_env("boot-dense-small", p);
+    BootstrapConfig cfg;
+    cfg.slots = 64; // gap = 2
+    cfg.sine_degree = 119;
+    Bootstrapper boot(env.ctx, env.encoder, env.evaluator, cfg);
+    const RotationKeys rot_keys =
+        env.keygen.gen_rotation_keys(env.sk, boot.required_rotations());
+    boot.set_keys(&env.mult_key, &rot_keys, &env.conj_key);
+
+    const auto z = env.random_message(64, 0.3, 207);
+    Ciphertext ct = env.encrypt(z, 0);
+    const Ciphertext fresh = boot.bootstrap(ct);
+    EXPECT_GE(fresh.level, 1);
+    EXPECT_LT(TestEnv::max_err(z, env.decrypt(fresh)), 1e-2);
+}
+
+TEST(Bootstrap, RejectsMixedDenseFactoredConfig)
+{
+    auto& be = boot_env();
+    auto& env = be.env;
+    BootstrapConfig cfg;
+    cfg.slots = 64;
+    cfg.cts_radix = 4;
+    cfg.stc_radix = 0; // dense StC cannot undo the deferred bit-reversal
+    EXPECT_THROW(
+        Bootstrapper(env.ctx, env.encoder, env.evaluator, cfg),
+        std::invalid_argument);
+
+    // Regression: radix 1 used to reach a log2(1)=0 stage-count
+    // division (SIGFPE) before any radix validation ran.
+    cfg.stc_radix = 1;
+    EXPECT_THROW(
+        Bootstrapper(env.ctx, env.encoder, env.evaluator, cfg),
+        std::invalid_argument);
+    (void)be;
 }
 
 TEST(Bootstrap, SineSeriesIsAccurate)

@@ -1,0 +1,226 @@
+#include "ckks/dft_factor.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/bit_ops.h"
+#include "test_utils.h"
+
+namespace bts {
+namespace {
+
+using testing::TestEnv;
+using testing::default_env;
+
+std::vector<Complex>
+matvec(const std::vector<std::vector<Complex>>& m,
+       const std::vector<Complex>& v)
+{
+    std::vector<Complex> out(v.size(), Complex(0, 0));
+    for (std::size_t j = 0; j < v.size(); ++j) {
+        for (std::size_t k = 0; k < v.size(); ++k) out[j] += m[j][k] * v[k];
+    }
+    return out;
+}
+
+std::vector<Complex>
+bitrev(std::vector<Complex> v)
+{
+    bit_reverse_permute(v.data(), v.size());
+    return v;
+}
+
+std::vector<Complex>
+apply_stages(const std::vector<DiagonalMap>& stages, std::vector<Complex> v)
+{
+    for (const auto& s : stages) v = apply_diagonals(s, v);
+    return v;
+}
+
+/** (1/2n) A^dagger — the dense CoeffToSlot matrix. */
+std::vector<std::vector<Complex>>
+dense_cts_matrix(std::size_t n)
+{
+    const auto a = special_fourier_matrix(n);
+    std::vector<std::vector<Complex>> m(n, std::vector<Complex>(n));
+    const double scale = 1.0 / (2.0 * static_cast<double>(n));
+    for (std::size_t t = 0; t < n; ++t) {
+        for (std::size_t k = 0; k < n; ++k) {
+            m[t][k] = std::conj(a[k][t]) * scale;
+        }
+    }
+    return m;
+}
+
+// ---------- clear-math factorization pins ----------
+
+TEST(FactoredDft, StageProductMatchesSpecialFft)
+{
+    // SlotToCoeff factored stages compute A * P: applying them to x
+    // must equal the encoder's special FFT on the bit-reversed input,
+    // for every slot count and radix (including ragged log/radix).
+    auto& env = default_env();
+    for (std::size_t n : {8u, 64u, 256u}) {
+        for (int radix : {2, 4, 8}) {
+            const auto stages = FactoredDft::stage_diagonals(
+                n, DftDirection::kSlotToCoeff, radix);
+            const auto x = env.random_message(n, 1.0, 40 + n + radix);
+            const auto got = apply_stages(stages, x);
+            auto ref = bitrev(x);
+            env.encoder.fft_special(ref);
+            EXPECT_LT(TestEnv::max_err(ref, got), 1e-9)
+                << "n=" << n << " radix=" << radix;
+        }
+    }
+}
+
+TEST(FactoredDft, CtsStagesMatchDenseDaggerBitReversed)
+{
+    // CoeffToSlot factored stages compute P * (1/2n) A^dagger: the
+    // dense oracle's output in bit-reversed slot order.
+    auto& env = default_env();
+    for (std::size_t n : {8u, 64u}) {
+        for (int radix : {2, 4}) {
+            const auto stages = FactoredDft::stage_diagonals(
+                n, DftDirection::kCoeffToSlot, radix);
+            const auto x = env.random_message(n, 1.0, 80 + n + radix);
+            const auto got = apply_stages(stages, x);
+            const auto ref = bitrev(matvec(dense_cts_matrix(n), x));
+            EXPECT_LT(TestEnv::max_err(ref, got), 1e-9)
+                << "n=" << n << " radix=" << radix;
+        }
+    }
+}
+
+TEST(FactoredDft, StagesAreSparse)
+{
+    // Each radix-2^r stage has at most 2^{r+1}-1 diagonals; the whole
+    // factorization is O(log n * radix) versus the dense n diagonals.
+    for (int radix : {2, 4, 8}) {
+        const auto stages = FactoredDft::stage_diagonals(
+            512, DftDirection::kSlotToCoeff, radix);
+        for (const auto& s : stages) {
+            EXPECT_LE(static_cast<int>(s.size()), 2 * radix - 1);
+        }
+    }
+}
+
+// ---------- homomorphic equivalence against the dense oracle ----------
+
+RotationKeys
+keys_for_amounts(TestEnv& env, std::vector<int> a, std::vector<int> b)
+{
+    a.insert(a.end(), b.begin(), b.end());
+    std::sort(a.begin(), a.end());
+    a.erase(std::unique(a.begin(), a.end()), a.end());
+    return env.keygen.gen_rotation_keys(env.sk, a);
+}
+
+class FactoredVsDense
+    : public ::testing::TestWithParam<std::pair<std::size_t, int>>
+{};
+
+TEST_P(FactoredVsDense, CtsDecryptsToDenseOracle)
+{
+    auto& env = default_env();
+    const auto [slots, radix] = GetParam();
+    const int level = env.ctx.max_level(); // 6
+
+    const FactoredDft cts_f(env.ctx, env.encoder, slots,
+                            DftDirection::kCoeffToSlot, radix, level);
+    const LinearTransform cts_d(env.ctx, env.encoder,
+                                dense_cts_matrix(slots), level);
+    auto keys = keys_for_amounts(env, cts_f.required_rotations(),
+                                 cts_d.required_rotations());
+
+    const auto z = env.random_message(slots, 1.0, 90 + slots + radix);
+    const Ciphertext ct = env.encrypt(z, level);
+    const auto got = env.decrypt(cts_f.apply(env.evaluator, ct, keys));
+    const auto dense = env.decrypt(cts_d.apply(env.evaluator, ct, keys));
+
+    // Factored output is the dense oracle's, bit-reversed.
+    EXPECT_LT(TestEnv::max_err(bitrev(dense), got), 1e-3);
+
+    // The factored path never materializes the n x n matrix; its total
+    // PMult count stays well under the dense n diagonals.
+    if (slots >= 64) {
+        EXPECT_LT(cts_f.total_diagonals(), static_cast<int>(slots) / 2);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RadixSlots, FactoredVsDense,
+    ::testing::Values(std::make_pair(std::size_t{8}, 2),
+                      std::make_pair(std::size_t{8}, 4),
+                      std::make_pair(std::size_t{64}, 2),
+                      std::make_pair(std::size_t{64}, 4)));
+
+class FactoredRoundTrip
+    : public ::testing::TestWithParam<std::pair<std::size_t, int>>
+{};
+
+TEST_P(FactoredRoundTrip, MatchesDenseRoundTrip)
+{
+    // CtS then StC: the two deferred bit-reversals cancel, so the
+    // factored round trip must decrypt to the same message map as the
+    // dense round trip, on the same input ciphertext.
+    auto& env = default_env();
+    const auto [slots, radix] = GetParam();
+    const int level = env.ctx.max_level();
+    const FactoredDft cts_f(env.ctx, env.encoder, slots,
+                            DftDirection::kCoeffToSlot, radix, level);
+    const FactoredDft stc_f(env.ctx, env.encoder, slots,
+                            DftDirection::kSlotToCoeff, radix,
+                            level - cts_f.num_stages());
+    const LinearTransform cts_d(env.ctx, env.encoder,
+                                dense_cts_matrix(slots), level);
+    const LinearTransform stc_d(env.ctx, env.encoder,
+                                special_fourier_matrix(slots), level - 1);
+
+    auto keys = keys_for_amounts(env, cts_f.required_rotations(),
+                                 stc_f.required_rotations());
+    for (auto& [r, k] : keys_for_amounts(env, cts_d.required_rotations(),
+                                         stc_d.required_rotations())) {
+        keys.emplace(r, std::move(k));
+    }
+
+    const auto z = env.random_message(slots, 1.0, 120 + slots + radix);
+    const Ciphertext ct = env.encrypt(z, level);
+    const auto got = env.decrypt(stc_f.apply(
+        env.evaluator, cts_f.apply(env.evaluator, ct, keys), keys));
+    const auto dense = env.decrypt(stc_d.apply(
+        env.evaluator, cts_d.apply(env.evaluator, ct, keys), keys));
+    EXPECT_LT(TestEnv::max_err(dense, got), 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RadixSlots, FactoredRoundTrip,
+    ::testing::Values(std::make_pair(std::size_t{8}, 2),
+                      std::make_pair(std::size_t{8}, 4),
+                      std::make_pair(std::size_t{64}, 4)));
+
+// ---------- construction guards ----------
+
+TEST(FactoredDft, RejectsBadRadix)
+{
+    auto& env = default_env();
+    EXPECT_THROW(FactoredDft(env.ctx, env.encoder, 64,
+                             DftDirection::kCoeffToSlot, 0, 6),
+                 std::invalid_argument);
+    EXPECT_THROW(FactoredDft(env.ctx, env.encoder, 64,
+                             DftDirection::kCoeffToSlot, 3, 6),
+                 std::invalid_argument);
+}
+
+TEST(FactoredDft, RejectsInsufficientLevelBudget)
+{
+    auto& env = default_env();
+    // slots=64 at radix 2 needs 6 stages; input level 3 cannot fit.
+    EXPECT_THROW(FactoredDft(env.ctx, env.encoder, 64,
+                             DftDirection::kSlotToCoeff, 2, 3),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace bts

@@ -251,6 +251,32 @@ TEST(Evaluator, PMultAndPAdd)
     EXPECT_LT(TestEnv::max_err(expected_sub, env.decrypt(diff)), 1e-6);
 }
 
+TEST(Evaluator, PlainOpsRejectRebasedPlaintext)
+{
+    // A plaintext whose prime chain has the right COUNT but is not a
+    // prefix of the ciphertext's (e.g. re-based onto {q_1, q_2}) used
+    // to slip through the level check and silently produce garbage.
+    auto& env = default_env();
+    const auto z = env.random_message(64, 1.0, 61);
+    Ciphertext ct = env.encrypt(z);
+    env.evaluator.drop_level_inplace(ct, 1); // chain {q_0, q_1}
+
+    const auto& q = env.ctx.q_primes();
+    const std::vector<u64> rebased_chain{q[1], q[2]};
+    Plaintext rebased;
+    rebased.poly = RnsPoly(env.ctx.n(), rebased_chain, Domain::kNtt);
+    rebased.scale = ct.scale;
+    rebased.level = 1;
+    rebased.slots = 64;
+
+    EXPECT_THROW(env.evaluator.mult_plain(ct, rebased),
+                 std::invalid_argument);
+    EXPECT_THROW(env.evaluator.add_plain(ct, rebased),
+                 std::invalid_argument);
+    EXPECT_THROW(env.evaluator.sub_plain(ct, rebased),
+                 std::invalid_argument);
+}
+
 TEST(Evaluator, ConstOps)
 {
     auto& env = default_env();

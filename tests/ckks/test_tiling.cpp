@@ -88,6 +88,25 @@ TEST(Tiling, RotateHoistedBitExactAcrossThreadCountsAtLowLevel)
     }
 }
 
+TEST(Tiling, MultByIBitExactAcrossThreadCounts)
+{
+    // mult_by_i runs on the bootstrap hot path with cached Shoup
+    // monomial constants and a (poly x limb) x coefficient tiling; the
+    // schedule must not change a single bit.
+    ThreadGuard guard;
+    auto& env = default_env();
+    const auto z = env.random_message(64, 1.0, 405);
+    const Ciphertext ct = env.encrypt(z);
+
+    set_num_threads(1);
+    const Ciphertext serial = env.evaluator.mult_by_i(ct);
+
+    set_num_threads(8);
+    const Ciphertext tiled = env.evaluator.mult_by_i(ct);
+
+    EXPECT_TRUE(same_ciphertext(serial, tiled));
+}
+
 TEST(Tiling, MultAndKeySwitchBitExactAcrossThreadCounts)
 {
     ThreadGuard guard;
