@@ -105,6 +105,11 @@ Evaluator::accumulate_evk_product(RnsPoly& acc_b, RnsPoly& acc_a,
     // accumulators over {q_0..q_l, p_0..p_{k-1}}. Index ext limb i to
     // key limb i (q part) or L+1+(i-level-1) (special part) and fuse
     // multiply and accumulate in a single tiled pass.
+    //
+    // f may carry LAZY residues in [0, 2q) (from to_ntt_lazy): the
+    // Barrett product of a [0, 2q) value with a canonical key residue
+    // stays below q * 2^64, so the reducer canonicalizes it for free
+    // and the accumulators remain canonical.
     const int L = ctx_.max_level();
     const std::size_t n = ctx_.n();
     const std::size_t count = f.num_primes();
@@ -180,8 +185,10 @@ Evaluator::key_switch(const RnsPoly& d, const EvalKey& evk, int level) const
         }
         d_slice.to_coeff(ctx_.tables_for(src));
 
+        // Lazy forward transform: the only reader is the Barrett inner
+        // product below, which tolerates [0, 2q) inputs.
         RnsPoly converted = ctx_.converter(src, tgt).convert(d_slice);
-        converted.to_ntt(ctx_.tables_for(tgt));
+        converted.to_ntt_lazy(ctx_.tables_for(tgt));
 
         // Reassemble the extended polynomial: slice components stay in
         // the NTT domain untouched; converted components fill the rest.
@@ -222,15 +229,16 @@ Evaluator::mod_down_inplace(RnsPoly& acc, int level) const
     p_part.to_coeff(ctx_.tables_for(ctx_.p_primes()));
     RnsPoly lifted =
         ctx_.converter(ctx_.p_primes(), q_primes).convert(p_part);
-    lifted.to_ntt(ctx_.tables_for(q_primes));
+    lifted.to_ntt_lazy(ctx_.tables_for(q_primes));
 
     acc.truncate(level + 1);
-    acc.sub_inplace(lifted);
     std::vector<u64> p_inv(level + 1);
     for (int i = 0; i <= level; ++i) {
         p_inv[i] = ctx_.p_inv_mod(q_primes[i]);
     }
-    acc.mul_scalar_inplace(p_inv);
+    // One fused subtract-multiply pass; the lazy NTT output above is
+    // canonicalized by the full Shoup product inside it.
+    acc.sub_mul_scalar_inplace(lifted, p_inv, RnsPoly::Residues::kLazy2q);
 }
 
 std::vector<RnsPoly>
@@ -319,7 +327,7 @@ Evaluator::rotate_hoisted(const Ciphertext& ct,
         RnsPoly acc_a(ctx_.n(), ext, Domain::kNtt);
         for (std::size_t j = 0; j < slices.size(); ++j) {
             RnsPoly f = slices[j].automorphism(exp);
-            f.to_ntt(ext_tables);
+            f.to_ntt_lazy(ext_tables);
             accumulate_evk_product(acc_b, acc_a, f, key.slices[j].first,
                                    key.slices[j].second, level);
         }
@@ -327,8 +335,8 @@ Evaluator::rotate_hoisted(const Ciphertext& ct,
         mod_down_inplace(acc_a, level);
 
         RnsPoly b_rot = b_coeff.automorphism(exp);
-        b_rot.to_ntt(ctx_.tables_for(b_rot));
-        acc_b.add_inplace(b_rot);
+        b_rot.to_ntt_lazy(ctx_.tables_for(b_rot));
+        acc_b.add_inplace(b_rot, RnsPoly::Residues::kLazy2q);
 
         Ciphertext res;
         res.b = std::move(acc_b);
@@ -426,18 +434,23 @@ Evaluator::rescale_poly(RnsPoly& poly) const
             }
         });
 
-    ntt_forward_batch(q_tables.data(), lifted_base, count - 1, n);
+    // Lazy forward transform: the fused pass below reduces anyway.
+    ntt_forward_batch_lazy(q_tables.data(), lifted_base, count - 1, n);
 
     // Fused subtract-multiply with the cached Shoup inverse constants.
+    // The lifted residues are lazy in [0, 2q); dst - src + 2q stays in
+    // (0, 3q) and the full Shoup product canonicalizes it, so the lazy
+    // NTT's skipped correction pass is absorbed here for free.
     parallel_for_2d(
         count - 1, n,
         [&](std::size_t i, std::size_t c0, std::size_t c1) {
             const u64 qi = poly.prime(i);
+            const u64 two_qi = 2 * qi;
             const ShoupMul& inv = ctx_.rescale_inv(top, static_cast<int>(i));
             const u64* src = lifted_base + i * n;
             u64* dst = poly.component(i).data();
             for (std::size_t c = c0; c < c1; ++c) {
-                dst[c] = inv.mul(sub_mod(dst[c], src[c], qi), qi);
+                dst[c] = inv.mul(sub_lazy_2q(dst[c], src[c], two_qi), qi);
             }
         });
     poly.pop_component();
@@ -470,7 +483,9 @@ Evaluator::apply_galois(const Ciphertext& ct, u64 galois_exp,
     RnsPoly a = ct.a;
     a.to_coeff(tables);
     a = a.automorphism(galois_exp);
-    a.to_ntt(tables);
+    // Lazy is safe here: key_switch only reads a through the inverse
+    // NTT (lazy-tolerant) and the Barrett inner product.
+    a.to_ntt_lazy(tables);
 
     auto [kb, ka] = key_switch(a, key, ct.level);
     b.add_inplace(kb);

@@ -48,3 +48,13 @@ panic(const std::string& msg)
             ::bts::panic(oss_.str());                                       \
         }                                                                   \
     } while (0)
+
+// BTS_DEBUG_ASSERT: invariant checks cheap enough to state everywhere
+// but too hot to pay for in Release (per-element contracts in the
+// modular-arithmetic primitives). Compiled out under NDEBUG; the Debug
+// half of the CI matrix runs them on every PR.
+#ifndef NDEBUG
+#define BTS_DEBUG_ASSERT(cond, msg) BTS_ASSERT(cond, msg)
+#else
+#define BTS_DEBUG_ASSERT(cond, msg) static_cast<void>(0)
+#endif

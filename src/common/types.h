@@ -21,7 +21,14 @@ using i64 = std::int64_t;
 using i128 = __int128;
 
 /** Maximum supported modulus width: primes must fit in 61 bits so that
- *  lazy accumulation of a few products never overflows 128 bits. */
+ *  (a) lazy accumulation of a few products never overflows 128 bits and
+ *  (b) the Harvey lazy NTT domain [0, 4q) — which strictly requires
+ *  q < 2^62 — fits a 64-bit word with headroom for the branchless
+ *  conditional-subtraction form (all lazy values stay below 2^63, so
+ *  signed SIMD compares also work). */
 inline constexpr int kMaxModulusBits = 61;
+static_assert(kMaxModulusBits < 62,
+              "Harvey lazy reduction needs q < 2^62 (values in [0, 4q) "
+              "must fit u64)");
 
 } // namespace bts

@@ -8,6 +8,13 @@
  * 128-bit reduction, a Barrett reducer with precomputed constant, and
  * Shoup multiplication for the hot NTT path where one operand (the
  * twiddle factor) is fixed.
+ *
+ * Lazy (Harvey-style) domain: the NTT hot path keeps residues in
+ * [0, 2q) or [0, 4q) between butterflies and defers the conditional
+ * subtractions to one correction at the end of the chain. The *_lazy
+ * primitives below implement that domain; they require q < 2^62 so that
+ * 4q (and every intermediate sum) fits in a 64-bit word — enforced
+ * globally by kMaxModulusBits.
  */
 #pragma once
 
@@ -16,19 +23,59 @@
 
 namespace bts {
 
-/** @return (a + b) mod m; inputs must already be reduced. */
+/** @return (a + b) mod m; inputs must already be reduced (enforced in
+ *  Debug builds — unreduced inputs are a caller bug, not a supported
+ *  overflow mode). */
 inline u64
 add_mod(u64 a, u64 b, u64 m)
 {
-    const u64 s = a + b;
-    return (s >= m || s < a) ? s - m : s;
+    BTS_DEBUG_ASSERT(a < m && b < m, "add_mod: unreduced input");
+    const u64 s = a + b; // cannot wrap: a, b < m < 2^62
+    return s >= m ? s - m : s;
 }
 
-/** @return (a - b) mod m; inputs must already be reduced. */
+/** @return (a - b) mod m; inputs must already be reduced (Debug-checked
+ *  like add_mod). */
 inline u64
 sub_mod(u64 a, u64 b, u64 m)
 {
+    BTS_DEBUG_ASSERT(a < m && b < m, "sub_mod: unreduced input");
     return a >= b ? a - b : a + m - b;
+}
+
+// ----- lazy-domain primitives (Harvey butterflies) ----------------------
+
+/** Unreduced sum: [0, 2q) + [0, 2q) -> [0, 4q). Caller tracks the
+ *  domain; no reduction, no overflow for q < 2^62. */
+inline u64
+add_lazy(u64 a, u64 b)
+{
+    return a + b;
+}
+
+/** Shifted difference: a - b + 2q for a, b in [0, 2q) -> result in
+ *  (0, 4q), never negative. */
+inline u64
+sub_lazy_2q(u64 a, u64 b, u64 two_q)
+{
+    return a + two_q - b;
+}
+
+/** One branchless conditional subtraction: [0, 4q) -> [0, 2q)
+ *  (compiles to cmov / SIMD select, no data-dependent branch). */
+inline u64
+reduce_2q(u64 x, u64 two_q)
+{
+    return x - (x >= two_q ? two_q : 0);
+}
+
+/** Canonicalize a lazy residue: [0, 4q) -> [0, q) in two conditional
+ *  subtractions. */
+inline u64
+reduce_4q_to_q(u64 x, u64 q)
+{
+    x = reduce_2q(x, 2 * q);
+    return x >= q ? x - q : x;
 }
 
 /** @return (a * b) mod m via 128-bit intermediate. */
@@ -114,13 +161,39 @@ struct ShoupMul
           w_shoup(static_cast<u64>((static_cast<u128>(w) << 64) / modulus))
     {}
 
-    /** @return (x * w) mod m. */
+    /** Build from an operand already reduced mod @p modulus, skipping
+     *  the constructor's 64-bit remainder (the table-construction hot
+     *  path derives every twiddle from a reduced power chain). */
+    static ShoupMul
+    from_reduced(u64 w, u64 modulus)
+    {
+        BTS_DEBUG_ASSERT(w < modulus, "from_reduced: unreduced operand");
+        ShoupMul s;
+        s.w = w;
+        s.w_shoup =
+            static_cast<u64>((static_cast<u128>(w) << 64) / modulus);
+        return s;
+    }
+
+    /** @return (x * w) mod m, canonical in [0, m) for ANY 64-bit x (the
+     *  quotient estimate only assumes w < m), so lazy-domain inputs are
+     *  accepted. */
     u64
     mul(u64 x, u64 m) const
     {
         const u64 q = static_cast<u64>((static_cast<u128>(x) * w_shoup) >> 64);
         const u64 r = x * w - q * m;
         return r >= m ? r - m : r;
+    }
+
+    /** Lazy Shoup product: @return a value congruent to x * w mod m in
+     *  [0, 2m), skipping the final conditional subtraction. Valid for
+     *  any 64-bit x (in particular the [0, 4q) butterfly domain). */
+    u64
+    mul_lazy(u64 x, u64 m) const
+    {
+        const u64 q = static_cast<u64>((static_cast<u128>(x) * w_shoup) >> 64);
+        return x * w - q * m;
     }
 };
 

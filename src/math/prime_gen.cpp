@@ -68,6 +68,12 @@ std::vector<u64>
 generate_ntt_primes(int bit_size, u64 two_n, int count,
                     const std::vector<u64>& exclude)
 {
+    // The Harvey lazy NTT keeps residues in [0, 4q) inside a 64-bit
+    // word, so every generated modulus must satisfy q < 2^62; the
+    // kMaxModulusBits cap (<= 61 bits, re-checked here) guarantees it.
+    static_assert(kMaxModulusBits < 62,
+                  "generated primes must leave the lazy NTT domain "
+                  "[0, 4q) representable in u64");
     BTS_CHECK(bit_size >= 20 && bit_size <= kMaxModulusBits,
               "prime bit size out of supported range");
     BTS_CHECK(is_power_of_two(two_n), "2N must be a power of two");

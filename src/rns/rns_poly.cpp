@@ -144,17 +144,27 @@ class ReducerArray
 } // namespace
 
 void
-RnsPoly::add_inplace(const RnsPoly& other)
+RnsPoly::add_inplace(const RnsPoly& other, Residues form)
 {
     check_compatible(*this, other);
+    const bool lazy = form == Residues::kLazy2q;
     parallel_for_2d(
         num_primes(), n_,
         [&](std::size_t i, std::size_t c0, std::size_t c1) {
             const u64 q = primes_[i];
             const u64* src = other.component(i).data();
             u64* dst = data_.data() + i * n_;
-            for (std::size_t c = c0; c < c1; ++c) {
-                dst[c] = add_mod(dst[c], src[c], q);
+            if (lazy) {
+                // Fold the [0, 2q) -> [0, q) correction of the source
+                // into the addition instead of a separate sweep.
+                for (std::size_t c = c0; c < c1; ++c) {
+                    const u64 v = src[c] >= q ? src[c] - q : src[c];
+                    dst[c] = add_mod(dst[c], v, q);
+                }
+            } else {
+                for (std::size_t c = c0; c < c1; ++c) {
+                    dst[c] = add_mod(dst[c], src[c], q);
+                }
             }
         });
 }
@@ -234,6 +244,43 @@ RnsPoly::mul_scalar_inplace(const std::vector<u64>& scalars)
 }
 
 void
+RnsPoly::sub_mul_scalar_inplace(const RnsPoly& other,
+                                const std::vector<u64>& scalars,
+                                Residues form)
+{
+    check_compatible(*this, other);
+    BTS_CHECK(scalars.size() >= num_primes(), "scalar count mismatch");
+    const std::size_t count = num_primes();
+    ReducerArray<ShoupMul> shoup(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        shoup[i] = ShoupMul(scalars[i], primes_[i]);
+    }
+    const bool lazy = form == Residues::kLazy2q;
+    parallel_for_2d(
+        count, n_,
+        [&](std::size_t i, std::size_t c0, std::size_t c1) {
+            const ShoupMul& s = shoup[i];
+            const u64 q = primes_[i];
+            const u64 two_q = 2 * q;
+            const u64* src = other.component(i).data();
+            u64* dst = data_.data() + i * n_;
+            if (lazy) {
+                // dst - src + 2q is in (0, 3q) for canonical dst and a
+                // [0, 2q) source; the full Shoup product is exact for
+                // any 64-bit input, so one fused op subtracts,
+                // canonicalizes, and scales.
+                for (std::size_t c = c0; c < c1; ++c) {
+                    dst[c] = s.mul(sub_lazy_2q(dst[c], src[c], two_q), q);
+                }
+            } else {
+                for (std::size_t c = c0; c < c1; ++c) {
+                    dst[c] = s.mul(sub_mod(dst[c], src[c], q), q);
+                }
+            }
+        });
+}
+
+void
 RnsPoly::to_ntt(const std::vector<const NttTables*>& tables)
 {
     BTS_CHECK(domain_ == Domain::kCoeff, "already in NTT domain");
@@ -243,6 +290,19 @@ RnsPoly::to_ntt(const std::vector<const NttTables*>& tables)
                    "table prime mismatch");
     }
     ntt_forward_batch(tables, data_.data(), num_primes(), n_);
+    domain_ = Domain::kNtt;
+}
+
+void
+RnsPoly::to_ntt_lazy(const std::vector<const NttTables*>& tables)
+{
+    BTS_CHECK(domain_ == Domain::kCoeff, "already in NTT domain");
+    BTS_CHECK(tables.size() >= num_primes(), "NTT table count mismatch");
+    for (std::size_t i = 0; i < num_primes(); ++i) {
+        BTS_ASSERT(tables[i]->modulus() == primes_[i],
+                   "table prime mismatch");
+    }
+    ntt_forward_batch_lazy(tables, data_.data(), num_primes(), n_);
     domain_ = Domain::kNtt;
 }
 

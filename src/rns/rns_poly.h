@@ -104,19 +104,51 @@ class RnsPoly
     /** Keep only the first @p count rows (level drop). */
     void truncate(std::size_t count);
 
+    /** How a lazy-aware operation should interpret its SOURCE operand's
+     *  residues: canonical in [0, q) (the storage invariant) or lazy in
+     *  [0, 2q) (fresh out of to_ntt_lazy). The destination polynomial is
+     *  always canonical before and after. */
+    enum class Residues
+    {
+        kCanonical,
+        kLazy2q,
+    };
+
     // ----- element-wise arithmetic (both operands in the same domain and
     //       over compatible prime prefixes); all 2-D tiled -----
-    void add_inplace(const RnsPoly& other);
+    /** this += other. @p form kLazy2q accepts a [0, 2q) source and folds
+     *  its canonicalization into the addition (one pass instead of a
+     *  correction sweep plus an add). */
+    void add_inplace(const RnsPoly& other,
+                     Residues form = Residues::kCanonical);
     void sub_inplace(const RnsPoly& other);
     void negate_inplace();
+    /** this *= other, element-wise Barrett products. Tolerates residues
+     *  in [0, 2q) on BOTH operands (2q * 2q < q * 2^64 keeps the Barrett
+     *  quotient exact); output is canonical either way. */
     void mul_inplace(const RnsPoly& other);
     /** Multiply every row by per-prime scalars. */
     void mul_scalar_inplace(const std::vector<u64>& scalars);
+    /** this = (this - other) * scalars[i] per limb, one fused pass.
+     *  @p form kLazy2q accepts a [0, 2q) source; the full Shoup product
+     *  canonicalizes, so the reduction is paid once per chain. */
+    void sub_mul_scalar_inplace(const RnsPoly& other,
+                                const std::vector<u64>& scalars,
+                                Residues form = Residues::kCanonical);
 
     // ----- domain changes (batch NTT over the flat buffer) -----
     /** Forward NTT on all rows using matching @p tables. */
     void to_ntt(const std::vector<const NttTables*>& tables);
-    /** Inverse NTT on all rows. */
+    /**
+     * Forward NTT leaving residues LAZY in [0, 2q) (Harvey domain; same
+     * values mod q as to_ntt, one correction pass cheaper). The result
+     * violates the canonical-storage invariant, so it is for transient
+     * polynomials that are immediately consumed by a lazy-tolerant op
+     * (mul_inplace, the evaluator's key-switch inner product, or the
+     * Residues::kLazy2q forms above) — never for ciphertext storage.
+     */
+    void to_ntt_lazy(const std::vector<const NttTables*>& tables);
+    /** Inverse NTT on all rows (accepts lazy input; canonical output). */
     void to_coeff(const std::vector<const NttTables*>& tables);
 
     /**

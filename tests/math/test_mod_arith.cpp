@@ -109,6 +109,80 @@ TEST(ModArith, ShoupMatchesDirect)
     }
 }
 
+TEST(ModArith, AddModRejectsUnreducedInputsInDebug)
+{
+    // The documented contract is "inputs already reduced"; the old code
+    // silently tolerated overflow via a wrap guard. Debug builds now
+    // fault loudly instead.
+    const u64 q = (1ULL << 59) + 123;
+#ifndef NDEBUG
+    EXPECT_THROW(add_mod(q, 1, q), std::logic_error);
+    EXPECT_THROW(add_mod(0, q + 5, q), std::logic_error);
+    EXPECT_THROW(sub_mod(q + 2, 1, q), std::logic_error);
+#else
+    GTEST_SKIP() << "contract asserts compile out under NDEBUG";
+#endif
+}
+
+TEST(ModArith, LazyPrimitives)
+{
+    Xoshiro256 rng(6);
+    const u64 q = (1ULL << 60) - 93; // near the top of the lazy range
+    const u64 two_q = 2 * q;
+    for (int i = 0; i < 500; ++i) {
+        const u64 a = rng.uniform(two_q); // lazy domain inputs
+        const u64 b = rng.uniform(two_q);
+        // add_lazy: plain sum in [0, 4q).
+        EXPECT_EQ(add_lazy(a, b), a + b);
+        EXPECT_LT(add_lazy(a, b), 4 * q);
+        // sub_lazy_2q: shifted difference in (0, 4q), congruent a - b.
+        const u64 d = sub_lazy_2q(a, b, two_q);
+        EXPECT_LT(d, 4 * q);
+        EXPECT_EQ(d % q, sub_mod(a % q, b % q, q));
+        // reduce_2q folds [0, 4q) into [0, 2q) preserving the residue.
+        const u64 r2 = reduce_2q(add_lazy(a, b), two_q);
+        EXPECT_LT(r2, two_q);
+        EXPECT_EQ(r2 % q, (a + b) % q);
+        // reduce_4q_to_q canonicalizes.
+        const u64 r1 = reduce_4q_to_q(add_lazy(a, b), q);
+        EXPECT_LT(r1, q);
+        EXPECT_EQ(r1, (a + b) % q);
+    }
+}
+
+TEST(ModArith, ShoupMulLazyStaysBelow2qAndIsCongruent)
+{
+    Xoshiro256 rng(7);
+    const u64 q = (1ULL << 60) + 325; // prime-shaped; only w < q matters
+    for (int i = 0; i < 200; ++i) {
+        const u64 w = rng.uniform(q);
+        const ShoupMul s(w, q);
+        for (int j = 0; j < 8; ++j) {
+            // Any 64-bit x is valid — including the [0, 4q) butterfly
+            // domain and the full word range.
+            const u64 x = rng.next();
+            const u64 r = s.mul_lazy(x, q);
+            EXPECT_LT(r, 2 * q);
+            EXPECT_EQ(r % q, mul_mod(x % q, w, q));
+            // The full product is the lazy one after one correction.
+            EXPECT_EQ(s.mul(x, q), r >= q ? r - q : r);
+        }
+    }
+}
+
+TEST(ModArith, ShoupFromReducedMatchesConstructor)
+{
+    Xoshiro256 rng(8);
+    const u64 q = (1ULL << 55) + 1237;
+    for (int i = 0; i < 200; ++i) {
+        const u64 w = rng.uniform(q);
+        const ShoupMul a(w, q);
+        const ShoupMul b = ShoupMul::from_reduced(w, q);
+        EXPECT_EQ(a.w, b.w);
+        EXPECT_EQ(a.w_shoup, b.w_shoup);
+    }
+}
+
 TEST(ModArith, ShoupReducesUnreducedOperand)
 {
     // Regression: the constructor documents w as "reduced mod m" but

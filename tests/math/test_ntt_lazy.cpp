@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Differential suite pinning the Harvey lazy-reduction NTT core to the
+ * fully-reduced scalar oracle (the seed implementation, kept verbatim
+ * as NttTables::forward_oracle / inverse_oracle).
+ *
+ * Covers: whole-limb and stage-parallel/batch entry points, lazy and
+ * canonical output forms, 1-vs-8 lanes, sizes 2^10..2^16, and boundary
+ * moduli just below 2^61 (the kMaxModulusBits lazy-domain ceiling).
+ * Everything must be bit-exact after canonicalization.
+ */
+#include "math/ntt.h"
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "common/random.h"
+#include "common/thread_guard.h"
+#include "math/prime_gen.h"
+
+namespace bts {
+namespace {
+
+using testing::ThreadGuard;
+
+/** Reduce a [0, 2q) lazy residue to canonical form. */
+u64
+canon(u64 x, u64 q)
+{
+    return x >= q ? x - q : x;
+}
+
+class LazyNttSizes : public ::testing::TestWithParam<std::size_t>
+{};
+
+TEST_P(LazyNttSizes, ForwardMatchesOracle)
+{
+    const std::size_t n = GetParam();
+    const u64 q = generate_ntt_primes(50, 2 * n, 1)[0];
+    const NttTables tables(n, q);
+    Sampler s(11);
+    const auto input = s.uniform_poly(n, q);
+
+    auto lazy_path = input;
+    auto oracle = input;
+    tables.forward(lazy_path.data());
+    tables.forward_oracle(oracle.data());
+    EXPECT_EQ(lazy_path, oracle);
+}
+
+TEST_P(LazyNttSizes, ForwardLazyStaysBelow2qAndCanonicalizesToOracle)
+{
+    const std::size_t n = GetParam();
+    const u64 q = generate_ntt_primes(50, 2 * n, 1)[0];
+    const NttTables tables(n, q);
+    Sampler s(12);
+    const auto input = s.uniform_poly(n, q);
+
+    auto lazy = input;
+    auto oracle = input;
+    tables.forward_lazy(lazy.data());
+    tables.forward_oracle(oracle.data());
+    for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_LT(lazy[i], 2 * q) << "lazy residue out of [0, 2q) at " << i;
+        ASSERT_EQ(canon(lazy[i], q), oracle[i]) << "mismatch at " << i;
+    }
+}
+
+TEST_P(LazyNttSizes, InverseMatchesOracle)
+{
+    const std::size_t n = GetParam();
+    const u64 q = generate_ntt_primes(50, 2 * n, 1)[0];
+    const NttTables tables(n, q);
+    Sampler s(13);
+    const auto input = s.uniform_poly(n, q);
+
+    auto lazy_path = input;
+    auto oracle = input;
+    tables.inverse(lazy_path.data());
+    tables.inverse_oracle(oracle.data());
+    EXPECT_EQ(lazy_path, oracle);
+}
+
+TEST_P(LazyNttSizes, RoundTripRestoresInput)
+{
+    const std::size_t n = GetParam();
+    const u64 q = generate_ntt_primes(50, 2 * n, 1)[0];
+    const NttTables tables(n, q);
+    Sampler s(14);
+    const auto input = s.uniform_poly(n, q);
+
+    auto data = input;
+    tables.forward(data.data());
+    tables.inverse(data.data());
+    EXPECT_EQ(data, input);
+
+    // The lazy forward followed by the (lazy-tolerant) inverse also
+    // round-trips: inverse butterflies accept [0, 2q) inputs.
+    data = input;
+    tables.forward_lazy(data.data());
+    tables.inverse(data.data());
+    EXPECT_EQ(data, input);
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, LazyNttSizes,
+                         ::testing::Values(std::size_t{1} << 10,
+                                           std::size_t{1} << 11,
+                                           std::size_t{1} << 12,
+                                           std::size_t{1} << 13,
+                                           std::size_t{1} << 14,
+                                           std::size_t{1} << 15,
+                                           std::size_t{1} << 16));
+
+TEST(LazyNtt, InverseAcceptsLazyInput)
+{
+    // Feed the inverse residues shifted by +q on random positions (the
+    // [0, 2q) lazy domain); the result must match the canonical run.
+    const std::size_t n = 1 << 12;
+    const u64 q = generate_ntt_primes(45, 2 * n, 1)[0];
+    const NttTables tables(n, q);
+    Sampler s(15);
+    Xoshiro256 rng(99);
+    const auto input = s.uniform_poly(n, q);
+
+    auto lazy = input;
+    for (auto& v : lazy) {
+        if (rng.next() & 1) v += q;
+    }
+    auto expect = input;
+    tables.inverse_oracle(expect.data());
+    tables.inverse(lazy.data());
+    EXPECT_EQ(lazy, expect);
+}
+
+TEST(LazyNtt, PointwiseBarrettChainMatchesNegacyclicReference)
+{
+    // forward_lazy x2 -> Barrett pointwise product on [0, 2q) inputs ->
+    // inverse: the "reductions paid once per chain" consumer contract.
+    const std::size_t n = 256;
+    const u64 q = generate_ntt_primes(45, 2 * n, 1)[0];
+    const NttTables tables(n, q);
+    const Barrett br(q);
+    Sampler s(16);
+    const auto a = s.uniform_poly(n, q);
+    const auto b = s.uniform_poly(n, q);
+    const auto expected = negacyclic_mul_reference(a, b, q);
+
+    auto fa = a, fb = b;
+    tables.forward_lazy(fa.data());
+    tables.forward_lazy(fb.data());
+    for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_LT(fa[i], 2 * q);
+        ASSERT_LT(fb[i], 2 * q);
+        fa[i] = br.mul(fa[i], fb[i]); // 2q * 2q < q * 2^64: exact
+    }
+    tables.inverse(fa.data());
+    EXPECT_EQ(fa, expected);
+}
+
+/** Run every batch entry point at the given lane count and compare
+ *  against the per-limb oracle, bit-exactly. */
+void
+check_batch_entry_points(int threads)
+{
+    ThreadGuard guard;
+    // 2 limbs at N=2^13 with 8 lanes forces the stage-parallel
+    // schedule (2 * count <= lanes, N >= 4096); 1 lane takes the
+    // whole-limb schedule. Results must be identical.
+    const std::size_t n = 1 << 13;
+    const int limbs = 2;
+    const auto primes = generate_ntt_primes(50, 2 * n, limbs);
+    std::vector<NttTables> tables;
+    std::vector<const NttTables*> ptrs;
+    for (u64 q : primes) tables.emplace_back(n, q);
+    for (const auto& t : tables) ptrs.push_back(&t);
+
+    Sampler s(17);
+    std::vector<std::vector<u64>> rows;
+    std::vector<u64> flat(limbs * n);
+    for (int i = 0; i < limbs; ++i) {
+        rows.push_back(s.uniform_poly(n, primes[i]));
+        std::copy(rows[i].begin(), rows[i].end(), flat.begin() + i * n);
+    }
+
+    set_num_threads(threads);
+
+    // Forward, canonical.
+    auto fwd = flat;
+    ntt_forward_batch(ptrs.data(), fwd.data(), limbs, n);
+    for (int i = 0; i < limbs; ++i) {
+        auto oracle = rows[i];
+        tables[i].forward_oracle(oracle.data());
+        for (std::size_t j = 0; j < n; ++j) {
+            ASSERT_EQ(fwd[i * n + j], oracle[j])
+                << "forward limb " << i << " coeff " << j << " @ "
+                << threads << " threads";
+        }
+    }
+
+    // Forward, lazy: canonicalizes to the same bits.
+    auto fwd_lazy = flat;
+    ntt_forward_batch_lazy(ptrs.data(), fwd_lazy.data(), limbs, n);
+    for (int i = 0; i < limbs; ++i) {
+        const u64 q = primes[i];
+        for (std::size_t j = 0; j < n; ++j) {
+            ASSERT_LT(fwd_lazy[i * n + j], 2 * q);
+            ASSERT_EQ(canon(fwd_lazy[i * n + j], q), fwd[i * n + j]);
+        }
+    }
+
+    // Inverse (n^{-1} folded into the last stage, no scaling sweep).
+    auto inv = flat;
+    ntt_inverse_batch(ptrs.data(), inv.data(), limbs, n);
+    for (int i = 0; i < limbs; ++i) {
+        auto oracle = rows[i];
+        tables[i].inverse_oracle(oracle.data());
+        for (std::size_t j = 0; j < n; ++j) {
+            ASSERT_EQ(inv[i * n + j], oracle[j])
+                << "inverse limb " << i << " coeff " << j << " @ "
+                << threads << " threads";
+        }
+    }
+}
+
+TEST(LazyNtt, BatchEntryPointsMatchOracleSerial)
+{
+    check_batch_entry_points(1);
+}
+
+TEST(LazyNtt, BatchEntryPointsMatchOracleEightLanes)
+{
+    check_batch_entry_points(8);
+}
+
+TEST(LazyNtt, BoundaryPrimeNearMaxModulusBits)
+{
+    // Primes just below 2^61 (the kMaxModulusBits cap): the lazy domain
+    // [0, 4q) reaches past 2^62 here, the hardest case for overflow.
+    const std::size_t n = 1 << 12;
+    const auto primes = generate_ntt_primes(61, 2 * n, 2);
+    for (u64 q : primes) {
+        ASSERT_LT(q, u64{1} << 61);
+        ASSERT_GT(q, (u64{1} << 61) - (u64{1} << 40)); // truly near the top
+        const NttTables tables(n, q);
+        Sampler s(18);
+        const auto input = s.uniform_poly(n, q);
+
+        auto fwd = input;
+        auto oracle = input;
+        tables.forward(fwd.data());
+        tables.forward_oracle(oracle.data());
+        EXPECT_EQ(fwd, oracle);
+
+        auto lazy = input;
+        tables.forward_lazy(lazy.data());
+        for (std::size_t i = 0; i < n; ++i) {
+            ASSERT_LT(lazy[i], 2 * q);
+            ASSERT_EQ(canon(lazy[i], q), oracle[i]);
+        }
+
+        auto round = input;
+        tables.forward(round.data());
+        tables.inverse(round.data());
+        EXPECT_EQ(round, input);
+    }
+}
+
+TEST(LazyNtt, RejectsModulusAboveLazyDomain)
+{
+    // A 62-bit "prime-shaped" modulus must be rejected before any lazy
+    // arithmetic can overflow. (2^62 + 2^16 + 1 keeps 1 mod 2N shape.)
+    const std::size_t n = 1 << 15;
+    const u64 too_wide = (u64{1} << 62) + (u64{1} << 16) + 1;
+    EXPECT_THROW(NttTables(n, too_wide), std::invalid_argument);
+}
+
+} // namespace
+} // namespace bts

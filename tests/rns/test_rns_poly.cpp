@@ -41,6 +41,83 @@ class RnsPolyTest : public ::testing::Test
     std::vector<const NttTables*> tables_;
 };
 
+TEST_F(RnsPolyTest, ToNttLazyCanonicalizesToToNtt)
+{
+    auto canonical = random_poly(Domain::kCoeff, 40);
+    auto lazy = canonical;
+    canonical.to_ntt(tables_);
+    lazy.to_ntt_lazy(tables_);
+    EXPECT_EQ(lazy.domain(), Domain::kNtt);
+    for (std::size_t i = 0; i < primes_.size(); ++i) {
+        const u64 q = primes_[i];
+        for (std::size_t c = 0; c < n_; ++c) {
+            const u64 v = lazy.component(i)[c];
+            ASSERT_LT(v, 2 * q);
+            ASSERT_EQ(v >= q ? v - q : v, canonical.component(i)[c]);
+        }
+    }
+}
+
+TEST_F(RnsPolyTest, MulInplaceToleratesLazyOperands)
+{
+    auto a = random_poly(Domain::kCoeff, 41);
+    const auto b = random_poly(Domain::kCoeff, 42);
+
+    auto a_canon = a, b_canon = b;
+    a_canon.to_ntt(tables_);
+    b_canon.to_ntt(tables_);
+    auto expect = a_canon;
+    expect.mul_inplace(b_canon);
+
+    auto a_lazy = a, b_lazy = b;
+    a_lazy.to_ntt_lazy(tables_);
+    b_lazy.to_ntt_lazy(tables_);
+    a_lazy.mul_inplace(b_lazy); // both operands in [0, 2q)
+    EXPECT_TRUE(a_lazy.equals(expect)); // output canonical either way
+}
+
+TEST_F(RnsPolyTest, AddInplaceLazyFormMatchesCanonical)
+{
+    auto acc1 = random_poly(Domain::kCoeff, 43);
+    const auto src = random_poly(Domain::kCoeff, 44);
+    acc1.to_ntt(tables_);
+    auto acc2 = acc1;
+
+    auto src_canon = src;
+    src_canon.to_ntt(tables_);
+    acc1.add_inplace(src_canon);
+
+    auto src_lazy = src;
+    src_lazy.to_ntt_lazy(tables_);
+    acc2.add_inplace(src_lazy, RnsPoly::Residues::kLazy2q);
+    EXPECT_TRUE(acc2.equals(acc1));
+}
+
+TEST_F(RnsPolyTest, SubMulScalarFusedMatchesSeparateOps)
+{
+    auto acc1 = random_poly(Domain::kCoeff, 45);
+    const auto src = random_poly(Domain::kCoeff, 46);
+    acc1.to_ntt(tables_);
+    auto acc2 = acc1;
+    auto acc3 = acc1;
+    std::vector<u64> scalars;
+    for (u64 q : primes_) scalars.push_back(q / 3 + 7);
+
+    auto src_canon = src;
+    src_canon.to_ntt(tables_);
+    acc1.sub_inplace(src_canon);
+    acc1.mul_scalar_inplace(scalars);
+
+    acc2.sub_mul_scalar_inplace(src_canon, scalars);
+    EXPECT_TRUE(acc2.equals(acc1));
+
+    auto src_lazy = src;
+    src_lazy.to_ntt_lazy(tables_);
+    acc3.sub_mul_scalar_inplace(src_lazy, scalars,
+                                RnsPoly::Residues::kLazy2q);
+    EXPECT_TRUE(acc3.equals(acc1));
+}
+
 TEST_F(RnsPolyTest, AddSubInverse)
 {
     auto a = random_poly(Domain::kCoeff, 1);
