@@ -19,6 +19,8 @@
 #include "common/bit_ops.h"
 #include "common/parallel.h"
 #include "math/prime_gen.h"
+#include "runtime/graph_workloads.h"
+#include "runtime/server.h"
 
 namespace {
 
@@ -362,6 +364,149 @@ BENCHMARK(BM_BootstrapLarge)
     ->Arg(0)
     ->Arg(32)
     ->Iterations(2)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Shared machinery for BM_Serving: one bootstrap-capable env (N=2^8,
+ * slots=64, radix-8 CtS/StC — the BM_Bootstrap small instance, kept in
+ * sync with the tests' BootTestEnv in tests/ckks/test_utils.h) whose
+ * three client classes — dot products, Horner polynomial evaluation,
+ * and bootstrap-refresh jobs — share the context, keys, and
+ * pre-encrypted payloads. Jobs copy a prebuilt Binding, so the timed
+ * region covers admission + scheduling + HE execution, not encryption.
+ */
+struct ServeBench
+{
+    ServeBench()
+        : env([] {
+              CkksParams p;
+              p.n = 1 << 8;
+              p.max_level = 14;
+              p.dnum = 3;
+              p.q0_bits = 50;
+              p.hamming_weight = 32;
+              return p;
+          }())
+    {
+        BootstrapConfig cfg;
+        cfg.slots = 64;
+        cfg.sine_degree = 119;
+        cfg.cts_radix = 8;
+        cfg.stc_radix = 8;
+        boot = std::make_unique<Bootstrapper>(env.ctx, env.encoder,
+                                              env.eval, cfg);
+        auto amounts = boot->required_rotations();
+        for (int r : {1, 2, 4}) amounts.push_back(r);
+        rot_keys = env.keygen.gen_rotation_keys(env.sk, amounts);
+        conj = env.keygen.gen_conjugation_key(env.sk);
+        boot->set_keys(&env.mult_key, &rot_keys, &conj);
+
+        runtime::GraphTraits t;
+        t.max_level = env.ctx.max_level();
+        t.delta = env.ctx.delta();
+        const auto z = std::vector<Complex>(64, Complex(0.2, 0.1));
+        const Ciphertext exhausted = env.encryptor.encrypt_symmetric(
+            env.encoder.encode(z, env.ctx.delta(), 0), env.sk);
+        // One probe refresh pins bootstrap_out_level for the graph
+        // metadata (radix-8 leaves usable levels on this budget).
+        t.bootstrap_out_level = boot->bootstrap(exhausted).level;
+
+        dot = std::make_unique<runtime::Graph>(
+            runtime::dot_product_graph(t, t.max_level, 3));
+        poly = std::make_unique<runtime::Graph>(runtime::poly_eval_graph(
+            t, t.max_level, {0.5, -0.25, 1.0, 0.125}));
+        refresh = std::make_unique<runtime::Graph>(
+            runtime::bootstrap_refresh_graph(t));
+
+        const auto x = std::vector<Complex>(64, Complex(0.4, -0.2));
+        const Ciphertext fresh = env.encryptor.encrypt_symmetric(
+            env.encoder.encode(x, env.ctx.delta(), env.ctx.max_level()),
+            env.sk);
+        dot_binding.bind(runtime::Value{dot->input_ids()[0]}, fresh);
+        dot_binding.bind(
+            runtime::Value{dot->input_ids()[1]},
+            env.encoder.encode(z, env.ctx.delta(), env.ctx.max_level()));
+        poly_binding.bind(runtime::Value{poly->input_ids()[0]}, fresh);
+        refresh_binding.bind(runtime::Value{refresh->input_ids()[0]},
+                             exhausted);
+    }
+
+    runtime::EvalResources
+    resources() const
+    {
+        runtime::EvalResources r;
+        r.eval = &env.eval;
+        r.encoder = &env.encoder;
+        r.mult_key = &env.mult_key;
+        r.rot_keys = &rot_keys;
+        r.conj_key = &conj;
+        r.bootstrapper = boot.get();
+        return r;
+    }
+
+    Env env;
+    std::unique_ptr<Bootstrapper> boot;
+    RotationKeys rot_keys;
+    EvalKey conj;
+    std::unique_ptr<runtime::Graph> dot, poly, refresh;
+    runtime::Binding dot_binding, poly_binding, refresh_binding;
+};
+
+void
+BM_Serving(benchmark::State& state)
+{
+    // The mixed-client serving scenario: each iteration admits a batch
+    // of 6 dot-product, 6 polynomial, and 2 bootstrap-refresh jobs to
+    // a GraphServer and waits for all futures. Arg(0) is the lane
+    // count; jobs/s and the p50/p99 submit->complete latencies land in
+    // the counters (aggregated over the whole run by the server).
+    static ServeBench* sb = new ServeBench();
+    const int lanes = static_cast<int>(state.range(0));
+
+    runtime::ServerOptions opts;
+    opts.lanes = lanes;
+    runtime::GraphServer server(sb->resources(), opts);
+    constexpr int kDot = 6, kPoly = 6, kRefresh = 2;
+    for (auto _ : state) {
+        std::vector<std::future<runtime::JobResult>> futures;
+        futures.reserve(kDot + kPoly + kRefresh);
+        const auto submit = [&](const runtime::Graph* g,
+                                const runtime::Binding& b,
+                                const char* client) {
+            runtime::JobRequest req;
+            req.graph = g;
+            req.inputs = b; // copy: each job owns its payload
+            req.client = client;
+            futures.push_back(server.submit(std::move(req)));
+        };
+        for (int i = 0; i < kDot; ++i) {
+            submit(sb->dot.get(), sb->dot_binding, "dot");
+        }
+        for (int i = 0; i < kPoly; ++i) {
+            submit(sb->poly.get(), sb->poly_binding, "poly");
+        }
+        for (int i = 0; i < kRefresh; ++i) {
+            submit(sb->refresh.get(), sb->refresh_binding, "refresh");
+        }
+        for (auto& f : futures) {
+            const runtime::JobResult r = f.get();
+            benchmark::DoNotOptimize(r.outputs.data());
+        }
+    }
+    const runtime::ServerStats s = server.stats();
+    state.SetItemsProcessed(state.iterations() *
+                            (kDot + kPoly + kRefresh));
+    state.counters["lanes"] = lanes;
+    state.counters["jobs_per_s"] = s.jobs_per_s;
+    state.counters["p50_ms"] = 1e3 * s.p50_latency_s;
+    state.counters["p99_ms"] = 1e3 * s.p99_latency_s;
+}
+BENCHMARK(BM_Serving)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 } // namespace

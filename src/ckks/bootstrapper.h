@@ -27,6 +27,7 @@
  */
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -124,7 +125,9 @@ class Bootstrapper
     std::unique_ptr<FactoredDft> cts_factored_;
     std::unique_ptr<FactoredDft> stc_factored_;
     int stc_input_level_ = -1;
-    mutable int output_level_ = -1;
+    /** Atomic: the serving runtime bootstraps concurrently on shared
+     *  Bootstrappers, and every writer stores the same value. */
+    mutable std::atomic<int> output_level_{-1};
 
     const EvalKey* mult_key_ = nullptr;
     const RotationKeys* rot_keys_ = nullptr;

@@ -1,0 +1,370 @@
+#include "runtime/graph.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace bts::runtime {
+
+const char*
+op_name(OpKind kind)
+{
+    // Exhaustive switch, no default: adding an OpKind without updating
+    // this (and kNumOpKinds) is a -Wswitch error under -Werror.
+    switch (kind) {
+    case OpKind::kHMult: return "HMult";
+    case OpKind::kHRot: return "HRot";
+    case OpKind::kConj: return "Conj";
+    case OpKind::kPMult: return "PMult";
+    case OpKind::kPAdd: return "PAdd";
+    case OpKind::kHAdd: return "HAdd";
+    case OpKind::kHRescale: return "HRescale";
+    case OpKind::kCMult: return "CMult";
+    case OpKind::kCAdd: return "CAdd";
+    case OpKind::kModRaise: return "ModRaise";
+    case OpKind::kBootstrap: return "Bootstrap";
+    }
+    panic("unknown OpKind");
+}
+
+bool
+op_needs_evk(OpKind kind)
+{
+    switch (kind) {
+    case OpKind::kHMult:
+    case OpKind::kHRot:
+    case OpKind::kConj:
+    case OpKind::kBootstrap: // streams many evks via its expansion
+        return true;
+    case OpKind::kPMult:
+    case OpKind::kPAdd:
+    case OpKind::kHAdd:
+    case OpKind::kHRescale:
+    case OpKind::kCMult:
+    case OpKind::kCAdd:
+    case OpKind::kModRaise:
+        return false;
+    }
+    panic("unknown OpKind");
+}
+
+namespace {
+
+/** Loose build-time scale agreement (the evaluator enforces the exact
+ *  kScaleTolerance at run time; metadata is approximate bookkeeping). */
+void
+check_scales_close(double a, double b, const char* op)
+{
+    BTS_CHECK(a > 0.0 && b > 0.0,
+              op << ": operand scales must be positive");
+    BTS_CHECK(std::abs(a / b - 1.0) < 1e-3,
+              op << ": operand scale metadata differs (" << a << " vs "
+                 << b << ")");
+}
+
+} // namespace
+
+u64
+GraphUid::next()
+{
+    static std::atomic<u64> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+Graph::Graph(std::string name, GraphTraits traits)
+    : name_(std::move(name)), traits_(traits)
+{
+    BTS_CHECK(traits_.max_level >= 0, "graph max_level must be >= 0");
+    BTS_CHECK(traits_.bootstrap_out_level >= 0 &&
+                  traits_.bootstrap_out_level <= traits_.max_level,
+              "bootstrap_out_level outside [0, max_level]");
+    BTS_CHECK(traits_.delta > 0, "graph delta must be positive");
+}
+
+Value
+Graph::fresh_value(ValueInfo info)
+{
+    const int id = static_cast<int>(values_.size());
+    values_.push_back(info);
+    return Value{id};
+}
+
+Value
+Graph::input(int level, double scale)
+{
+    BTS_CHECK(level >= 0 && level <= traits_.max_level,
+              "input level outside [0, max_level]");
+    BTS_CHECK(scale > 0, "input scale must be positive");
+    ValueInfo info;
+    info.is_input = true;
+    info.level = level;
+    info.scale = scale;
+    const Value v = fresh_value(info);
+    input_ids_.push_back(v.id);
+    return v;
+}
+
+Value
+Graph::plain_input(int level, double scale)
+{
+    BTS_CHECK(level >= 0 && level <= traits_.max_level,
+              "plain input level outside [0, max_level]");
+    BTS_CHECK(scale > 0, "plain input scale must be positive");
+    ValueInfo info;
+    info.is_plain = true;
+    info.is_input = true;
+    info.level = level;
+    info.scale = scale;
+    const Value v = fresh_value(info);
+    input_ids_.push_back(v.id);
+    return v;
+}
+
+const ValueInfo&
+Graph::use_cipher(Value v, const char* op)
+{
+    BTS_CHECK(v.valid() && v.id < static_cast<int>(values_.size()),
+              op << ": operand is not a value of this graph");
+    ValueInfo& info = values_[v.id];
+    BTS_CHECK(!info.is_plain, op << ": expected a ciphertext operand");
+    info.num_uses += 1;
+    return info;
+}
+
+const ValueInfo&
+Graph::use_plain(Value v, const char* op)
+{
+    BTS_CHECK(v.valid() && v.id < static_cast<int>(values_.size()),
+              op << ": operand is not a value of this graph");
+    ValueInfo& info = values_[v.id];
+    BTS_CHECK(info.is_plain, op << ": expected a plaintext operand");
+    info.num_uses += 1;
+    return info;
+}
+
+Value
+Graph::append(Node node, ValueInfo out_info)
+{
+    out_info.producer = static_cast<int>(nodes_.size());
+    const Value out = fresh_value(out_info);
+    node.output = out.id;
+    nodes_.push_back(std::move(node));
+    return out;
+}
+
+Value
+Graph::hmult(Value a, Value b)
+{
+    const ValueInfo& ia = use_cipher(a, "hmult");
+    const ValueInfo& ib = use_cipher(b, "hmult");
+    Node n;
+    n.kind = OpKind::kHMult;
+    n.inputs = {a.id, b.id};
+    ValueInfo out;
+    out.level = std::min(ia.level, ib.level);
+    out.scale = ia.scale * ib.scale;
+    return append(std::move(n), out);
+}
+
+Value
+Graph::hadd(Value a, Value b)
+{
+    const ValueInfo& ia = use_cipher(a, "hadd");
+    const ValueInfo& ib = use_cipher(b, "hadd");
+    check_scales_close(ia.scale, ib.scale, "hadd");
+    Node n;
+    n.kind = OpKind::kHAdd;
+    n.inputs = {a.id, b.id};
+    ValueInfo out;
+    out.level = std::min(ia.level, ib.level);
+    out.scale = ia.scale;
+    return append(std::move(n), out);
+}
+
+Value
+Graph::pmult(Value ct, Value pt)
+{
+    const ValueInfo& ic = use_cipher(ct, "pmult");
+    const ValueInfo& ip = use_plain(pt, "pmult");
+    BTS_CHECK(ip.level >= ic.level,
+              "pmult: plaintext level " << ip.level
+                                        << " below the ciphertext's "
+                                        << ic.level);
+    Node n;
+    n.kind = OpKind::kPMult;
+    n.inputs = {ct.id, pt.id};
+    ValueInfo out;
+    out.level = ic.level;
+    out.scale = ic.scale * ip.scale;
+    return append(std::move(n), out);
+}
+
+Value
+Graph::padd(Value ct, Value pt)
+{
+    const ValueInfo& ic = use_cipher(ct, "padd");
+    const ValueInfo& ip = use_plain(pt, "padd");
+    BTS_CHECK(ip.level >= ic.level,
+              "padd: plaintext level below the ciphertext's");
+    check_scales_close(ic.scale, ip.scale, "padd");
+    Node n;
+    n.kind = OpKind::kPAdd;
+    n.inputs = {ct.id, pt.id};
+    ValueInfo out;
+    out.level = ic.level;
+    out.scale = ic.scale;
+    return append(std::move(n), out);
+}
+
+Value
+Graph::hrot(Value ct, int amount)
+{
+    const ValueInfo& ic = use_cipher(ct, "hrot");
+    BTS_CHECK(amount != 0, "hrot: rotation amount must be nonzero");
+    Node n;
+    n.kind = OpKind::kHRot;
+    n.inputs = {ct.id};
+    n.rot_amount = amount;
+    ValueInfo out;
+    out.level = ic.level;
+    out.scale = ic.scale;
+    return append(std::move(n), out);
+}
+
+Value
+Graph::conj(Value ct)
+{
+    const ValueInfo& ic = use_cipher(ct, "conj");
+    uses_conj_ = true;
+    Node n;
+    n.kind = OpKind::kConj;
+    n.inputs = {ct.id};
+    ValueInfo out;
+    out.level = ic.level;
+    out.scale = ic.scale;
+    return append(std::move(n), out);
+}
+
+Value
+Graph::hrescale(Value ct)
+{
+    const ValueInfo& ic = use_cipher(ct, "hrescale");
+    // The graph-level image of TraceBuilder's level-underflow guard:
+    // rescaling a level-0 value has no prime left to drop.
+    BTS_CHECK(ic.level >= 1, "hrescale: operand already at level 0");
+    Node n;
+    n.kind = OpKind::kHRescale;
+    n.inputs = {ct.id};
+    ValueInfo out;
+    out.level = ic.level - 1;
+    out.scale = ic.scale / traits_.delta;
+    return append(std::move(n), out);
+}
+
+Value
+Graph::cmult(Value ct, Complex c)
+{
+    const ValueInfo& ic = use_cipher(ct, "cmult");
+    Node n;
+    n.kind = OpKind::kCMult;
+    n.inputs = {ct.id};
+    n.constant = c;
+    ValueInfo out;
+    out.level = ic.level;
+    out.scale = ic.scale * traits_.delta;
+    return append(std::move(n), out);
+}
+
+Value
+Graph::cadd(Value ct, Complex c)
+{
+    const ValueInfo& ic = use_cipher(ct, "cadd");
+    Node n;
+    n.kind = OpKind::kCAdd;
+    n.inputs = {ct.id};
+    n.constant = c;
+    ValueInfo out;
+    out.level = ic.level;
+    out.scale = ic.scale;
+    return append(std::move(n), out);
+}
+
+Value
+Graph::mod_raise(Value ct)
+{
+    const ValueInfo& ic = use_cipher(ct, "mod_raise");
+    BTS_CHECK(ic.level == 0,
+              "mod_raise: expects an exhausted (level-0) value, got level "
+                  << ic.level);
+    Node n;
+    n.kind = OpKind::kModRaise;
+    n.inputs = {ct.id};
+    ValueInfo out;
+    out.level = traits_.max_level;
+    out.scale = ic.scale;
+    return append(std::move(n), out);
+}
+
+Value
+Graph::bootstrap(Value ct)
+{
+    const ValueInfo& ic = use_cipher(ct, "bootstrap");
+    BTS_CHECK(ic.level == 0,
+              "bootstrap: expects an exhausted (level-0) value, got level "
+                  << ic.level);
+    uses_bootstrap_ = true;
+    Node n;
+    n.kind = OpKind::kBootstrap;
+    n.inputs = {ct.id};
+    ValueInfo out;
+    out.level = traits_.bootstrap_out_level;
+    out.scale = traits_.delta; // refresh lands on the canonical scale
+    return append(std::move(n), out);
+}
+
+void
+Graph::mark_output(Value v)
+{
+    BTS_CHECK(v.valid() && v.id < static_cast<int>(values_.size()),
+              "mark_output: not a value of this graph");
+    BTS_CHECK(!values_[v.id].is_plain,
+              "mark_output: outputs must be ciphertexts");
+    BTS_CHECK(std::find(outputs_.begin(), outputs_.end(), v.id) ==
+                  outputs_.end(),
+              "mark_output: value already marked");
+    values_[v.id].num_uses += 1; // outputs stay live through execution
+    outputs_.push_back(v.id);
+}
+
+const ValueInfo&
+Graph::value(int id) const
+{
+    BTS_CHECK(id >= 0 && id < static_cast<int>(values_.size()),
+              "value id out of range");
+    return values_[id];
+}
+
+std::vector<int>
+Graph::required_rotations() const
+{
+    std::vector<int> amounts;
+    for (const Node& n : nodes_) {
+        if (n.kind == OpKind::kHRot) amounts.push_back(n.rot_amount);
+    }
+    std::sort(amounts.begin(), amounts.end());
+    amounts.erase(std::unique(amounts.begin(), amounts.end()),
+                  amounts.end());
+    return amounts;
+}
+
+int
+Graph::count_kind(OpKind kind) const
+{
+    int n = 0;
+    for (const Node& node : nodes_) n += (node.kind == kind);
+    return n;
+}
+
+} // namespace bts::runtime

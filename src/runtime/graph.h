@@ -1,0 +1,227 @@
+/**
+ * @file
+ * CKKS computation-graph IR: the workload representation shared by the
+ * functional Executor (runs ops on the real library) and the simulator
+ * TraceLowering (emits a sim::Trace) — one definition, two backends.
+ *
+ * A Graph is an SSA-style DAG: every Value is produced exactly once
+ * (by a graph input or by one Node) and carries level + scale metadata
+ * that is inferred, and validated, as the graph is built. Levels are
+ * exact (they drive the simulator's cost-model lookups and the
+ * executor's consistency checks); scales are approximate bookkeeping
+ * (the functional library tracks the exact per-ciphertext scale at run
+ * time) kept to catch mismatched-operand mistakes at build time.
+ *
+ * Node kinds mirror the primitive HE ops of Section 2.3 of the paper
+ * (the same set sim::HeOpKind schedules) plus one composite:
+ * kBootstrap, which the Executor runs via a Bootstrapper and the
+ * lowering expands into the full ModRaise/CtS/EvalMod/StC plan.
+ */
+#pragma once
+
+#include <complex>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace bts::runtime {
+
+using Complex = std::complex<double>;
+
+/** Graph-level op kinds: sim::HeOpKind plus the Bootstrap composite. */
+enum class OpKind {
+    kHMult,     //!< ciphertext x ciphertext (+ relinearization)
+    kHRot,      //!< slot rotation (+ key-switch)
+    kConj,      //!< slot conjugation (+ key-switch)
+    kPMult,     //!< ciphertext x plaintext
+    kPAdd,      //!< ciphertext + plaintext
+    kHAdd,      //!< ciphertext + ciphertext
+    kHRescale,  //!< divide by the top prime, dropping one level
+    kCMult,     //!< ciphertext x scalar constant
+    kCAdd,      //!< ciphertext + scalar constant
+    kModRaise,  //!< bootstrap modulus raise (level 0 -> L)
+    kBootstrap, //!< full refresh (composite; level 0 -> usable level)
+};
+
+inline constexpr int kNumOpKinds = 11;
+
+/** Human-readable kind name (exhaustive; never returns null). */
+const char* op_name(OpKind kind);
+
+/** @return true if the op streams an evaluation key. */
+bool op_needs_evk(OpKind kind);
+
+/**
+ * Level geometry + scale granularity the metadata inference needs.
+ * For simulator lowering these must match the target CkksInstance; for
+ * functional execution they must match the CkksContext/Bootstrapper
+ * the graph is bound to.
+ */
+struct GraphTraits
+{
+    int max_level = 0;           //!< level a ModRaise raises to (L)
+    int bootstrap_out_level = 0; //!< level a Bootstrap refreshes to
+    double delta = 1.0;          //!< canonical scale granularity
+};
+
+/**
+ * A Graph's process-unique identity. Fresh on construction AND on
+ * copy/copy-assign (a copy can diverge from the original through
+ * further builder calls, so it must not share cached per-graph plans).
+ * On move the identity transfers with the structure — and the
+ * moved-from side gets a fresh uid, so a moved-from Graph rebuilt with
+ * new ops can't alias the destination's cached plans either.
+ */
+class GraphUid
+{
+  public:
+    GraphUid() : value_(next()) {}
+    GraphUid(const GraphUid&) : GraphUid() {}
+    GraphUid&
+    operator=(const GraphUid&)
+    {
+        value_ = next();
+        return *this;
+    }
+    GraphUid(GraphUid&& other) noexcept : value_(other.value_)
+    {
+        other.value_ = next();
+    }
+    GraphUid&
+    operator=(GraphUid&& other) noexcept
+    {
+        value_ = other.value_;
+        other.value_ = next();
+        return *this;
+    }
+
+    u64 value() const { return value_; }
+
+  private:
+    static u64 next();
+
+    u64 value_;
+};
+
+/** An SSA value handle (ciphertext or plaintext). */
+struct Value
+{
+    int id = -1;
+    bool valid() const { return id >= 0; }
+};
+
+/** Per-value metadata. */
+struct ValueInfo
+{
+    bool is_plain = false; //!< plaintext (graph inputs only)
+    bool is_input = false; //!< bound at execution time
+    int level = 0;
+    double scale = 1.0;
+    int producer = -1; //!< producing node index; -1 for graph inputs
+    int num_uses = 0;  //!< consumer operand slots + output marks
+};
+
+/** One graph node. */
+struct Node
+{
+    OpKind kind = OpKind::kHAdd;
+    std::vector<int> inputs; //!< value ids (operand order matters)
+    int output = -1;         //!< value id this node defines
+    int rot_amount = 0;      //!< kHRot only
+    Complex constant{0.0, 0.0}; //!< kCMult / kCAdd only
+};
+
+/**
+ * The computation graph. Build by declaring inputs and appending ops;
+ * every builder method validates operand kinds/levels and infers the
+ * output metadata, so malformed programs (rescale below level 0,
+ * ModRaise of a non-exhausted ciphertext, plaintext level too low for
+ * its consumer) fail at construction, not mid-execution.
+ *
+ * Nodes are stored in creation order, which is a topological order by
+ * construction (operands must already exist).
+ */
+class Graph
+{
+  public:
+    Graph(std::string name, GraphTraits traits);
+
+    const std::string& name() const { return name_; }
+    const GraphTraits& traits() const { return traits_; }
+    /** Process-unique graph identity (fresh on copy, preserved on
+     *  move). Executors key their per-graph plan caches on this, so a
+     *  new Graph reusing a destroyed one's address can never hit a
+     *  stale plan. */
+    u64 uid() const { return uid_.value(); }
+
+    // ----- inputs -----
+    /** Declare a ciphertext input bound at execution time. */
+    Value input(int level, double scale);
+    /** Declare a plaintext input bound at execution time. */
+    Value plain_input(int level, double scale);
+
+    // ----- ops -----
+    /** HMult; unequal operand levels align to the lower one. */
+    Value hmult(Value a, Value b);
+    /** HAdd; unequal operand levels align to the lower one. */
+    Value hadd(Value a, Value b);
+    /** PMult; the plaintext's level must cover the ciphertext's. */
+    Value pmult(Value ct, Value pt);
+    /** PAdd; same level rule as pmult, scales must agree. */
+    Value padd(Value ct, Value pt);
+    Value hrot(Value ct, int amount);
+    Value conj(Value ct);
+    /** HRescale; requires level >= 1. */
+    Value hrescale(Value ct);
+    /** CMult by a constant encoded at delta (scale grows by delta). */
+    Value cmult(Value ct, Complex c);
+    Value cmult(Value ct, double c) { return cmult(ct, Complex(c, 0.0)); }
+    /** CAdd of a constant (scale unchanged). */
+    Value cadd(Value ct, Complex c);
+    /** ModRaise; requires level == 0, raises to traits().max_level. */
+    Value mod_raise(Value ct);
+    /** Bootstrap; requires level == 0, refreshes to
+     *  traits().bootstrap_out_level at canonical scale. */
+    Value bootstrap(Value ct);
+
+    /** Mark @p v as a graph output (kept live; returned by the
+     *  executor in mark order). A value can be marked only once. */
+    void mark_output(Value v);
+
+    // ----- introspection -----
+    std::size_t num_nodes() const { return nodes_.size(); }
+    std::size_t num_values() const { return values_.size(); }
+    const Node& node(std::size_t i) const { return nodes_[i]; }
+    const std::vector<Node>& nodes() const { return nodes_; }
+    const ValueInfo& value(int id) const;
+    const std::vector<int>& outputs() const { return outputs_; }
+    /** Ciphertext/plaintext input value ids, in declaration order. */
+    const std::vector<int>& input_ids() const { return input_ids_; }
+
+    /** Distinct rotation amounts used (the keys execution needs). */
+    std::vector<int> required_rotations() const;
+    bool uses_conjugation() const { return uses_conj_; }
+    bool uses_bootstrap() const { return uses_bootstrap_; }
+    /** Count of nodes of one kind. */
+    int count_kind(OpKind kind) const;
+
+  private:
+    Value fresh_value(ValueInfo info);
+    /** Validate a ciphertext operand and count the use. */
+    const ValueInfo& use_cipher(Value v, const char* op);
+    const ValueInfo& use_plain(Value v, const char* op);
+    Value append(Node node, ValueInfo out_info);
+
+    GraphUid uid_;
+    std::string name_;
+    GraphTraits traits_;
+    std::vector<Node> nodes_;
+    std::vector<ValueInfo> values_;
+    std::vector<int> outputs_;
+    std::vector<int> input_ids_;
+    bool uses_conj_ = false;
+    bool uses_bootstrap_ = false;
+};
+
+} // namespace bts::runtime

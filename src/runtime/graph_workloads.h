@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Graph-API workload definitions.
+ *
+ * tmult_graph() is the paper's T_mult,a/slot microbenchmark (Eq. 8)
+ * ported from the hand-written sim::TraceBuilder generator
+ * (workloads::tmult_microbench) to the runtime IR — the validation
+ * loop the simulator was missing: lowering it yields an op-for-op
+ * identical trace (pinned by tests), while the same definition also
+ * executes functionally.
+ *
+ * The remaining generators are the serving harness's client scenarios
+ * at functional scale: an encrypted dot product (rotation log-tree), a
+ * Horner polynomial evaluation, and a bootstrap refresh.
+ */
+#pragma once
+
+#include <vector>
+
+#include "hwparams/instance.h"
+#include "runtime/graph.h"
+
+namespace bts::runtime {
+
+/** Graph traits matching a full-scale simulator instance. */
+GraphTraits traits_for(const hw::CkksInstance& inst);
+
+/** Eq. 8's numerator as a graph: one bootstrap, then HMult + HRescale
+ *  down the usable levels. Input 0: the exhausted ciphertext; input 1:
+ *  the multiplicand. */
+Graph tmult_graph(const hw::CkksInstance& inst);
+
+/**
+ * Encrypted dot product: slot-wise PMult by a plaintext weight vector
+ * (bound at execution), rescale, then a log-tree of 2^k-slot rotations
+ * summing @p log_dim strides — every slot ends holding the reduction.
+ * Consumes one level; needs rotation keys {1, 2, .., 2^(log_dim-1)}.
+ */
+Graph dot_product_graph(const GraphTraits& traits, int level, int log_dim);
+
+/**
+ * Degree-@p degree polynomial evaluation via Horner's rule with
+ * constant coefficients c_j = coeffs[j] (c_0 first): consumes
+ * @p degree levels below @p level; inter-op parallelism is nil (a
+ * dependence chain), which makes it the serving mix's latency-bound
+ * client.
+ */
+Graph poly_eval_graph(const GraphTraits& traits, int level,
+                      const std::vector<double>& coeffs);
+
+/** An exhausted ciphertext through one Bootstrap node. */
+Graph bootstrap_refresh_graph(const GraphTraits& traits);
+
+} // namespace bts::runtime

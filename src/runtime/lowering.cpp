@@ -1,0 +1,86 @@
+#include "runtime/lowering.h"
+
+#include "common/check.h"
+#include "workloads/workloads.h"
+
+namespace bts::runtime {
+
+sim::HeOpKind
+to_sim_kind(OpKind kind)
+{
+    switch (kind) {
+    case OpKind::kHMult: return sim::HeOpKind::kHMult;
+    case OpKind::kHRot: return sim::HeOpKind::kHRot;
+    case OpKind::kConj: return sim::HeOpKind::kConj;
+    case OpKind::kPMult: return sim::HeOpKind::kPMult;
+    case OpKind::kPAdd: return sim::HeOpKind::kPAdd;
+    case OpKind::kHAdd: return sim::HeOpKind::kHAdd;
+    case OpKind::kHRescale: return sim::HeOpKind::kHRescale;
+    case OpKind::kCMult: return sim::HeOpKind::kCMult;
+    case OpKind::kCAdd: return sim::HeOpKind::kCAdd;
+    case OpKind::kModRaise: return sim::HeOpKind::kModRaise;
+    case OpKind::kBootstrap:
+        fatal("kBootstrap has no primitive sim image; lower_to_trace "
+              "expands it");
+    }
+    panic("unknown OpKind");
+}
+
+sim::Trace
+lower_to_trace(const Graph& g, const hw::CkksInstance& inst)
+{
+    // Level-geometry compatibility: every value must fit the instance's
+    // chain, and composite/raise ops must target ITS top level.
+    for (std::size_t id = 0; id < g.num_values(); ++id) {
+        const ValueInfo& info = g.value(static_cast<int>(id));
+        BTS_CHECK(info.level <= inst.max_level,
+                  g.name() << ": value level " << info.level
+                           << " exceeds instance max_level "
+                           << inst.max_level);
+    }
+    if (g.uses_bootstrap() || g.count_kind(OpKind::kModRaise) > 0) {
+        BTS_CHECK(g.traits().max_level == inst.max_level,
+                  g.name() << ": graph raises to level "
+                           << g.traits().max_level << ", instance has L = "
+                           << inst.max_level);
+    }
+    if (g.uses_bootstrap()) {
+        BTS_CHECK(g.traits().bootstrap_out_level == inst.usable_levels(),
+                  g.name() << ": graph bootstrap level "
+                           << g.traits().bootstrap_out_level
+                           << " != instance usable levels "
+                           << inst.usable_levels());
+    }
+
+    sim::TraceBuilder b(g.name());
+    // Object ids assigned at first use (inputs) / production (outputs):
+    // this makes the id stream identical to a hand-written generator
+    // that calls fresh_id() in the same op order.
+    std::vector<int> object(g.num_values(), -1);
+    const auto obj = [&](int value_id) {
+        if (object[value_id] < 0) object[value_id] = b.fresh_id();
+        return object[value_id];
+    };
+
+    for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+        const Node& n = g.node(i);
+        if (n.kind == OpKind::kBootstrap) {
+            object[n.output] =
+                workloads::append_bootstrap(b, inst, obj(n.inputs[0]));
+            continue;
+        }
+        // The level an op *executes at*: HRescale still holds the
+        // about-to-drop prime, ModRaise already runs on the full chain.
+        const int level = n.kind == OpKind::kHRescale
+                              ? g.value(n.inputs[0]).level
+                              : g.value(n.output).level;
+        std::vector<int> inputs;
+        inputs.reserve(n.inputs.size());
+        for (const int in : n.inputs) inputs.push_back(obj(in));
+        object[n.output] = b.add(to_sim_kind(n.kind), level,
+                                 std::move(inputs), n.rot_amount);
+    }
+    return std::move(b.trace());
+}
+
+} // namespace bts::runtime

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Simulator graph backend: deterministic lowering of a runtime::Graph
+ * to a sim::Trace, so the BtsSimulator consumes runtime-produced
+ * traces instead of trusted hand-written transcriptions.
+ *
+ * The lowering is deterministic and structure-preserving:
+ *  - trace object ids are assigned from value ids in first-use order
+ *    (graph inputs at first reference, node outputs at production),
+ *    exactly mirroring how the hand-written src/workloads/ generators
+ *    allocate TraceBuilder ids — the ported tmult graph lowers to an
+ *    op-for-op identical trace (tests pin this);
+ *  - op levels come from the graph's value metadata (HRescale executes
+ *    at its input's level, ModRaise at the raised level);
+ *  - a kBootstrap node expands to the full ModRaise / CtS / EvalMod /
+ *    StC plan via workloads::append_bootstrap, with every expanded op
+ *    tagged in_bootstrap and counted in Trace::bootstrap_count.
+ */
+#pragma once
+
+#include "hwparams/instance.h"
+#include "runtime/graph.h"
+#include "sim/op_trace.h"
+
+namespace bts::runtime {
+
+/**
+ * Lower @p g to a schedulable trace for @p inst. The graph's level
+ * geometry must match the instance (a graph built for a different
+ * modulus chain would produce nonsense cost-model lookups).
+ */
+sim::Trace lower_to_trace(const Graph& g, const hw::CkksInstance& inst);
+
+/** The primitive sim kind for a graph op (fails on kBootstrap, which
+ *  has no single-op image — it lowers as a composite expansion). */
+sim::HeOpKind to_sim_kind(OpKind kind);
+
+} // namespace bts::runtime

@@ -1,0 +1,179 @@
+#include "runtime/server.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace bts::runtime {
+
+namespace {
+
+double
+seconds(std::chrono::steady_clock::duration d)
+{
+    return std::chrono::duration<double>(d).count();
+}
+
+} // namespace
+
+GraphServer::GraphServer(EvalResources res, ServerOptions opts)
+    : res_(res), opts_(opts)
+{
+    BTS_CHECK(opts_.lanes >= 1, "server needs at least one lane");
+    BTS_CHECK(opts_.lanes_per_job >= 1, "lanes_per_job must be >= 1");
+    BTS_CHECK(opts_.queue_capacity >= 1, "queue capacity must be >= 1");
+    executors_.reserve(opts_.lanes);
+    for (int i = 0; i < opts_.lanes; ++i) {
+        ExecOptions eo;
+        eo.lanes = opts_.lanes_per_job;
+        executors_.push_back(std::make_unique<Executor>(res_, eo));
+    }
+    lanes_.reserve(opts_.lanes);
+    for (int i = 0; i < opts_.lanes; ++i) {
+        lanes_.emplace_back([this, i] { lane_loop(i); });
+    }
+}
+
+GraphServer::~GraphServer()
+{
+    drain();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    queue_cv_.notify_all();
+    space_cv_.notify_all(); // release submitters blocked on a full queue
+    for (std::thread& t : lanes_) t.join();
+}
+
+std::future<JobResult>
+GraphServer::submit(JobRequest req)
+{
+    BTS_CHECK(req.graph != nullptr, "job has no graph");
+    Job job;
+    job.req = std::move(req);
+    std::future<JobResult> fut = job.promise.get_future();
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        // stop_ must be part of the wait predicate: a submitter blocked
+        // on a full queue can otherwise wake after the lanes exited and
+        // enqueue a job nobody will ever pop (broken promise).
+        space_cv_.wait(lock, [&] {
+            return stop_ || queue_.size() < opts_.queue_capacity;
+        });
+        BTS_CHECK(!stop_, "server is shutting down");
+        job.submitted = Clock::now();
+        if (submitted_ == 0) first_submit_ = job.submitted;
+        ++submitted_;
+        queue_.push_back(std::move(job));
+    }
+    queue_cv_.notify_one();
+    return fut;
+}
+
+void
+GraphServer::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [&] { return queue_.empty() && active_ == 0; });
+}
+
+void
+GraphServer::lane_loop(int lane_idx)
+{
+    Executor& exec = *executors_[lane_idx];
+    for (;;) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            queue_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+            if (queue_.empty()) return; // stop_ and no work left
+            job = std::move(queue_.front());
+            queue_.pop_front();
+            ++active_;
+        }
+        space_cv_.notify_one();
+
+        const Clock::time_point start = Clock::now();
+        JobResult result;
+        result.queue_s = seconds(start - job.submitted);
+        bool ok = true;
+        try {
+            result.outputs =
+                exec.run(*job.req.graph, std::move(job.req.inputs));
+        } catch (...) {
+            ok = false;
+            job.promise.set_exception(std::current_exception());
+        }
+        const Clock::time_point end = Clock::now();
+        result.exec_s = seconds(end - start);
+        // Fulfil the promise BEFORE decrementing active_: drain()
+        // returning must imply every admitted job's future is ready.
+        if (ok) job.promise.set_value(std::move(result));
+
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --active_;
+            last_complete_ = end;
+            if (ok) {
+                ++completed_;
+                ++completed_by_client_[job.req.client];
+                exec_total_s_ += result.exec_s;
+                // Algorithm-R reservoir: every completed job's latency
+                // has equal probability of being in the sample.
+                constexpr std::size_t kReservoir = 4096;
+                const double latency = seconds(end - job.submitted);
+                ++latency_seen_;
+                if (latencies_s_.size() < kReservoir) {
+                    latencies_s_.push_back(latency);
+                } else {
+                    const u64 slot = latency_rng_.uniform(latency_seen_);
+                    if (slot < kReservoir) {
+                        latencies_s_[slot] = latency;
+                    }
+                }
+            } else {
+                ++failed_;
+            }
+        }
+        idle_cv_.notify_all();
+    }
+}
+
+ServerStats
+GraphServer::stats() const
+{
+    ServerStats s;
+    std::vector<double> sorted;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        s.submitted = submitted_;
+        s.completed = completed_;
+        s.failed = failed_;
+        s.completed_by_client = completed_by_client_;
+        sorted = latencies_s_;
+        if (completed_ > 0) {
+            s.mean_exec_s =
+                exec_total_s_ / static_cast<double>(completed_);
+            const double span = seconds(last_complete_ - first_submit_);
+            s.jobs_per_s = span > 0
+                               ? static_cast<double>(completed_) / span
+                               : 0.0;
+        }
+    }
+    // Sort outside the lock: stats() must not stall admission or lane
+    // completion while it computes percentiles.
+    if (!sorted.empty()) {
+        std::sort(sorted.begin(), sorted.end());
+        const auto pct = [&](double p) {
+            const std::size_t idx = static_cast<std::size_t>(
+                p * static_cast<double>(sorted.size() - 1));
+            return sorted[idx];
+        };
+        s.p50_latency_s = pct(0.50);
+        s.p99_latency_s = pct(0.99);
+    }
+    return s;
+}
+
+} // namespace bts::runtime

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Multi-client serving harness: a bounded job queue admitting
+ * concurrent graphs onto a fixed set of worker lanes.
+ *
+ * This is the layer the ROADMAP's "serve heavy traffic" goal needs
+ * above single Evaluator calls: clients submit (graph, inputs) jobs
+ * and receive futures; each lane owns an Executor (so evk handles and
+ * CMult plaintexts stay warm across that lane's jobs) and drains the
+ * queue FIFO. Backpressure is by admission: submit() blocks while the
+ * queue is at capacity, bounding the server's resident ciphertext
+ * footprint.
+ *
+ * Throughput scales with lanes because jobs are independent: each
+ * lane's Evaluator calls run concurrently against the shared immutable
+ * CkksContext/keys (safe — tests pin concurrent-evaluator
+ * bit-exactness), and the stats() snapshot reports jobs/s plus
+ * p50/p99 latency, the numbers BM_Serving sweeps over 1..8 lanes.
+ */
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "runtime/executor.h"
+
+namespace bts::runtime {
+
+/** One client request: a borrowed graph plus its input bindings. The
+ *  graph must outlive the job's completion. */
+struct JobRequest
+{
+    const Graph* graph = nullptr;
+    Binding inputs;
+    std::string client; //!< ServerStats::completed_by_client bucket
+};
+
+/** What a completed job hands back through its future. */
+struct JobResult
+{
+    std::vector<Ciphertext> outputs;
+    double queue_s = 0; //!< admission -> lane pickup
+    double exec_s = 0;  //!< lane pickup -> completion
+};
+
+/** Harness knobs. */
+struct ServerOptions
+{
+    int lanes = 1;        //!< concurrent jobs (one Executor per lane)
+    int lanes_per_job = 1; //!< intra-graph executor lanes on each lane
+    std::size_t queue_capacity = 64; //!< admission bound (backpressure)
+};
+
+/** Aggregate serving metrics since construction. */
+struct ServerStats
+{
+    std::size_t submitted = 0;
+    std::size_t completed = 0;
+    std::size_t failed = 0; //!< jobs whose future carries an exception
+    /** Completed jobs per JobRequest::client tag. */
+    std::map<std::string, std::size_t> completed_by_client;
+    double p50_latency_s = 0; //!< submit -> completion, successful jobs
+    double p99_latency_s = 0;
+    double mean_exec_s = 0;
+    /** completed / (last completion - first admission). */
+    double jobs_per_s = 0;
+};
+
+/** The job queue + worker lanes. */
+class GraphServer
+{
+  public:
+    GraphServer(EvalResources res, ServerOptions opts);
+    ~GraphServer(); //!< drains accepted jobs, then joins the lanes
+
+    GraphServer(const GraphServer&) = delete;
+    GraphServer& operator=(const GraphServer&) = delete;
+
+    /**
+     * Admit a job; blocks while the queue is full. The returned future
+     * resolves to the job's outputs, or rethrows the execution error
+     * (a failed job never takes the server down).
+     */
+    std::future<JobResult> submit(JobRequest req);
+
+    /** Block until every admitted job has completed. */
+    void drain();
+
+    ServerStats stats() const;
+    int lanes() const { return static_cast<int>(lanes_.size()); }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Job
+    {
+        JobRequest req;
+        std::promise<JobResult> promise;
+        Clock::time_point submitted;
+    };
+
+    void lane_loop(int lane_idx);
+
+    EvalResources res_;
+    ServerOptions opts_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable queue_cv_; //!< lanes: work available / stop
+    std::condition_variable space_cv_; //!< submitters: capacity freed
+    std::condition_variable idle_cv_;  //!< drain(): all work finished
+    std::deque<Job> queue_;
+    std::size_t active_ = 0; //!< jobs picked up, not yet finished
+    bool stop_ = false;
+
+    // Stats, under mutex_.
+    std::size_t submitted_ = 0;
+    std::size_t completed_ = 0;
+    std::size_t failed_ = 0;
+    std::map<std::string, std::size_t> completed_by_client_;
+    double exec_total_s_ = 0;
+    /** Bounded uniform sample of per-job latencies (reservoir
+     *  sampling), so a long-lived server's memory and its stats()
+     *  percentile cost stay O(capacity), not O(jobs served). */
+    std::vector<double> latencies_s_;
+    std::size_t latency_seen_ = 0; //!< total latencies offered
+    Xoshiro256 latency_rng_{0x5e21};
+    Clock::time_point first_submit_{};
+    Clock::time_point last_complete_{};
+
+    std::vector<std::unique_ptr<Executor>> executors_; //!< per lane
+    std::vector<std::thread> lanes_;
+};
+
+} // namespace bts::runtime

@@ -7,8 +7,25 @@ namespace bts::sim {
 bool
 needs_evk(HeOpKind kind)
 {
-    return kind == HeOpKind::kHMult || kind == HeOpKind::kHRot ||
-           kind == HeOpKind::kConj;
+    // Exhaustive switch, no default: a new HeOpKind that is not
+    // classified here is a -Wswitch error under -Werror, not a silent
+    // "no evk" fall-through (which would quietly drop the dominant
+    // HBM-traffic term from the cost model).
+    switch (kind) {
+    case HeOpKind::kHMult:
+    case HeOpKind::kHRot:
+    case HeOpKind::kConj:
+        return true;
+    case HeOpKind::kPMult:
+    case HeOpKind::kPAdd:
+    case HeOpKind::kHAdd:
+    case HeOpKind::kHRescale:
+    case HeOpKind::kCMult:
+    case HeOpKind::kCAdd:
+    case HeOpKind::kModRaise:
+        return false;
+    }
+    panic("needs_evk: unknown HeOpKind");
 }
 
 const char*
@@ -26,13 +43,25 @@ kind_name(HeOpKind kind)
     case HeOpKind::kCAdd: return "CAdd";
     case HeOpKind::kModRaise: return "ModRaise";
     }
-    return "?";
+    panic("kind_name: unknown HeOpKind");
+}
+
+std::map<HeOpKind, int>
+kind_histogram(const Trace& trace)
+{
+    std::map<HeOpKind, int> hist;
+    for (const HeOp& op : trace.ops) hist[op.kind] += 1;
+    return hist;
 }
 
 int
 TraceBuilder::add(HeOpKind kind, int level, std::vector<int> inputs,
                   int rot_amount, bool in_bootstrap)
 {
+    // Validate before allocating the output id: a rejected op must not
+    // advance the id counter, or a generator that recovers from the
+    // throw emits a shifted id stream.
+    BTS_CHECK(level >= 0, "op below level 0");
     return add_into(next_id_++, kind, level, std::move(inputs), rot_amount,
                     in_bootstrap);
 }

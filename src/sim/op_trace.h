@@ -10,6 +10,7 @@
  */
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -31,10 +32,21 @@ enum class HeOpKind {
     kModRaise, //!< bootstrap modulus raise
 };
 
+/**
+ * Number of HeOpKind enumerators. Adding a kind means updating this
+ * constant AND every switch over the enum — all of them are written
+ * without a default case, so -Wswitch (-Werror on the library) flags
+ * each site at compile time, and the exhaustiveness test in
+ * tests/sim/test_sim.cpp walks [0, kHeOpKindCount) at run time.
+ */
+inline constexpr int kHeOpKindCount =
+    static_cast<int>(HeOpKind::kModRaise) + 1;
+
 /** @return true if the op streams an evaluation key. */
 bool needs_evk(HeOpKind kind);
 
-/** Human-readable kind name. */
+/** Human-readable kind name (never null; throws on a value outside
+ *  the enumerator range). */
 const char* kind_name(HeOpKind kind);
 
 /** One primitive op instance. */
@@ -46,6 +58,10 @@ struct HeOp
     std::vector<int> inputs; //!< ciphertext/plaintext object ids
     int output = -1;         //!< output object id (-1: in-place/none)
     bool in_bootstrap = false;
+
+    /** Field-wise equality (the runtime-lowering pin tests compare
+     *  whole traces op for op). */
+    bool operator==(const HeOp&) const = default;
 };
 
 /** A schedulable op sequence. */
@@ -61,6 +77,10 @@ struct Trace
         ops.push_back(std::move(op));
     }
 };
+
+/** Op count per kind — the op-mix signature the runtime lowering is
+ *  pinned against the hand-written workload generators with. */
+std::map<HeOpKind, int> kind_histogram(const Trace& trace);
 
 /**
  * Convenience builder tracking object ids and the current level, used

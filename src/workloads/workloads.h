@@ -9,6 +9,12 @@
  * level schedule, bootstrap placement); data values never matter to the
  * simulator. Bootstrap counts per instance are the paper's own Table 6
  * calibration target.
+ *
+ * tmult_microbench has a runtime::Graph port (runtime/graph_workloads.h)
+ * that also *executes* on the functional library; its lowering is
+ * pinned op-for-op against this generator (tests/runtime/
+ * test_lowering.cpp), so a structural edit here must be mirrored there
+ * — the pin failing is the validation loop working as intended.
  */
 #pragma once
 

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Concurrent-Evaluator safety: the runtime Executor schedules
+ * independent ops of one graph onto worker lanes, and the serving
+ * harness runs whole jobs concurrently — both rest on the guarantee
+ * that a shared CkksContext / Evaluator / key set can serve multiple
+ * threads at once with bit-exact results. This suite pins exactly
+ * that: independent mult/rotate/rescale chains on two (and four)
+ * threads against shared state, compared bit for bit to the serial
+ * execution of the same chains.
+ */
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/thread_guard.h"
+#include "test_utils.h"
+
+namespace bts {
+namespace {
+
+using testing::TestEnv;
+using testing::ThreadGuard;
+
+struct ConcEnv
+{
+    ConcEnv() : env(bts::testing::small_params())
+    {
+        rot_keys = env.keygen.gen_rotation_keys(env.sk, {1, 2, 3, 4});
+    }
+
+    TestEnv env;
+    RotationKeys rot_keys;
+};
+
+ConcEnv&
+cenv()
+{
+    static ConcEnv* e = new ConcEnv();
+    return *e;
+}
+
+using testing::ct_equal;
+
+/** One client's chain: rotate, square, rescale, rotate, add — every
+ *  evk-bearing op plus the rescale hot path, parameterized so each
+ *  thread computes something different. */
+Ciphertext
+run_chain(const TestEnv& env, const RotationKeys& rot_keys,
+          const Ciphertext& input, int which)
+{
+    const Evaluator& ev = env.evaluator;
+    const int r1 = 1 + which % 4;
+    Ciphertext rot = ev.rotate(input, r1, rot_keys.at(r1));
+    Ciphertext prod = ev.mult(rot, input, env.mult_key);
+    ev.rescale_inplace(prod);
+    const int r2 = 1 + (which + 1) % 4;
+    Ciphertext rot2 = ev.rotate(prod, r2, rot_keys.at(r2));
+    Ciphertext sum = ev.add(prod, rot2);
+    Ciphertext conj = ev.conjugate(sum, env.conj_key);
+    return ev.add(sum, conj);
+}
+
+void
+pin_concurrent_vs_serial(int n_chains)
+{
+    auto& e = cenv();
+    std::vector<Ciphertext> inputs;
+    for (int c = 0; c < n_chains; ++c) {
+        inputs.push_back(e.env.encrypt(
+            e.env.random_message(e.env.ctx.n() / 2, 1.0, 900 + c)));
+    }
+
+    // Serial reference, one chain after another.
+    std::vector<Ciphertext> serial;
+    for (int c = 0; c < n_chains; ++c) {
+        serial.push_back(run_chain(e.env, e.rot_keys, inputs[c], c));
+    }
+
+    // The same chains, one std::thread each, shared context and keys.
+    std::vector<Ciphertext> concurrent(n_chains);
+    std::vector<std::thread> threads;
+    for (int c = 0; c < n_chains; ++c) {
+        threads.emplace_back([&, c] {
+            concurrent[c] = run_chain(e.env, e.rot_keys, inputs[c], c);
+        });
+    }
+    for (auto& t : threads) t.join();
+
+    for (int c = 0; c < n_chains; ++c) {
+        EXPECT_TRUE(ct_equal(serial[c], concurrent[c])) << "chain " << c;
+    }
+}
+
+TEST(ConcurrentEvaluator, TwoThreadsBitExact)
+{
+    pin_concurrent_vs_serial(2);
+}
+
+TEST(ConcurrentEvaluator, FourThreadsBitExact)
+{
+    pin_concurrent_vs_serial(4);
+}
+
+TEST(ConcurrentEvaluator, BitExactWithParallelLanesEnabled)
+{
+    // Evaluator threads AND the intra-op limb-parallel layer at once:
+    // the global pool serializes external parallel_for callers, so
+    // concurrent evaluator users must still be bit-exact.
+    ThreadGuard guard;
+    set_num_threads(4);
+    pin_concurrent_vs_serial(2);
+}
+
+TEST(ConcurrentEvaluator, SharedMonomialCacheRace)
+{
+    // mult_by_i populates the evaluator's lazily-built monomial cache;
+    // hammer it from several threads on a fresh Evaluator so the
+    // first-touch path races (the mutex makes it safe).
+    auto& e = cenv();
+    const Evaluator fresh(e.env.ctx, e.env.encoder);
+    const Ciphertext ct = e.env.encrypt(
+        e.env.random_message(e.env.ctx.n() / 2, 1.0, 77));
+    const Ciphertext want = fresh.mult_by_i(ct);
+
+    std::vector<Ciphertext> got(4);
+    std::vector<std::thread> threads;
+    for (int c = 0; c < 4; ++c) {
+        threads.emplace_back([&, c] { got[c] = fresh.mult_by_i(ct); });
+    }
+    for (auto& t : threads) t.join();
+    for (int c = 0; c < 4; ++c) {
+        EXPECT_TRUE(ct_equal(want, got[c])) << "thread " << c;
+    }
+}
+
+} // namespace
+} // namespace bts

@@ -99,6 +99,57 @@ small_params()
     return p;
 }
 
+/** Ciphertext bit-equality — the pin the scheduler / concurrency
+ *  suites compare runs with. */
+inline bool
+ct_equal(const Ciphertext& x, const Ciphertext& y)
+{
+    return x.level == y.level && x.scale == y.scale &&
+           x.b.equals(y.b) && x.a.equals(y.a);
+}
+
+/**
+ * Bootstrap-capable small instance shared by the runtime
+ * executor/server tests (and mirrored by bench/kernels_ckks.cpp's
+ * ServeBench): N=2^8, L=14, slots=64, factored radix-8 CtS/StC —
+ * radix 4 would spend 3+3 transform levels and refresh to level 0 on
+ * this budget. Edit every copy together.
+ */
+struct BootTestEnv
+{
+    explicit BootTestEnv(u64 seed,
+                         const std::vector<int>& extra_rotations = {})
+        : env([seed] {
+              CkksParams p;
+              p.n = 1 << 8;
+              p.max_level = 14;
+              p.dnum = 3;
+              p.q0_bits = 50;
+              p.scale_bits = 40;
+              p.special_bits = 50;
+              p.hamming_weight = 32;
+              p.seed = seed;
+              return p;
+          }())
+    {
+        BootstrapConfig cfg;
+        cfg.slots = 64;
+        cfg.sine_degree = 119;
+        cfg.cts_radix = 8;
+        cfg.stc_radix = 8;
+        boot = std::make_unique<Bootstrapper>(env.ctx, env.encoder,
+                                              env.evaluator, cfg);
+        auto amounts = boot->required_rotations();
+        for (const int r : extra_rotations) amounts.push_back(r);
+        rot_keys = env.keygen.gen_rotation_keys(env.sk, amounts);
+        boot->set_keys(&env.mult_key, &rot_keys, &env.conj_key);
+    }
+
+    TestEnv env;
+    std::unique_ptr<Bootstrapper> boot;
+    RotationKeys rot_keys;
+};
+
 /** Cached environment keyed by a name (key generation is expensive). */
 inline TestEnv&
 cached_env(const std::string& name, const CkksParams& params)

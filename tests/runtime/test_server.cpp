@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <future>
+#include <vector>
+
+#include "ckks/test_utils.h"
+#include "runtime/graph_workloads.h"
+#include "runtime/server.h"
+
+namespace bts::runtime {
+namespace {
+
+using testing::TestEnv;
+
+struct ServerEnv
+{
+    ServerEnv() : env(bts::testing::small_params())
+    {
+        rot_keys = env.keygen.gen_rotation_keys(env.sk, {1, 2, 4});
+        GraphTraits t;
+        t.max_level = env.ctx.max_level();
+        t.bootstrap_out_level = env.ctx.max_level();
+        t.delta = env.ctx.delta();
+        traits = t;
+        dot = std::make_unique<Graph>(
+            dot_product_graph(t, t.max_level, 3));
+        poly = std::make_unique<Graph>(
+            poly_eval_graph(t, t.max_level, {0.5, -0.25, 1.0}));
+    }
+
+    EvalResources
+    resources()
+    {
+        EvalResources r;
+        r.eval = &env.evaluator;
+        r.encoder = &env.encoder;
+        r.mult_key = &env.mult_key;
+        r.rot_keys = &rot_keys;
+        r.conj_key = &env.conj_key;
+        return r;
+    }
+
+    JobRequest
+    dot_job(u64 seed)
+    {
+        const std::size_t slots = env.ctx.n() / 2;
+        JobRequest req;
+        req.graph = dot.get();
+        req.client = "dot-" + std::to_string(seed % 3);
+        req.inputs.bind(Value{dot->input_ids()[0]},
+                        env.encrypt(env.random_message(slots, 1.0, seed)));
+        req.inputs.bind(
+            Value{dot->input_ids()[1]},
+            env.encoder.encode(env.random_message(slots, 1.0, seed + 1),
+                               traits.delta, traits.max_level));
+        return req;
+    }
+
+    JobRequest
+    poly_job(u64 seed)
+    {
+        JobRequest req;
+        req.graph = poly.get();
+        req.client = "poly-" + std::to_string(seed % 3);
+        req.inputs.bind(
+            Value{poly->input_ids()[0]},
+            env.encrypt(
+                env.random_message(env.ctx.n() / 2, 0.7, seed)));
+        return req;
+    }
+
+    TestEnv env;
+    RotationKeys rot_keys;
+    GraphTraits traits;
+    std::unique_ptr<Graph> dot;
+    std::unique_ptr<Graph> poly;
+};
+
+ServerEnv&
+senv()
+{
+    static ServerEnv* e = new ServerEnv();
+    return *e;
+}
+
+TEST(GraphServer, MixedClientsAllComplete)
+{
+    auto& e = senv();
+    ServerOptions opts;
+    opts.lanes = 4;
+    GraphServer server(e.resources(), opts);
+
+    std::vector<std::future<JobResult>> futures;
+    for (u64 i = 0; i < 12; ++i) {
+        futures.push_back(server.submit(
+            i % 2 == 0 ? e.dot_job(100 + i) : e.poly_job(200 + i)));
+    }
+    for (auto& f : futures) {
+        const JobResult r = f.get();
+        ASSERT_EQ(r.outputs.size(), 1u);
+        EXPECT_GE(r.exec_s, 0.0);
+        EXPECT_GE(r.queue_s, 0.0);
+        // Every job decrypts to something finite (full correctness is
+        // pinned per-graph in test_executor).
+        const auto dec = e.env.decrypt(r.outputs[0]);
+        EXPECT_TRUE(std::isfinite(dec[0].real()));
+    }
+
+    server.drain();
+    const ServerStats s = server.stats();
+    EXPECT_EQ(s.submitted, 12u);
+    EXPECT_EQ(s.completed, 12u);
+    EXPECT_EQ(s.failed, 0u);
+    EXPECT_GT(s.jobs_per_s, 0.0);
+    EXPECT_GT(s.p50_latency_s, 0.0);
+    EXPECT_LE(s.p50_latency_s, s.p99_latency_s);
+    EXPECT_GT(s.mean_exec_s, 0.0);
+    // Per-client accounting: every job landed in its client's bucket.
+    std::size_t by_client = 0;
+    for (const auto& [client, count] : s.completed_by_client) {
+        EXPECT_TRUE(client.rfind("dot-", 0) == 0 ||
+                    client.rfind("poly-", 0) == 0)
+            << client;
+        by_client += count;
+    }
+    EXPECT_EQ(by_client, 12u);
+}
+
+TEST(GraphServer, ResultsMatchDirectExecution)
+{
+    auto& e = senv();
+    // The same job payload through the server and through a plain
+    // serial Executor must be bit-identical.
+    const auto z = e.env.random_message(e.env.ctx.n() / 2, 0.7, 777);
+    // Encrypt once — encryption is randomized, and bit-exactness only
+    // holds for runs over the same ciphertext.
+    const Ciphertext ct = e.env.encrypt(z);
+    const auto make_binding = [&] {
+        Binding b;
+        b.bind(Value{e.poly->input_ids()[0]}, ct);
+        return b;
+    };
+
+    const Executor ref(e.resources());
+    const auto direct = ref.run_serial(*e.poly, make_binding());
+
+    ServerOptions opts;
+    opts.lanes = 2;
+    GraphServer server(e.resources(), opts);
+    JobRequest req;
+    req.graph = e.poly.get();
+    req.inputs = make_binding();
+    const JobResult r = server.submit(std::move(req)).get();
+
+    ASSERT_EQ(r.outputs.size(), direct.size());
+    EXPECT_EQ(r.outputs[0].level, direct[0].level);
+    EXPECT_TRUE(r.outputs[0].b.equals(direct[0].b));
+    EXPECT_TRUE(r.outputs[0].a.equals(direct[0].a));
+}
+
+TEST(GraphServer, FailedJobDoesNotTakeServerDown)
+{
+    auto& e = senv();
+    ServerOptions opts;
+    opts.lanes = 2;
+    GraphServer server(e.resources(), opts);
+
+    // A job with a missing binding fails its own future...
+    JobRequest bad;
+    bad.graph = e.poly.get();
+    auto bad_future = server.submit(std::move(bad));
+    EXPECT_THROW(bad_future.get(), std::invalid_argument);
+
+    // ...and the server keeps serving.
+    const JobResult ok = server.submit(e.poly_job(31)).get();
+    EXPECT_EQ(ok.outputs.size(), 1u);
+
+    server.drain();
+    const ServerStats s = server.stats();
+    EXPECT_EQ(s.failed, 1u);
+    EXPECT_EQ(s.completed, 1u);
+}
+
+TEST(GraphServer, TinyQueueBackpressures)
+{
+    auto& e = senv();
+    ServerOptions opts;
+    opts.lanes = 1;
+    opts.queue_capacity = 1; // submit() blocks until the lane drains
+    GraphServer server(e.resources(), opts);
+    std::vector<std::future<JobResult>> futures;
+    for (u64 i = 0; i < 6; ++i) {
+        futures.push_back(server.submit(e.poly_job(400 + i)));
+    }
+    for (auto& f : futures) EXPECT_EQ(f.get().outputs.size(), 1u);
+    // Promises resolve before the lane records its bookkeeping, so
+    // drain() — not future.get() — is the stats sync point.
+    server.drain();
+    EXPECT_EQ(server.stats().completed, 6u);
+}
+
+TEST(GraphServer, BootstrapRefreshJobsInTheMix)
+{
+    // The shared bootstrap-capable small instance (test_utils.h): the
+    // third client class of the serving scenario, plus the rotation
+    // keys the dot-product client needs.
+    static testing::BootTestEnv* be =
+        new testing::BootTestEnv(1234, {1, 2});
+    TestEnv& env = be->env;
+
+    GraphTraits t;
+    t.max_level = env.ctx.max_level();
+    t.delta = env.ctx.delta();
+    const auto z = env.random_message(64, 0.3, 51);
+    t.bootstrap_out_level = be->boot->bootstrap(env.encrypt(z, 0)).level;
+
+    const Graph refresh = bootstrap_refresh_graph(t);
+    const Graph dot = dot_product_graph(t, t.max_level, 2);
+
+    EvalResources r;
+    r.eval = &env.evaluator;
+    r.encoder = &env.encoder;
+    r.mult_key = &env.mult_key;
+    r.rot_keys = &be->rot_keys;
+    r.conj_key = &env.conj_key;
+    r.bootstrapper = be->boot.get();
+
+    ServerOptions opts;
+    opts.lanes = 2;
+    GraphServer server(r, opts);
+    std::vector<std::future<JobResult>> futures;
+    for (int i = 0; i < 2; ++i) {
+        JobRequest req;
+        req.graph = &refresh;
+        req.client = "refresh";
+        req.inputs.bind(Value{refresh.input_ids()[0]},
+                        env.encrypt(z, 0));
+        futures.push_back(server.submit(std::move(req)));
+    }
+    {
+        JobRequest req;
+        req.graph = &dot;
+        req.client = "dot";
+        req.inputs.bind(Value{dot.input_ids()[0]},
+                        env.encrypt(env.random_message(64, 1.0, 52)));
+        req.inputs.bind(Value{dot.input_ids()[1]},
+                        env.encoder.encode(
+                            env.random_message(64, 1.0, 53), t.delta,
+                            t.max_level));
+        futures.push_back(server.submit(std::move(req)));
+    }
+    for (auto& f : futures) {
+        EXPECT_EQ(f.get().outputs.size(), 1u);
+    }
+    server.drain();
+    EXPECT_EQ(server.stats().completed, 3u);
+    EXPECT_EQ(server.stats().failed, 0u);
+}
+
+} // namespace
+} // namespace bts::runtime

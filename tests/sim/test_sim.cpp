@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "sim/engine.h"
 #include "sim/timeline.h"
 
@@ -30,6 +33,32 @@ TEST(OpTrace, EvkOpsClassified)
     EXPECT_FALSE(needs_evk(HeOpKind::kModRaise));
 }
 
+TEST(OpTrace, KindFunctionsExhaustive)
+{
+    // Walk every enumerator: kind_name must hand back a distinct
+    // non-empty name and needs_evk must classify exactly the three
+    // key-switching ops. A kind beyond the enumerator range (what a
+    // newly added op looks like to stale tables) fails loudly instead
+    // of falling through to a default.
+    std::set<std::string> names;
+    int evk_count = 0;
+    for (int i = 0; i < kHeOpKindCount; ++i) {
+        const auto kind = static_cast<HeOpKind>(i);
+        const char* name = kind_name(kind);
+        ASSERT_NE(name, nullptr);
+        ASSERT_GT(std::string(name).size(), 0u);
+        EXPECT_TRUE(names.insert(name).second)
+            << "duplicate kind name " << name;
+        evk_count += needs_evk(kind);
+    }
+    EXPECT_EQ(names.size(), static_cast<std::size_t>(kHeOpKindCount));
+    EXPECT_EQ(evk_count, 3);
+    EXPECT_THROW(kind_name(static_cast<HeOpKind>(kHeOpKindCount)),
+                 std::logic_error);
+    EXPECT_THROW(needs_evk(static_cast<HeOpKind>(kHeOpKindCount)),
+                 std::logic_error);
+}
+
 TEST(OpTrace, BuilderTracksIds)
 {
     TraceBuilder b("t");
@@ -40,6 +69,42 @@ TEST(OpTrace, BuilderTracksIds)
     EXPECT_EQ(z, y);
     EXPECT_EQ(b.trace().ops.size(), 2u);
     EXPECT_THROW(b.add(HeOpKind::kHAdd, -1, {x}), std::invalid_argument);
+}
+
+TEST(OpTrace, LevelUnderflowRejectedOnEveryBuilderPath)
+{
+    // Regression: a level < 0 op (a workload generator mis-counting its
+    // rescales) must fail at build time — it would otherwise feed
+    // nonsense levels to the cost model. Both entry points guard.
+    TraceBuilder b("t");
+    const int x = b.fresh_id();
+    const int y = b.add(HeOpKind::kHMult, 1, {x, x});
+    EXPECT_THROW(b.add(HeOpKind::kHRescale, -1, {y}),
+                 std::invalid_argument);
+    EXPECT_THROW(b.add_into(y, HeOpKind::kHRescale, -1, {y}),
+                 std::invalid_argument);
+    EXPECT_THROW(b.add(HeOpKind::kModRaise, -7, {y}),
+                 std::invalid_argument);
+    // The trace is untouched by the rejected ops.
+    EXPECT_EQ(b.trace().ops.size(), 1u);
+    // Level 0 itself is legal (the exhausted-ciphertext state), and the
+    // rejected adds must not have consumed object ids: a generator that
+    // recovers from the throw keeps an unshifted id stream.
+    EXPECT_EQ(b.add(HeOpKind::kHAdd, 0, {y, y}), y + 1);
+    EXPECT_EQ(b.trace().ops.size(), 2u);
+}
+
+TEST(OpTrace, KindHistogram)
+{
+    TraceBuilder b("t");
+    const int x = b.fresh_id();
+    const int y = b.add(HeOpKind::kHMult, 5, {x, x});
+    b.add(HeOpKind::kHRescale, 5, {y});
+    b.add(HeOpKind::kHMult, 4, {y, y});
+    const auto hist = kind_histogram(b.trace());
+    EXPECT_EQ(hist.at(HeOpKind::kHMult), 2);
+    EXPECT_EQ(hist.at(HeOpKind::kHRescale), 1);
+    EXPECT_EQ(hist.count(HeOpKind::kHRot), 0u);
 }
 
 TEST(SoftwareCache, HitMissAndLru)
