@@ -19,6 +19,9 @@
 #include "common/bit_ops.h"
 #include "common/parallel.h"
 #include "math/prime_gen.h"
+#include "runtime/apps/helr.h"
+#include "runtime/apps/resnet.h"
+#include "runtime/apps/sort.h"
 #include "runtime/graph_workloads.h"
 #include "runtime/server.h"
 
@@ -506,6 +509,225 @@ BENCHMARK(BM_Serving)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Shared machinery for BM_Helr / BM_AppServing: the L=20 variant of
+ * the serving instance (same N=2^8 / slots=64 / radix-8 bootstrap as
+ * ServeBench, 8 usable levels after the 12-level bootstrap budget —
+ * the tests' BootTestEnv with max_level=20) running the runtime/apps
+ * graph ports of the paper's Table 5/6 applications functionally:
+ * HELR training iterations, ResNet-20-style inference jobs, and
+ * encrypted bitonic sorting, all with genuine mid-circuit Bootstrap
+ * refreshes. Bindings are prebuilt and copied per run, so the timed
+ * region covers scheduling + HE execution, not encryption.
+ */
+struct AppServeBench
+{
+    AppServeBench()
+        : env([] {
+              CkksParams p;
+              p.n = 1 << 8;
+              p.max_level = 20;
+              p.dnum = 3;
+              p.q0_bits = 50;
+              p.hamming_weight = 32;
+              return p;
+          }())
+    {
+        BootstrapConfig cfg;
+        cfg.slots = 64;
+        cfg.sine_degree = 119;
+        cfg.cts_radix = 8;
+        cfg.stc_radix = 8;
+        boot = std::make_unique<Bootstrapper>(env.ctx, env.encoder,
+                                              env.eval, cfg);
+        auto amounts = boot->required_rotations();
+        // Union of the functional apps' required_rotations().
+        for (int r : {-2, -1, 1, 2, 3, 4, 5, 6, 8, 16, 32}) {
+            amounts.push_back(r);
+        }
+        rot_keys = env.keygen.gen_rotation_keys(env.sk, amounts);
+        conj = env.keygen.gen_conjugation_key(env.sk);
+        boot->set_keys(&env.mult_key, &rot_keys, &conj);
+
+        runtime::GraphTraits t;
+        t.max_level = env.ctx.max_level();
+        t.delta = env.ctx.delta();
+        const auto zero = std::vector<Complex>(64, Complex(0.1, 0.0));
+        const Ciphertext exhausted = env.encryptor.encrypt_symmetric(
+            env.encoder.encode(zero, env.ctx.delta(), 0), env.sk);
+        t.bootstrap_out_level = boot->bootstrap(exhausted).level;
+
+        using namespace runtime::apps;
+        helr = std::make_unique<HelrApp>(
+            build_helr(HelrConfig::functional(), t));
+        resnet = std::make_unique<ResnetApp>(
+            build_resnet(ResnetConfig::functional(), t));
+        sort_cfg = SortConfig::functional();
+        sort = std::make_unique<SortApp>(build_sort(sort_cfg, t));
+
+        const auto flat = [](double v) {
+            return std::vector<Complex>(64, Complex(v, 0.0));
+        };
+        bind_ct(helr_binding, helr->weights, flat(0.05), t);
+        for (const runtime::Value d : helr->data) {
+            bind_pt(helr_binding, d, flat(0.3), t);
+        }
+        bind_pt(helr_binding, helr->grad_data, flat(0.01), t);
+
+        bind_ct(resnet_binding, resnet->act, flat(0.3), t);
+        for (const auto& layer : resnet->taps) {
+            for (const runtime::Value tap : layer) {
+                bind_pt(resnet_binding, tap,
+                        flat(0.5 / static_cast<double>(layer.size())), t);
+            }
+        }
+        bind_pt(resnet_binding, resnet->pool_weights, flat(0.125), t);
+
+        std::vector<Complex> grid(64);
+        const double vals[4] = {0.75, -0.25, 0.25, -0.75};
+        for (std::size_t i = 0; i < grid.size(); ++i) {
+            grid[i] = Complex(vals[i % 4], 0.0);
+        }
+        bind_ct(sort_binding, sort->values, grid, t);
+        for (const auto& st : sort->stages) {
+            const int k = sort_cfg.log_elements;
+            bind_pt(sort_binding, st.mask_lo,
+                    sort_mask_lo(k, st.distance, 64), t);
+            bind_pt(sort_binding, st.mask_hi,
+                    sort_mask_hi(k, st.distance, 64), t);
+            bind_pt(sort_binding, st.select,
+                    sort_select_mask(k, st.phase, st.distance, 64), t);
+        }
+    }
+
+    void
+    bind_ct(runtime::Binding& b, runtime::Value v,
+            const std::vector<Complex>& z, const runtime::GraphTraits& t)
+    {
+        b.bind(v, env.encryptor.encrypt_symmetric(
+                      env.encoder.encode(z, t.delta,
+                                         t.bootstrap_out_level),
+                      env.sk));
+    }
+
+    void
+    bind_pt(runtime::Binding& b, runtime::Value v,
+            const std::vector<Complex>& z, const runtime::GraphTraits& t)
+    {
+        b.bind(v, env.encoder.encode(z, t.delta, t.max_level));
+    }
+
+    runtime::EvalResources
+    resources() const
+    {
+        runtime::EvalResources r;
+        r.eval = &env.eval;
+        r.encoder = &env.encoder;
+        r.mult_key = &env.mult_key;
+        r.rot_keys = &rot_keys;
+        r.conj_key = &conj;
+        r.bootstrapper = boot.get();
+        return r;
+    }
+
+    Env env;
+    std::unique_ptr<Bootstrapper> boot;
+    RotationKeys rot_keys;
+    EvalKey conj;
+    std::unique_ptr<runtime::apps::HelrApp> helr;
+    std::unique_ptr<runtime::apps::ResnetApp> resnet;
+    std::unique_ptr<runtime::apps::SortApp> sort;
+    runtime::apps::SortConfig sort_cfg;
+    runtime::Binding helr_binding, resnet_binding, sort_binding;
+};
+
+AppServeBench&
+app_bench()
+{
+    static AppServeBench* b = new AppServeBench();
+    return *b;
+}
+
+void
+BM_Helr(benchmark::State& state)
+{
+    // One functional-scale HELR training run (3 iterations, 2 data
+    // plaintexts, full 64-slot feature reduction, 2 mid-training
+    // bootstraps) per iteration on the Executor. Arg(0) = lanes.
+    auto& ab = app_bench();
+    const int lanes = static_cast<int>(state.range(0));
+    runtime::ExecOptions opts;
+    opts.lanes = lanes;
+    const runtime::Executor exec(ab.resources(), opts);
+    for (auto _ : state) {
+        auto outs =
+            exec.run(ab.helr->graph, runtime::Binding(ab.helr_binding));
+        benchmark::DoNotOptimize(outs.data());
+    }
+    state.counters["lanes"] = lanes;
+    state.counters["bootstraps"] =
+        ab.helr->graph.count_kind(runtime::OpKind::kBootstrap);
+    state.counters["graph_ops"] =
+        static_cast<double>(ab.helr->graph.num_nodes());
+}
+BENCHMARK(BM_Helr)
+    ->Arg(1)
+    ->Arg(4)
+    ->Iterations(3)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_AppServing(benchmark::State& state)
+{
+    // The application serving scenario: each iteration admits 2
+    // encrypted ResNet inference jobs and 1 encrypted sorting job to a
+    // GraphServer and waits for all futures. Arg(0) = lane count.
+    auto& ab = app_bench();
+    const int lanes = static_cast<int>(state.range(0));
+
+    runtime::ServerOptions opts;
+    opts.lanes = lanes;
+    runtime::GraphServer server(ab.resources(), opts);
+    constexpr int kResnet = 2, kSort = 1;
+    for (auto _ : state) {
+        std::vector<std::future<runtime::JobResult>> futures;
+        futures.reserve(kResnet + kSort);
+        const auto submit = [&](const runtime::Graph* g,
+                                const runtime::Binding& b,
+                                const char* client) {
+            runtime::JobRequest req;
+            req.graph = g;
+            req.inputs = b; // copy: each job owns its payload
+            req.client = client;
+            futures.push_back(server.submit(std::move(req)));
+        };
+        for (int i = 0; i < kResnet; ++i) {
+            submit(&ab.resnet->graph, ab.resnet_binding, "resnet");
+        }
+        for (int i = 0; i < kSort; ++i) {
+            submit(&ab.sort->graph, ab.sort_binding, "sort");
+        }
+        for (auto& f : futures) {
+            const runtime::JobResult r = f.get();
+            benchmark::DoNotOptimize(r.outputs.data());
+        }
+    }
+    const runtime::ServerStats s = server.stats();
+    state.SetItemsProcessed(state.iterations() * (kResnet + kSort));
+    state.counters["lanes"] = lanes;
+    state.counters["jobs_per_s"] = s.jobs_per_s;
+    state.counters["p50_ms"] = 1e3 * s.p50_latency_s;
+    state.counters["p99_ms"] = 1e3 * s.p99_latency_s;
+}
+BENCHMARK(BM_AppServing)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Iterations(2)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

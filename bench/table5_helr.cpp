@@ -6,6 +6,14 @@
  *
  * Expected shape: BTS is ~3 orders of magnitude over the CPU and ~1
  * over the GPU; INS-2 is the best BTS instance.
+ *
+ * The workloads::helr trace this prices is the pin target for the
+ * runtime graph application runtime/apps/helr.h — its paper()
+ * configuration must lower to the same op histogram / bootstrap
+ * count / op count (tests/runtime/test_apps_pin.cpp), and the same
+ * circuit runs functionally on real ciphertexts
+ * (tests/runtime/test_apps_functional.cpp). Structural edits to the
+ * generator must be mirrored there; see docs/APPLICATIONS.md.
  */
 #include <cstdio>
 

@@ -8,6 +8,15 @@
  * best for both apps (bootstrapping is a minor share, so HE-op
  * complexity dominates — Section 6.3 "parameter selection in
  * retrospect"); bootstrap counts fall as usable levels grow.
+ *
+ * The workloads::resnet20 / workloads::sorting traces priced here are
+ * the pin targets for the runtime graph applications
+ * runtime/apps/{resnet,sort}.h — their paper() configurations must
+ * lower to the same op histogram / bootstrap count / op count
+ * (tests/runtime/test_apps_pin.cpp), and the same circuits run
+ * functionally on real ciphertexts
+ * (tests/runtime/test_apps_functional.cpp). Structural edits to the
+ * generators must be mirrored there; see docs/APPLICATIONS.md.
  */
 #include <cstdio>
 

@@ -1,0 +1,87 @@
+#include "runtime/apps/reference.h"
+
+#include "common/check.h"
+
+namespace bts::runtime::apps {
+
+std::vector<SlotVec>
+reference_run(const Graph& g, const std::map<int, SlotVec>& inputs)
+{
+    std::vector<SlotVec> values(g.num_values());
+    std::size_t slots = 0;
+    for (const int id : g.input_ids()) {
+        const auto it = inputs.find(id);
+        BTS_CHECK(it != inputs.end(),
+                  g.name() << ": reference_run missing input " << id);
+        if (slots == 0) slots = it->second.size();
+        BTS_CHECK(!it->second.empty() && it->second.size() == slots,
+                  g.name() << ": reference input " << id
+                           << " has mismatched slot count");
+        values[id] = it->second;
+    }
+    BTS_CHECK(slots > 0, g.name() << ": graph declares no inputs");
+
+    const auto rotated = [&](const SlotVec& in, int amount) {
+        const int n = static_cast<int>(slots);
+        const int r = ((amount % n) + n) % n;
+        SlotVec out(slots);
+        for (int i = 0; i < n; ++i) out[i] = in[(i + r) % n];
+        return out;
+    };
+
+    for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+        const Node& n = g.node(i);
+        const auto& in0 = values[n.inputs[0]];
+        SlotVec out;
+        switch (n.kind) {
+        case OpKind::kHMult:
+        case OpKind::kPMult: {
+            const auto& in1 = values[n.inputs[1]];
+            out.resize(slots);
+            for (std::size_t s = 0; s < slots; ++s) out[s] = in0[s] * in1[s];
+            break;
+        }
+        case OpKind::kHAdd:
+        case OpKind::kPAdd: {
+            const auto& in1 = values[n.inputs[1]];
+            out.resize(slots);
+            for (std::size_t s = 0; s < slots; ++s) out[s] = in0[s] + in1[s];
+            break;
+        }
+        case OpKind::kHSub: {
+            const auto& in1 = values[n.inputs[1]];
+            out.resize(slots);
+            for (std::size_t s = 0; s < slots; ++s) out[s] = in0[s] - in1[s];
+            break;
+        }
+        case OpKind::kHRot:
+            out = rotated(in0, n.rot_amount);
+            break;
+        case OpKind::kConj:
+            out.resize(slots);
+            for (std::size_t s = 0; s < slots; ++s) out[s] = std::conj(in0[s]);
+            break;
+        case OpKind::kCMult:
+            out.resize(slots);
+            for (std::size_t s = 0; s < slots; ++s) out[s] = in0[s] * n.constant;
+            break;
+        case OpKind::kCAdd:
+            out.resize(slots);
+            for (std::size_t s = 0; s < slots; ++s) out[s] = in0[s] + n.constant;
+            break;
+        case OpKind::kHRescale:
+        case OpKind::kModRaise:
+        case OpKind::kBootstrap:
+            out = in0; // value-preserving in message space
+            break;
+        }
+        values[n.output] = std::move(out);
+    }
+
+    std::vector<SlotVec> outs;
+    outs.reserve(g.outputs().size());
+    for (const int id : g.outputs()) outs.push_back(values[id]);
+    return outs;
+}
+
+} // namespace bts::runtime::apps

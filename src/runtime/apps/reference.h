@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Slot-level plaintext reference interpreter for runtime graphs.
+ *
+ * Executes a Graph's arithmetic on plain std::vector<Complex> slot
+ * vectors: every op kind maps to its exact message-space semantics
+ * (HMult/PMult/CMult = slot-wise product, HRot = cyclic left shift,
+ * HSub = difference, ...) while the scale/level plumbing ops
+ * (HRescale, ModRaise, Bootstrap) are the identity — in message space
+ * a rescale or refresh changes the representation, not the value.
+ *
+ * This is the accuracy oracle for the application workloads
+ * (runtime/apps/{helr,resnet,sort}.h): the functional Executor's
+ * decrypted outputs must match reference_run() on the same graph and
+ * input vectors to within the CKKS noise + bootstrap-approximation
+ * budget documented per app in docs/APPLICATIONS.md.
+ */
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "runtime/graph.h"
+
+namespace bts::runtime::apps {
+
+using SlotVec = std::vector<Complex>;
+
+/**
+ * Run @p g slot-wise on plaintext vectors. @p inputs maps every
+ * declared input value id (ciphertext AND plaintext inputs alike) to
+ * its slot vector; all vectors must have the same nonzero length.
+ * Returns the marked outputs in mark order.
+ */
+std::vector<SlotVec> reference_run(const Graph& g,
+                                   const std::map<int, SlotVec>& inputs);
+
+} // namespace bts::runtime::apps

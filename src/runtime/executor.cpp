@@ -120,6 +120,7 @@ Executor::plan_for(const Graph& g) const
         case OpKind::kPMult:
         case OpKind::kPAdd:
         case OpKind::kHAdd:
+        case OpKind::kHSub:
         case OpKind::kHRescale:
         case OpKind::kCMult:
         case OpKind::kCAdd:
@@ -215,6 +216,9 @@ Executor::exec_node(const Graph& g, const Plan& plan,
     case OpKind::kHAdd:
         out = eval.add(in_ct(0), in_ct(1));
         break;
+    case OpKind::kHSub:
+        out = eval.sub(in_ct(0), in_ct(1));
+        break;
     case OpKind::kHRescale:
         out = take_ct(0);
         eval.rescale_inplace(out);
@@ -253,7 +257,12 @@ Executor::exec_node(const Graph& g, const Plan& plan,
         out = eval.mod_raise(in_ct(0));
         break;
     case OpKind::kBootstrap:
-        out = res_.bootstrapper->bootstrap(in_ct(0));
+        // The refresh discards whatever levels remain: drop to the
+        // exhausted state the Bootstrapper expects, stealing the
+        // operand's storage when this is its last use.
+        out = take_ct(0);
+        if (out.level > 0) eval.drop_level_inplace(out, 0);
+        out = res_.bootstrapper->bootstrap(out);
         break;
     }
 

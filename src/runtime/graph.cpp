@@ -20,6 +20,7 @@ op_name(OpKind kind)
     case OpKind::kPMult: return "PMult";
     case OpKind::kPAdd: return "PAdd";
     case OpKind::kHAdd: return "HAdd";
+    case OpKind::kHSub: return "HSub";
     case OpKind::kHRescale: return "HRescale";
     case OpKind::kCMult: return "CMult";
     case OpKind::kCAdd: return "CAdd";
@@ -41,6 +42,7 @@ op_needs_evk(OpKind kind)
     case OpKind::kPMult:
     case OpKind::kPAdd:
     case OpKind::kHAdd:
+    case OpKind::kHSub:
     case OpKind::kHRescale:
     case OpKind::kCMult:
     case OpKind::kCAdd:
@@ -184,6 +186,21 @@ Graph::hadd(Value a, Value b)
 }
 
 Value
+Graph::hsub(Value a, Value b)
+{
+    const ValueInfo& ia = use_cipher(a, "hsub");
+    const ValueInfo& ib = use_cipher(b, "hsub");
+    check_scales_close(ia.scale, ib.scale, "hsub");
+    Node n;
+    n.kind = OpKind::kHSub;
+    n.inputs = {a.id, b.id};
+    ValueInfo out;
+    out.level = std::min(ia.level, ib.level);
+    out.scale = ia.scale;
+    return append(std::move(n), out);
+}
+
+Value
 Graph::pmult(Value ct, Value pt)
 {
     const ValueInfo& ic = use_cipher(ct, "pmult");
@@ -310,10 +327,12 @@ Graph::mod_raise(Value ct)
 Value
 Graph::bootstrap(Value ct)
 {
-    const ValueInfo& ic = use_cipher(ct, "bootstrap");
-    BTS_CHECK(ic.level == 0,
-              "bootstrap: expects an exhausted (level-0) value, got level "
-                  << ic.level);
+    // Unlike mod_raise, bootstrap accepts ANY input level: the refresh
+    // discards whatever levels remain (the Executor drops to level 0
+    // first; the lowering expands the identical plan either way).
+    // Application graphs rely on this to refresh mid-circuit the
+    // moment their level budget runs short.
+    use_cipher(ct, "bootstrap");
     uses_bootstrap_ = true;
     Node n;
     n.kind = OpKind::kBootstrap;

@@ -29,7 +29,8 @@ namespace bts::runtime {
 
 using Complex = std::complex<double>;
 
-/** Graph-level op kinds: sim::HeOpKind plus the Bootstrap composite. */
+/** Graph-level op kinds: sim::HeOpKind plus the Bootstrap composite
+ *  and HSub (an add-cost subtraction the sim models as kHAdd). */
 enum class OpKind {
     kHMult,     //!< ciphertext x ciphertext (+ relinearization)
     kHRot,      //!< slot rotation (+ key-switch)
@@ -37,14 +38,15 @@ enum class OpKind {
     kPMult,     //!< ciphertext x plaintext
     kPAdd,      //!< ciphertext + plaintext
     kHAdd,      //!< ciphertext + ciphertext
+    kHSub,      //!< ciphertext - ciphertext (cost-identical to kHAdd)
     kHRescale,  //!< divide by the top prime, dropping one level
     kCMult,     //!< ciphertext x scalar constant
     kCAdd,      //!< ciphertext + scalar constant
     kModRaise,  //!< bootstrap modulus raise (level 0 -> L)
-    kBootstrap, //!< full refresh (composite; level 0 -> usable level)
+    kBootstrap, //!< full refresh (composite; any level -> usable level)
 };
 
-inline constexpr int kNumOpKinds = 11;
+inline constexpr int kNumOpKinds = 12;
 
 /** Human-readable kind name (exhaustive; never returns null). */
 const char* op_name(OpKind kind);
@@ -166,6 +168,8 @@ class Graph
     Value hmult(Value a, Value b);
     /** HAdd; unequal operand levels align to the lower one. */
     Value hadd(Value a, Value b);
+    /** HSub (a - b); same level/scale rules as hadd. */
+    Value hsub(Value a, Value b);
     /** PMult; the plaintext's level must cover the ciphertext's. */
     Value pmult(Value ct, Value pt);
     /** PAdd; same level rule as pmult, scales must agree. */
@@ -181,8 +185,13 @@ class Graph
     Value cadd(Value ct, Complex c);
     /** ModRaise; requires level == 0, raises to traits().max_level. */
     Value mod_raise(Value ct);
-    /** Bootstrap; requires level == 0, refreshes to
-     *  traits().bootstrap_out_level at canonical scale. */
+    /** Bootstrap; accepts any level (remaining levels are discarded —
+     *  the Executor drops to level 0 before the refresh, the lowering
+     *  expands the same plan either way) and refreshes to
+     *  traits().bootstrap_out_level at canonical scale. This is what
+     *  lets application graphs refresh mid-circuit the moment the
+     *  level budget runs short, exactly like the hand-written
+     *  workloads::* generators' ensure() logic. */
     Value bootstrap(Value ct);
 
     /** Mark @p v as a graph output (kept live; returned by the

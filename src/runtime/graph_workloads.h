@@ -12,6 +12,17 @@
  * The remaining generators are the serving harness's client scenarios
  * at functional scale: an encrypted dot product (rotation log-tree), a
  * Horner polynomial evaluation, and a bootstrap refresh.
+ *
+ * The pin contract, stated once: every graph-API port of a hand
+ * generator must lower (lower_to_trace) to a trace the tests can
+ * equate with the generator's output. tmult_graph is pinned
+ * op-for-op (tests/runtime/test_lowering.cpp); the application
+ * graphs in runtime/apps/ (HELR, ResNet, sorting) are pinned on
+ * op-kind histogram + bootstrap count + op count per Table 4
+ * instance (tests/runtime/test_apps_pin.cpp) — levels and object ids
+ * may differ, the op mix and refresh schedule the simulator prices
+ * may not. A structural edit on either side must be mirrored on the
+ * other, then re-pinned.
  */
 #pragma once
 

@@ -15,6 +15,7 @@ to_sim_kind(OpKind kind)
     case OpKind::kPMult: return sim::HeOpKind::kPMult;
     case OpKind::kPAdd: return sim::HeOpKind::kPAdd;
     case OpKind::kHAdd: return sim::HeOpKind::kHAdd;
+    case OpKind::kHSub: return sim::HeOpKind::kHAdd; // add-cost twin
     case OpKind::kHRescale: return sim::HeOpKind::kHRescale;
     case OpKind::kCMult: return sim::HeOpKind::kCMult;
     case OpKind::kCAdd: return sim::HeOpKind::kCAdd;

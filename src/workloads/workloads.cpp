@@ -148,49 +148,60 @@ tmult_microbench(const CkksInstance& inst)
 Trace
 helr(const CkksInstance& inst, int iterations)
 {
+    // One training iteration (the circuit runtime/apps/helr.cpp also
+    // executes functionally; tests/runtime/test_apps_pin.cpp pins the
+    // two against each other):
+    //   u   = sum_c <w, X_c>          inner products, log-tree sums
+    //   s   = 0.5 + c1 u + c3 u^3     degree-3 minimax sigmoid
+    //   w  += lr * s * Xbar           gradient step (lr in the plaintext)
+    // = kLevelsPerIter multiplicative levels per iteration.
     TraceBuilder b("helr/" + inst.name);
-    constexpr int kLevelsPerIter = 4;
+    constexpr int kLevelsPerIter = 5;
     constexpr int kDataCts = 3; // 1024 x 196 batch needs 3 packed cts
+    constexpr int kLogFeatures = 8;
 
     int weights = b.fresh_id();
-    int level = inst.usable_levels();
+    int lw = inst.usable_levels();
     for (int iter = 0; iter < iterations; ++iter) {
-        if (level < kLevelsPerIter + 1) {
+        if (lw < kLevelsPerIter + 1) {
             // Refresh the model state.
             weights = append_bootstrap(b, inst, weights);
-            level = inst.usable_levels();
+            lw = inst.usable_levels();
         }
         // Inner products X * w: rotations + plaintext batch multiplies.
         std::vector<int> partials;
         for (int c = 0; c < kDataCts; ++c) {
-            int acc = b.add(HeOpKind::kPMult, level, {weights});
-            for (int r = 0; r < 8; ++r) { // log-tree sum over 196 features
+            int acc = b.add(HeOpKind::kPMult, lw, {weights});
+            for (int r = 0; r < kLogFeatures; ++r) { // sum over features
                 const int rot =
-                    b.add(HeOpKind::kHRot, level, {acc}, 1 << r);
-                acc = b.add(HeOpKind::kHAdd, level, {acc, rot});
+                    b.add(HeOpKind::kHRot, lw, {acc}, 1 << r);
+                acc = b.add(HeOpKind::kHAdd, lw, {acc, rot});
             }
             partials.push_back(acc);
         }
-        int grad = partials[0];
+        int u = partials[0];
         for (int c = 1; c < kDataCts; ++c) {
-            grad = b.add(HeOpKind::kHAdd, level, {grad, partials[c]});
+            u = b.add(HeOpKind::kHAdd, lw, {u, partials[c]});
         }
-        b.add(HeOpKind::kHRescale, level, {grad});
-        level -= 1;
+        u = b.add(HeOpKind::kHRescale, lw, {u});
+        const int lu = lw - 1;
 
-        // Degree-3 sigmoid: two squarings' worth of depth.
-        for (int d = 0; d < 2; ++d) {
-            grad = b.add(HeOpKind::kHMult, level, {grad, grad});
-            grad = b.add(HeOpKind::kCMult, level, {grad});
-            grad = b.add(HeOpKind::kHRescale, level, {grad});
-            level -= 1;
-        }
+        // Degree-3 sigmoid as u * (c3 u^2 + c1) + 0.5.
+        int u2 = b.add(HeOpKind::kHMult, lu, {u, u});
+        u2 = b.add(HeOpKind::kHRescale, lu, {u2});
+        int t = b.add(HeOpKind::kCMult, lu - 1, {u2});
+        t = b.add(HeOpKind::kCAdd, lu - 1, {t});
+        t = b.add(HeOpKind::kHRescale, lu - 1, {t});
+        int sig = b.add(HeOpKind::kHMult, lu - 2, {t, u});
+        sig = b.add(HeOpKind::kHRescale, lu - 2, {sig});
+        sig = b.add(HeOpKind::kCAdd, lu - 3, {sig});
 
-        // Weight update: gradient x learning rate, then accumulate.
-        grad = b.add(HeOpKind::kCMult, level, {grad});
-        grad = b.add(HeOpKind::kHRescale, level, {grad});
-        level -= 1;
-        weights = b.add(HeOpKind::kHAdd, level, {weights, grad});
+        // Gradient step: learning rate folded into the batch-mean
+        // plaintext, then accumulate into the weights.
+        int v = b.add(HeOpKind::kPMult, lu - 3, {sig});
+        v = b.add(HeOpKind::kHRescale, lu - 3, {v});
+        weights = b.add(HeOpKind::kHAdd, lu - 4, {weights, v});
+        lw -= kLevelsPerIter;
     }
     return b.trace();
 }
@@ -214,16 +225,21 @@ resnet20(const CkksInstance& inst)
 
     for (int layer = 0; layer < kLayers; ++layer) {
         // Convolution (channel packing [50]): 3x3 kernel -> 9 rotations
-        // x 2 halves, plaintext weight multiplies, tree adds; 3 levels.
+        // x 2 halves, plaintext weight multiplies, a product tree (the
+        // tap products all sit at delta^2, so they sum scale-
+        // consistently before the single rescale); 3 levels.
         for (int step = 0; step < 3; ++step) {
             ensure(1);
+            int acc = -1;
             for (int r = 0; r < 6; ++r) {
                 const int rot =
                     b.add(HeOpKind::kHRot, level, {act}, r + 1);
                 const int prod = b.add(HeOpKind::kPMult, level, {rot});
-                act = b.add(HeOpKind::kHAdd, level, {act, prod});
+                acc = acc < 0
+                          ? prod
+                          : b.add(HeOpKind::kHAdd, level, {acc, prod});
             }
-            act = b.add(HeOpKind::kHRescale, level, {act});
+            act = b.add(HeOpKind::kHRescale, level, {acc});
             level -= 1;
         }
         // BatchNorm fold: scalar multiply-add, 2 levels.
@@ -260,45 +276,79 @@ resnet20(const CkksInstance& inst)
 }
 
 Trace
-sorting(const CkksInstance& inst, int log_elements)
+sorting(const CkksInstance& inst, int log_elements, int sign_rounds)
 {
+    // 2-way bitonic network, k(k+1)/2 masked compare-exchange stages.
+    // Each stage, per slot i with partner at distance d:
+    //   partner = mask_lo * rot(v,+d) + mask_hi * rot(v,-d)
+    //   s = v + partner;  dif = v - partner;  sg = sign(dif/2)
+    //     (sign via `sign_rounds` iterations of g(x) = 1.5x - 0.5x^3,
+    //      the composite-minimax g-kernel of [42]; 3 levels per round)
+    //   v' = 0.5*s + eps * sg * 0.5*dif   (eps = +-1 direction mask)
+    // The same recipe is built as a runtime graph by
+    // runtime/apps/sort.cpp — which also runs it functionally — and
+    // tests/runtime/test_apps_pin.cpp pins the two traces against each
+    // other (op histogram + bootstrap count). Mirror structural edits.
     TraceBuilder b("sorting/" + inst.name);
-    // 2-way bitonic network: k(k+1)/2 compare-exchange stages.
-    const int stages = log_elements * (log_elements + 1) / 2;
+    const int usable = inst.usable_levels();
 
-    int values = b.fresh_id();
-    int level = inst.usable_levels();
-    auto ensure = [&](int needed) {
-        if (level < needed + 1) {
-            values = append_bootstrap(b, inst, values);
-            level = inst.usable_levels();
-        }
-    };
+    int v = b.fresh_id();
+    int lv = usable; // graph-rule value level of v (min/-1/refresh)
 
-    for (int stage = 0; stage < stages; ++stage) {
-        // Comparison: composite minimax sign polynomial f^(k) o g^(k)
-        // [42], ~10 rounds of a degree-7 kernel = 30 levels, evaluated
-        // on the rotated pair.
-        ensure(2);
-        const int rot = b.add(HeOpKind::kHRot, level, {values},
-                              1 << (stage % log_elements));
-        int cmp = b.add(HeOpKind::kHAdd, level, {values, rot});
-        for (int round = 0; round < 10; ++round) {
-            for (int d = 0; d < 3; ++d) {
-                ensure(1);
-                b.add_into(cmp, HeOpKind::kHMult, level, {cmp, cmp});
-                b.add_into(cmp, HeOpKind::kCMult, level, {cmp});
-                b.add_into(cmp, HeOpKind::kHRescale, level, {cmp});
-                level -= 1;
+    for (int phase = 1; phase <= log_elements; ++phase) {
+        for (int sub = phase - 1; sub >= 0; --sub) {
+            const int d = 1 << sub;
+            // Entry refresh: the front end burns 2 levels and the
+            // select path 2 more below the sign output; lv >= 4 keeps
+            // every op at level >= 1.
+            if (lv < 4) {
+                v = append_bootstrap(b, inst, v);
+                lv = usable;
             }
+            const int p1 = b.add(HeOpKind::kHRot, lv, {v}, d);
+            const int p2 = b.add(HeOpKind::kHRot, lv, {v}, -d);
+            const int a1 = b.add(HeOpKind::kPMult, lv, {p1});
+            const int a2 = b.add(HeOpKind::kPMult, lv, {p2});
+            int partner = b.add(HeOpKind::kHAdd, lv, {a1, a2});
+            partner = b.add(HeOpKind::kHRescale, lv, {partner});
+            // v +- partner (HSub lowers to the cost-identical HAdd).
+            const int s = b.add(HeOpKind::kHAdd, lv - 1, {v, partner});
+            const int dif = b.add(HeOpKind::kHAdd, lv - 1, {v, partner});
+            int sg = b.add(HeOpKind::kCMult, lv - 1, {dif});
+            sg = b.add(HeOpKind::kHRescale, lv - 1, {sg});
+            int ls = lv - 2; // sign iterate's own level chain
+
+            for (int round = 0; round < sign_rounds; ++round) {
+                if (ls < 4) {
+                    // Mid-polynomial refresh of the sign iterate alone.
+                    sg = append_bootstrap(b, inst, sg);
+                    ls = usable;
+                }
+                int m = b.add(HeOpKind::kHMult, ls, {sg, sg});
+                m = b.add(HeOpKind::kHRescale, ls, {m});
+                int t = b.add(HeOpKind::kCMult, ls - 1, {m});
+                t = b.add(HeOpKind::kCAdd, ls - 1, {t});
+                t = b.add(HeOpKind::kHRescale, ls - 1, {t});
+                sg = b.add(HeOpKind::kHMult, ls - 2, {t, sg});
+                sg = b.add(HeOpKind::kHRescale, ls - 2, {sg});
+                ls -= 3;
+            }
+            if (ls < 3) {
+                sg = append_bootstrap(b, inst, sg);
+                ls = usable;
+            }
+
+            // Select: v' = 0.5*s + (0.5*eps) * (sg * dif).
+            int w1 = b.add(HeOpKind::kCMult, lv - 1, {s});
+            w1 = b.add(HeOpKind::kHRescale, lv - 1, {w1});
+            const int lmin = std::min(ls, lv - 1);
+            int u = b.add(HeOpKind::kHMult, lmin, {sg, dif});
+            u = b.add(HeOpKind::kHRescale, lmin, {u});
+            int w2 = b.add(HeOpKind::kPMult, lmin - 1, {u});
+            w2 = b.add(HeOpKind::kHRescale, lmin - 1, {w2});
+            lv = std::min(lv - 2, lmin - 2);
+            v = b.add(HeOpKind::kHAdd, lv, {w1, w2});
         }
-        // Swap: values' = cmp*max + (1-cmp)*min — two HMults.
-        ensure(2);
-        const int hi = b.add(HeOpKind::kHMult, level, {cmp, values});
-        const int lo = b.add(HeOpKind::kHMult, level, {cmp, rot});
-        b.add_into(values, HeOpKind::kHAdd, level, {hi, lo});
-        b.add_into(values, HeOpKind::kHRescale, level, {values});
-        level -= 2;
     }
     return b.trace();
 }

@@ -10,11 +10,15 @@
  * simulator. Bootstrap counts per instance are the paper's own Table 6
  * calibration target.
  *
- * tmult_microbench has a runtime::Graph port (runtime/graph_workloads.h)
- * that also *executes* on the functional library; its lowering is
- * pinned op-for-op against this generator (tests/runtime/
- * test_lowering.cpp), so a structural edit here must be mirrored there
- * — the pin failing is the validation loop working as intended.
+ * Every generator here now has a runtime::Graph port that also
+ * *executes* on the functional library:
+ *   - tmult_microbench -> runtime/graph_workloads.h, pinned op-for-op
+ *     (levels, ids, tags) by tests/runtime/test_lowering.cpp;
+ *   - helr / resnet20 / sorting -> runtime/apps/{helr,resnet,sort}.h,
+ *     pinned by op-kind histogram + bootstrap count per Table 4
+ *     instance in tests/runtime/test_apps_pin.cpp.
+ * A structural edit here must be mirrored in the graph port (and vice
+ * versa) — the pin failing is the validation loop working as intended.
  */
 #pragma once
 
@@ -39,13 +43,17 @@ int append_bootstrap(sim::TraceBuilder& builder, const CkksInstance& inst,
  *  down the usable levels (Eq. 8's numerator). */
 Trace tmult_microbench(const CkksInstance& inst);
 
-/** HELR: 30 iterations of batch-1024 logistic-regression training. */
+/** HELR: 30 iterations of batch-1024 logistic-regression training
+ *  (inner products, degree-3 sigmoid, gradient step; 5 levels/iter). */
 Trace helr(const CkksInstance& inst, int iterations = 30);
 
 /** Channel-packed ResNet-20 inference on one encrypted image. */
 Trace resnet20(const CkksInstance& inst);
 
-/** 2-way bitonic sorting network over 2^14 encrypted elements. */
-Trace sorting(const CkksInstance& inst, int log_elements = 14);
+/** 2-way bitonic sorting network over 2^14 encrypted elements using a
+ *  masked compare-exchange (sign polynomial iterated @p sign_rounds
+ *  times per stage). */
+Trace sorting(const CkksInstance& inst, int log_elements = 14,
+              int sign_rounds = 8);
 
 } // namespace bts::workloads

@@ -117,12 +117,25 @@ ct_equal(const Ciphertext& x, const Ciphertext& y)
  */
 struct BootTestEnv
 {
+    /** @p max_level defaults to the historical L=14 (leaves 2 usable
+     *  levels after the 12-level bootstrap budget); the application
+     *  suites (test_apps_functional.cpp, bench AppServeBench) pass
+     *  L=20 for 8 usable levels.
+     *
+     *  Caveat for test authors: K = 12 covers gap = 2 at hamming
+     *  weight 32 only *marginally* — a rare encryption draw puts one
+     *  ModRaise coefficient outside [-K, K], EvalMod diverges on it,
+     *  and SlotToCoeff smears the garbage across every slot. All
+     *  randomness here is seeded, so a given (env seed, input seed,
+     *  encrypt order) either always works or always fails: pin seeds
+     *  that work, and re-check after reordering encrypt calls. */
     explicit BootTestEnv(u64 seed,
-                         const std::vector<int>& extra_rotations = {})
-        : env([seed] {
+                         const std::vector<int>& extra_rotations = {},
+                         int max_level = 14)
+        : env([seed, max_level] {
               CkksParams p;
               p.n = 1 << 8;
-              p.max_level = 14;
+              p.max_level = max_level;
               p.dnum = 3;
               p.q0_bits = 50;
               p.scale_bits = 40;

@@ -1,0 +1,140 @@
+/**
+ * The application validation loop: each paper app built through the
+ * runtime graph API must lower to the SAME workload the hand-written
+ * Table 5/6 generator emits — same op-kind histogram, same bootstrap
+ * count — on every Table 4 instance. Levels and object ids are allowed
+ * to differ (the apps' carried chains meet the generators' shadow
+ * counters only at refresh points); the histogram + bootstrap-count
+ * pin is what validates the simulator's application model against the
+ * functional library's circuit definitions.
+ */
+#include <gtest/gtest.h>
+
+#include "runtime/apps/helr.h"
+#include "runtime/apps/resnet.h"
+#include "runtime/apps/sort.h"
+#include "runtime/graph_workloads.h"
+#include "runtime/lowering.h"
+#include "workloads/workloads.h"
+
+namespace bts::runtime::apps {
+namespace {
+
+class AppPin : public ::testing::TestWithParam<int>
+{
+  protected:
+    hw::CkksInstance
+    inst() const
+    {
+        return hw::table4_instances()[GetParam()];
+    }
+
+    static void
+    expect_pinned(const sim::Trace& lowered, const sim::Trace& hand)
+    {
+        EXPECT_EQ(sim::kind_histogram(lowered),
+                  sim::kind_histogram(hand));
+        EXPECT_EQ(lowered.bootstrap_count, hand.bootstrap_count);
+        EXPECT_EQ(lowered.ops.size(), hand.ops.size());
+    }
+};
+
+TEST_P(AppPin, HelrMatchesTable5Generator)
+{
+    const auto i = inst();
+    const auto app = build_helr(HelrConfig::paper(), traits_for(i));
+    expect_pinned(lower_to_trace(app.graph, i), workloads::helr(i));
+}
+
+TEST_P(AppPin, ResnetMatchesTable6Generator)
+{
+    const auto i = inst();
+    const auto app = build_resnet(ResnetConfig::paper(), traits_for(i));
+    expect_pinned(lower_to_trace(app.graph, i), workloads::resnet20(i));
+}
+
+TEST_P(AppPin, SortingMatchesTable6Generator)
+{
+    const auto i = inst();
+    const auto app = build_sort(SortConfig::paper(), traits_for(i));
+    expect_pinned(lower_to_trace(app.graph, i), workloads::sorting(i));
+}
+
+TEST_P(AppPin, LoweredTracesRespectLevelBounds)
+{
+    // The graph ports must satisfy the same level-geometry invariant
+    // the hand generators are tested for.
+    const auto i = inst();
+    const GraphTraits t = traits_for(i);
+    std::vector<Graph> graphs;
+    graphs.push_back(std::move(build_helr(HelrConfig::paper(), t).graph));
+    graphs.push_back(
+        std::move(build_resnet(ResnetConfig::paper(), t).graph));
+    graphs.push_back(std::move(build_sort(SortConfig::paper(), t).graph));
+    for (const Graph& g : graphs) {
+        const sim::Trace trace = lower_to_trace(g, i);
+        for (const auto& op : trace.ops) {
+            EXPECT_GE(op.level, 1) << g.name();
+            EXPECT_LE(op.level, i.max_level) << g.name();
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Table4, AppPin, ::testing::Values(0, 1, 2));
+
+TEST(AppBuild, ResnetBootstrapCountsMatchTable6)
+{
+    // The graph port reproduces the paper's Table 6 bootstrap counts
+    // directly (same pin as the hand generator's).
+    const auto boots = [](const hw::CkksInstance& i) {
+        return lower_to_trace(
+                   build_resnet(ResnetConfig::paper(), traits_for(i))
+                       .graph,
+                   i)
+            .bootstrap_count;
+    };
+    EXPECT_NEAR(boots(hw::ins1()), 53, 4);
+    EXPECT_NEAR(boots(hw::ins2()), 22, 4);
+    EXPECT_NEAR(boots(hw::ins3()), 19, 5);
+}
+
+TEST(AppBuild, LevelBudgetExhaustionFailsAtBuildTime)
+{
+    // An instance whose refreshed budget cannot fit one iteration /
+    // stage must fail when the graph is BUILT — a clear error instead
+    // of a bad decrypt half way through execution.
+    GraphTraits tiny;
+    tiny.max_level = 14;
+    tiny.bootstrap_out_level = 2;
+    tiny.delta = 1099511627776.0;
+    EXPECT_THROW(build_helr(HelrConfig::functional(), tiny),
+                 std::invalid_argument);
+    EXPECT_THROW(build_sort(SortConfig::functional(), tiny),
+                 std::invalid_argument);
+    GraphTraits dead = tiny;
+    dead.bootstrap_out_level = 1;
+    EXPECT_THROW(build_resnet(ResnetConfig::functional(), dead),
+                 std::invalid_argument);
+}
+
+TEST(AppBuild, SortMasksPartitionSlots)
+{
+    const std::size_t slots = 16;
+    for (int d : {1, 2}) {
+        const auto lo = sort_mask_lo(2, d, slots);
+        const auto hi = sort_mask_hi(2, d, slots);
+        for (std::size_t i = 0; i < slots; ++i) {
+            EXPECT_DOUBLE_EQ(lo[i].real() + hi[i].real(), 1.0);
+        }
+    }
+    // Final phase sorts every block ascending: the lower partner keeps
+    // the minimum (select = -0.5) everywhere.
+    const auto sel = sort_select_mask(2, 2, 2, slots);
+    for (std::size_t i = 0; i < slots; ++i) {
+        const bool lower = (i & 2) == 0;
+        EXPECT_DOUBLE_EQ(sel[i].real(), lower ? -0.5 : 0.5);
+    }
+}
+
+} // namespace
+} // namespace bts::runtime::apps

@@ -68,13 +68,16 @@ TEST(Graph, RescaleUnderflowThrows)
     EXPECT_THROW(g.hrescale(a), std::invalid_argument);
 }
 
-TEST(Graph, ModRaiseAndBootstrapRequireLevelZero)
+TEST(Graph, ModRaiseRequiresLevelZeroBootstrapDoesNot)
 {
     const GraphTraits t = small_traits();
     Graph g("t", t);
     const Value fresh = g.input(6, t.delta);
     EXPECT_THROW(g.mod_raise(fresh), std::invalid_argument);
-    EXPECT_THROW(g.bootstrap(fresh), std::invalid_argument);
+    // Bootstrap accepts any level: the refresh discards what remains,
+    // so application graphs can refresh the moment they run short.
+    const Value early = g.bootstrap(fresh);
+    EXPECT_EQ(g.value(early.id).level, t.bootstrap_out_level);
 
     const Value dead = g.input(0, t.delta);
     EXPECT_EQ(g.value(g.mod_raise(dead).id).level, t.max_level);
@@ -83,6 +86,19 @@ TEST(Graph, ModRaiseAndBootstrapRequireLevelZero)
     EXPECT_EQ(g.value(boot.id).level, t.bootstrap_out_level);
     EXPECT_DOUBLE_EQ(g.value(boot.id).scale, t.delta);
     EXPECT_TRUE(g.uses_bootstrap());
+}
+
+TEST(Graph, HSubMirrorsHAddRules)
+{
+    const GraphTraits t = small_traits();
+    Graph g("t", t);
+    const Value a = g.input(6, t.delta);
+    const Value b = g.input(3, t.delta);
+    const Value d = g.hsub(a, b);
+    EXPECT_EQ(g.value(d.id).level, 3);
+    EXPECT_DOUBLE_EQ(g.value(d.id).scale, t.delta);
+    const Value off = g.input(6, t.delta * 1.01);
+    EXPECT_THROW(g.hsub(a, off), std::invalid_argument);
 }
 
 TEST(Graph, PlaintextRules)
@@ -166,6 +182,7 @@ TEST(Graph, EvkClassification)
     EXPECT_TRUE(op_needs_evk(OpKind::kConj));
     EXPECT_TRUE(op_needs_evk(OpKind::kBootstrap));
     EXPECT_FALSE(op_needs_evk(OpKind::kPMult));
+    EXPECT_FALSE(op_needs_evk(OpKind::kHSub));
     EXPECT_FALSE(op_needs_evk(OpKind::kHRescale));
     EXPECT_FALSE(op_needs_evk(OpKind::kModRaise));
 }

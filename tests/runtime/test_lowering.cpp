@@ -139,6 +139,12 @@ TEST(Lowering, BootstrapHasNoPrimitiveImage)
     for (int k = 0; k < kNumOpKinds; ++k) {
         const OpKind kind = static_cast<OpKind>(k);
         if (kind == OpKind::kBootstrap) continue;
+        if (kind == OpKind::kHSub) {
+            // HSub has no sim twin of its own: it lowers to the
+            // cost-identical kHAdd.
+            EXPECT_EQ(to_sim_kind(kind), HeOpKind::kHAdd);
+            continue;
+        }
         EXPECT_STREQ(sim::kind_name(to_sim_kind(kind)), op_name(kind));
     }
 }
