@@ -377,6 +377,12 @@ BENCHMARK(BM_BootstrapLarge)
  * and bootstrap-refresh jobs — share the context, keys, and
  * pre-encrypted payloads. Jobs copy a prebuilt Binding, so the timed
  * region covers admission + scheduling + HE execution, not encryption.
+ *
+ * Two graph sets: sets[0] is the pass-off baseline (rescale placement
+ * only — the minimum needed for an executable graph, no CSE / fusion /
+ * lazy residues) and sets[1] is the full pass pipeline. BM_Serving's
+ * second arg selects the set, so the pass-on vs pass-off serving
+ * numbers come from the same env, keys, and payloads.
  */
 struct ServeBench
 {
@@ -414,24 +420,36 @@ struct ServeBench
         // metadata (radix-8 leaves usable levels on this budget).
         t.bootstrap_out_level = boot->bootstrap(exhausted).level;
 
-        dot = std::make_unique<runtime::Graph>(
-            runtime::dot_product_graph(t, t.max_level, 3));
-        poly = std::make_unique<runtime::Graph>(runtime::poly_eval_graph(
-            t, t.max_level, {0.5, -0.25, 1.0, 0.125}));
-        refresh = std::make_unique<runtime::Graph>(
-            runtime::bootstrap_refresh_graph(t));
-
         const auto x = std::vector<Complex>(64, Complex(0.4, -0.2));
         const Ciphertext fresh = env.encryptor.encrypt_symmetric(
             env.encoder.encode(x, env.ctx.delta(), env.ctx.max_level()),
             env.sk);
-        dot_binding.bind(runtime::Value{dot->input_ids()[0]}, fresh);
-        dot_binding.bind(
-            runtime::Value{dot->input_ids()[1]},
-            env.encoder.encode(z, env.ctx.delta(), env.ctx.max_level()));
-        poly_binding.bind(runtime::Value{poly->input_ids()[0]}, fresh);
-        refresh_binding.bind(runtime::Value{refresh->input_ids()[0]},
-                             exhausted);
+        const runtime::passes::PassOptions variants[2] = {
+            runtime::passes::PassOptions::rescale_only(),
+            runtime::passes::PassOptions{},
+        };
+        for (int v = 0; v < 2; ++v) {
+            GraphSet& s = sets[v];
+            s.dot = std::make_unique<runtime::Graph>(
+                runtime::dot_product_graph(t, t.max_level, 3,
+                                           variants[v]));
+            s.poly = std::make_unique<runtime::Graph>(
+                runtime::poly_eval_graph(t, t.max_level,
+                                         {0.5, -0.25, 1.0, 0.125},
+                                         variants[v]));
+            s.refresh = std::make_unique<runtime::Graph>(
+                runtime::bootstrap_refresh_graph(t, variants[v]));
+            s.dot_binding.bind(runtime::Value{s.dot->input_ids()[0]},
+                               fresh);
+            s.dot_binding.bind(
+                runtime::Value{s.dot->input_ids()[1]},
+                env.encoder.encode(z, env.ctx.delta(),
+                                   env.ctx.max_level()));
+            s.poly_binding.bind(runtime::Value{s.poly->input_ids()[0]},
+                                fresh);
+            s.refresh_binding.bind(
+                runtime::Value{s.refresh->input_ids()[0]}, exhausted);
+        }
     }
 
     runtime::EvalResources
@@ -447,12 +465,17 @@ struct ServeBench
         return r;
     }
 
+    struct GraphSet
+    {
+        std::unique_ptr<runtime::Graph> dot, poly, refresh;
+        runtime::Binding dot_binding, poly_binding, refresh_binding;
+    };
+
     Env env;
     std::unique_ptr<Bootstrapper> boot;
     RotationKeys rot_keys;
     EvalKey conj;
-    std::unique_ptr<runtime::Graph> dot, poly, refresh;
-    runtime::Binding dot_binding, poly_binding, refresh_binding;
+    GraphSet sets[2]; // [0] = pass-off baseline, [1] = full pipeline
 };
 
 void
@@ -461,10 +484,14 @@ BM_Serving(benchmark::State& state)
     // The mixed-client serving scenario: each iteration admits a batch
     // of 6 dot-product, 6 polynomial, and 2 bootstrap-refresh jobs to
     // a GraphServer and waits for all futures. Arg(0) is the lane
-    // count; jobs/s and the p50/p99 submit->complete latencies land in
-    // the counters (aggregated over the whole run by the server).
+    // count; Arg(1) selects the graph set (0 = pass-off baseline,
+    // 1 = full pass pipeline); jobs/s and the p50/p99 submit->complete
+    // latencies land in the counters (aggregated over the whole run by
+    // the server).
     static ServeBench* sb = new ServeBench();
     const int lanes = static_cast<int>(state.range(0));
+    const int passes_on = static_cast<int>(state.range(1));
+    const ServeBench::GraphSet& gs = sb->sets[passes_on ? 1 : 0];
 
     runtime::ServerOptions opts;
     opts.lanes = lanes;
@@ -483,13 +510,13 @@ BM_Serving(benchmark::State& state)
             futures.push_back(server.submit(std::move(req)));
         };
         for (int i = 0; i < kDot; ++i) {
-            submit(sb->dot.get(), sb->dot_binding, "dot");
+            submit(gs.dot.get(), gs.dot_binding, "dot");
         }
         for (int i = 0; i < kPoly; ++i) {
-            submit(sb->poly.get(), sb->poly_binding, "poly");
+            submit(gs.poly.get(), gs.poly_binding, "poly");
         }
         for (int i = 0; i < kRefresh; ++i) {
-            submit(sb->refresh.get(), sb->refresh_binding, "refresh");
+            submit(gs.refresh.get(), gs.refresh_binding, "refresh");
         }
         for (auto& f : futures) {
             const runtime::JobResult r = f.get();
@@ -500,15 +527,18 @@ BM_Serving(benchmark::State& state)
     state.SetItemsProcessed(state.iterations() *
                             (kDot + kPoly + kRefresh));
     state.counters["lanes"] = lanes;
+    state.counters["passes"] = passes_on;
     state.counters["jobs_per_s"] = s.jobs_per_s;
     state.counters["p50_ms"] = 1e3 * s.p50_latency_s;
     state.counters["p99_ms"] = 1e3 * s.p99_latency_s;
 }
 BENCHMARK(BM_Serving)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
-    ->Arg(8)
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({8, 1})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
@@ -563,6 +593,9 @@ struct AppServeBench
         using namespace runtime::apps;
         helr = std::make_unique<HelrApp>(
             build_helr(HelrConfig::functional(), t));
+        HelrConfig raw_cfg = HelrConfig::functional();
+        raw_cfg.optimize = false; // pass-off baseline for BM_Helr
+        helr_raw = std::make_unique<HelrApp>(build_helr(raw_cfg, t));
         resnet = std::make_unique<ResnetApp>(
             build_resnet(ResnetConfig::functional(), t));
         sort_cfg = SortConfig::functional();
@@ -576,6 +609,12 @@ struct AppServeBench
             bind_pt(helr_binding, d, flat(0.3), t);
         }
         bind_pt(helr_binding, helr->grad_data, flat(0.01), t);
+
+        bind_ct(helr_raw_binding, helr_raw->weights, flat(0.05), t);
+        for (const runtime::Value d : helr_raw->data) {
+            bind_pt(helr_raw_binding, d, flat(0.3), t);
+        }
+        bind_pt(helr_raw_binding, helr_raw->grad_data, flat(0.01), t);
 
         bind_ct(resnet_binding, resnet->act, flat(0.3), t);
         for (const auto& layer : resnet->taps) {
@@ -638,10 +677,12 @@ struct AppServeBench
     RotationKeys rot_keys;
     EvalKey conj;
     std::unique_ptr<runtime::apps::HelrApp> helr;
+    std::unique_ptr<runtime::apps::HelrApp> helr_raw; // pass-off
     std::unique_ptr<runtime::apps::ResnetApp> resnet;
     std::unique_ptr<runtime::apps::SortApp> sort;
     runtime::apps::SortConfig sort_cfg;
-    runtime::Binding helr_binding, resnet_binding, sort_binding;
+    runtime::Binding helr_binding, helr_raw_binding, resnet_binding,
+        sort_binding;
 };
 
 AppServeBench&
@@ -656,26 +697,34 @@ BM_Helr(benchmark::State& state)
 {
     // One functional-scale HELR training run (3 iterations, 2 data
     // plaintexts, full 64-slot feature reduction, 2 mid-training
-    // bootstraps) per iteration on the Executor. Arg(0) = lanes.
+    // bootstraps) per iteration on the Executor. Arg(0) = lanes;
+    // Arg(1) = pass pipeline on/off (0 runs the unoptimized graph).
     auto& ab = app_bench();
     const int lanes = static_cast<int>(state.range(0));
+    const int passes_on = static_cast<int>(state.range(1));
+    const runtime::apps::HelrApp& app =
+        passes_on ? *ab.helr : *ab.helr_raw;
+    const runtime::Binding& binding =
+        passes_on ? ab.helr_binding : ab.helr_raw_binding;
     runtime::ExecOptions opts;
     opts.lanes = lanes;
     const runtime::Executor exec(ab.resources(), opts);
     for (auto _ : state) {
-        auto outs =
-            exec.run(ab.helr->graph, runtime::Binding(ab.helr_binding));
+        auto outs = exec.run(app.graph, runtime::Binding(binding));
         benchmark::DoNotOptimize(outs.data());
     }
     state.counters["lanes"] = lanes;
+    state.counters["passes"] = passes_on;
     state.counters["bootstraps"] =
-        ab.helr->graph.count_kind(runtime::OpKind::kBootstrap);
+        app.graph.count_kind(runtime::OpKind::kBootstrap);
     state.counters["graph_ops"] =
-        static_cast<double>(ab.helr->graph.num_nodes());
+        static_cast<double>(app.graph.num_nodes());
 }
 BENCHMARK(BM_Helr)
-    ->Arg(1)
-    ->Arg(4)
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({4, 0})
+    ->Args({4, 1})
     ->Iterations(3)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);

@@ -88,6 +88,28 @@ Evaluator::sub(const Ciphertext& a, const Ciphertext& b) const
 }
 
 Ciphertext
+Evaluator::add_lazy(const Ciphertext& a, const Ciphertext& b) const
+{
+    Ciphertext x = a, y = b;
+    align_levels(x, y);
+    check_scale_match(x.scale, y.scale);
+    x.b.add_inplace_lazy(y.b);
+    x.a.add_inplace_lazy(y.a);
+    return x;
+}
+
+Ciphertext
+Evaluator::sub_lazy(const Ciphertext& a, const Ciphertext& b) const
+{
+    Ciphertext x = a, y = b;
+    align_levels(x, y);
+    check_scale_match(x.scale, y.scale);
+    x.b.sub_inplace_lazy(y.b);
+    x.a.sub_inplace_lazy(y.a);
+    return x;
+}
+
+Ciphertext
 Evaluator::negate(const Ciphertext& a) const
 {
     Ciphertext out = a;
@@ -291,6 +313,27 @@ Evaluator::rotate_hoisted(const Ciphertext& ct,
                           const std::vector<int>& amounts,
                           const RotationKeys& keys) const
 {
+    std::vector<const EvalKey*> resolved;
+    resolved.reserve(amounts.size());
+    for (const int r : amounts) {
+        if (r == 0) {
+            resolved.push_back(nullptr);
+            continue;
+        }
+        const auto it = keys.find(r);
+        BTS_CHECK(it != keys.end(), "missing rotation key " << r);
+        resolved.push_back(&it->second);
+    }
+    return rotate_hoisted(ct, amounts, resolved);
+}
+
+std::vector<Ciphertext>
+Evaluator::rotate_hoisted(const Ciphertext& ct,
+                          const std::vector<int>& amounts,
+                          const std::vector<const EvalKey*>& keys) const
+{
+    BTS_CHECK(keys.size() == amounts.size(),
+              "one key per rotation amount expected");
     const int level = ct.level;
     const auto ext = ctx_.extended_primes(level);
     const auto ext_tables = ctx_.tables_for(ext);
@@ -306,7 +349,8 @@ Evaluator::rotate_hoisted(const Ciphertext& ct,
 
     std::vector<Ciphertext> out;
     out.reserve(amounts.size());
-    for (int r : amounts) {
+    for (std::size_t k = 0; k < amounts.size(); ++k) {
+        const int r = amounts[k];
         if (r == 0) {
             out.push_back(ct);
             continue;
@@ -315,9 +359,8 @@ Evaluator::rotate_hoisted(const Ciphertext& ct,
             ((static_cast<i64>(r) % static_cast<i64>(order)) + order) %
             order;
         const u64 exp = pow_mod(5, amount, two_n);
-        const auto it = keys.find(r);
-        BTS_CHECK(it != keys.end(), "missing rotation key " << r);
-        const EvalKey& key = it->second;
+        BTS_CHECK(keys[k] != nullptr, "missing rotation key " << r);
+        const EvalKey& key = *keys[k];
         BTS_CHECK(key.galois_exp == exp, "rotation key mismatch");
         BTS_CHECK(ctx_.num_slices(level) <=
                       static_cast<int>(key.slices.size()),
@@ -386,6 +429,33 @@ Ciphertext
 Evaluator::square(const Ciphertext& a, const EvalKey& mult_key) const
 {
     return mult(a, a, mult_key);
+}
+
+Ciphertext
+Evaluator::mult_rescale(const Ciphertext& a, const Ciphertext& b,
+                        const EvalKey& mult_key) const
+{
+    Ciphertext out = mult(a, b, mult_key);
+    rescale_inplace(out);
+    return out;
+}
+
+Ciphertext
+Evaluator::mult_plain_rescale(const Ciphertext& ct,
+                              const Plaintext& pt) const
+{
+    Ciphertext out = mult_plain(ct, pt);
+    rescale_inplace(out);
+    return out;
+}
+
+Ciphertext
+Evaluator::mult_plain_add_const(const Ciphertext& ct, const Plaintext& pt,
+                                Complex c) const
+{
+    Ciphertext out = mult_plain(ct, pt);
+    add_const_inplace(out, c);
+    return out;
 }
 
 void

@@ -37,6 +37,20 @@ class Evaluator
     Ciphertext sub(const Ciphertext& a, const Ciphertext& b) const;
     Ciphertext negate(const Ciphertext& a) const;
 
+    /**
+     * HAdd/HSub leaving the result residues LAZY in [0, 2q) — the sum
+     * (resp. a + q - b) is stored unreduced, skipping the whole
+     * canonicalization pass. Same value mod q as add()/sub(). The
+     * result violates the canonical-storage invariant, so it must only
+     * feed lazy-tolerant consumers (mult/mult_plain/mult_const's
+     * Barrett and Shoup products, rotations and conjugation whose
+     * key-switch starts with to_coeff, mod_raise) — never another
+     * add/sub, a rescale, or a decryption. The runtime's lazy-residue
+     * pass (docs/PASSES.md) is the intended caller.
+     */
+    Ciphertext add_lazy(const Ciphertext& a, const Ciphertext& b) const;
+    Ciphertext sub_lazy(const Ciphertext& a, const Ciphertext& b) const;
+
     // ----- multiplicative ops -----
     /** HMult (Eq. 3-4): tensor product + relinearizing key-switch.
      *  Result scale is scale(a)*scale(b); caller rescales. */
@@ -47,6 +61,23 @@ class Evaluator
 
     /** HRescale: divide by the top prime, dropping one level. */
     void rescale_inplace(Ciphertext& ct) const;
+
+    /** Fused HMult+HRescale: the single-call form the runtime's fusion
+     *  pass dispatches (one scheduler hop and no intermediate
+     *  ciphertext hand-off). Bit-identical to mult() then
+     *  rescale_inplace(). */
+    Ciphertext mult_rescale(const Ciphertext& a, const Ciphertext& b,
+                            const EvalKey& mult_key) const;
+
+    /** Fused PMult+HRescale (same contract as mult_rescale). */
+    Ciphertext mult_plain_rescale(const Ciphertext& ct,
+                                  const Plaintext& pt) const;
+
+    /** Fused PMult+CAdd: multiply by @p pt, then add constant @p c at
+     *  the product's scale. Bit-identical to mult_plain() then
+     *  add_const_inplace(). */
+    Ciphertext mult_plain_add_const(const Ciphertext& ct,
+                                    const Plaintext& pt, Complex c) const;
 
     // ----- rotations -----
     /** HRot by @p r slots (Eq. 5-6); key must match the amount. */
@@ -72,6 +103,19 @@ class Evaluator
     std::vector<Ciphertext> rotate_hoisted(const Ciphertext& ct,
                                            const std::vector<int>& amounts,
                                            const RotationKeys& keys) const;
+
+    /**
+     * rotate_hoisted with pre-resolved keys: @p keys[i] is the rotation
+     * key for @p amounts[i] (may be null when amounts[i] == 0, which
+     * copies the input). The runtime Executor resolves keys once per
+     * plan and dispatches every rotation — single or grouped — through
+     * this entry point, so a pass grouping rotations of the same value
+     * never changes the numerics, only how often the shared
+     * decompose+ModUp prefix is paid.
+     */
+    std::vector<Ciphertext>
+    rotate_hoisted(const Ciphertext& ct, const std::vector<int>& amounts,
+                   const std::vector<const EvalKey*>& keys) const;
 
     /**
      * Re-key a ciphertext to another party's secret using a key from

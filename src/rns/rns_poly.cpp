@@ -170,6 +170,43 @@ RnsPoly::add_inplace(const RnsPoly& other, Residues form)
 }
 
 void
+RnsPoly::add_inplace_lazy(const RnsPoly& other)
+{
+    check_compatible(*this, other);
+    parallel_for_2d(
+        num_primes(), n_,
+        [&](std::size_t i, std::size_t c0, std::size_t c1) {
+            const u64 q = primes_[i];
+            (void)q; // only read by the debug assert
+            const u64* src = other.component(i).data();
+            u64* dst = data_.data() + i * n_;
+            for (std::size_t c = c0; c < c1; ++c) {
+                BTS_DEBUG_ASSERT(dst[c] < q && src[c] < q,
+                                 "add_inplace_lazy: unreduced input");
+                dst[c] = dst[c] + src[c]; // [0, 2q), q < 2^62: no wrap
+            }
+        });
+}
+
+void
+RnsPoly::sub_inplace_lazy(const RnsPoly& other)
+{
+    check_compatible(*this, other);
+    parallel_for_2d(
+        num_primes(), n_,
+        [&](std::size_t i, std::size_t c0, std::size_t c1) {
+            const u64 q = primes_[i];
+            const u64* src = other.component(i).data();
+            u64* dst = data_.data() + i * n_;
+            for (std::size_t c = c0; c < c1; ++c) {
+                BTS_DEBUG_ASSERT(dst[c] < q && src[c] < q,
+                                 "sub_inplace_lazy: unreduced input");
+                dst[c] = dst[c] + q - src[c]; // (0, 2q)
+            }
+        });
+}
+
+void
 RnsPoly::sub_inplace(const RnsPoly& other)
 {
     check_compatible(*this, other);

@@ -122,6 +122,17 @@ class RnsPoly
     void add_inplace(const RnsPoly& other,
                      Residues form = Residues::kCanonical);
     void sub_inplace(const RnsPoly& other);
+    /** this += other with NO reduction: canonical inputs land in
+     *  [0, 2q). Like to_ntt_lazy, the result violates the canonical-
+     *  storage invariant and is only for transient values immediately
+     *  consumed by a lazy-tolerant op (mul_inplace, to_coeff, the
+     *  Residues::kLazy2q forms). The runtime's lazy-residue pass uses
+     *  this to skip canonicalization across graph-node boundaries. */
+    void add_inplace_lazy(const RnsPoly& other);
+    /** this = this + q - other per limb: canonical inputs land in
+     *  (0, 2q), same value mod q as sub_inplace. Same transient-only
+     *  contract as add_inplace_lazy. */
+    void sub_inplace_lazy(const RnsPoly& other);
     void negate_inplace();
     /** this *= other, element-wise Barrett products. Tolerates residues
      *  in [0, 2q) on BOTH operands (2q * 2q < q * 2^64 keeps the Barrett

@@ -1,6 +1,7 @@
 #include "runtime/apps/helr.h"
 
 #include "common/check.h"
+#include "runtime/passes/pass_manager.h"
 
 namespace bts::runtime::apps {
 
@@ -75,6 +76,13 @@ build_helr(const HelrConfig& cfg, const GraphTraits& traits)
     g.mark_output(w);
 
     HelrApp app{std::move(g), w_in, std::move(data), gd};
+    if (cfg.optimize) {
+        passes::OptimizeResult r = passes::PassManager().optimize(app.graph);
+        app.weights = r.remap(app.weights);
+        for (Value& d : app.data) d = r.remap(d);
+        app.grad_data = r.remap(app.grad_data);
+        app.graph = std::move(r.graph);
+    }
     return app;
 }
 

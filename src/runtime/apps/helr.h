@@ -39,6 +39,12 @@ struct HelrConfig
     int log_features = 8; //!< rotation-tree depth (2^k-slot windows)
     double c1 = 0.15012;  //!< sigmoid linear coefficient
     double c3 = -0.001593; //!< sigmoid cubic coefficient
+    /** Run the pass pipeline (runtime/passes/) on the built graph; the
+     *  returned handles are already remapped. The Table 5 trace-pin
+     *  tests set this false — the pin contract is against the raw
+     *  builder form, which the passes rewrite (fused kinds, grouped
+     *  rotations) without changing what it computes. */
+    bool optimize = true;
 
     /** Table 5 scale: the exact workloads::helr configuration. */
     static HelrConfig paper();

@@ -35,7 +35,9 @@ reference_run(const Graph& g, const std::map<int, SlotVec>& inputs)
         SlotVec out;
         switch (n.kind) {
         case OpKind::kHMult:
-        case OpKind::kPMult: {
+        case OpKind::kPMult:
+        case OpKind::kHMultRescale:
+        case OpKind::kPMultRescale: {
             const auto& in1 = values[n.inputs[1]];
             out.resize(slots);
             for (std::size_t s = 0; s < slots; ++s) out[s] = in0[s] * in1[s];
@@ -57,11 +59,23 @@ reference_run(const Graph& g, const std::map<int, SlotVec>& inputs)
         case OpKind::kHRot:
             out = rotated(in0, n.rot_amount);
             break;
+        case OpKind::kHRotHoisted:
+            for (std::size_t k = 0; k < n.amounts.size(); ++k) {
+                values[n.outputs[k]] = rotated(in0, n.amounts[k]);
+            }
+            continue; // outputs already written
+        case OpKind::kCMultAdd:
+            out.resize(slots);
+            for (std::size_t s = 0; s < slots; ++s) {
+                out[s] = in0[s] * n.constant + n.constant2;
+            }
+            break;
         case OpKind::kConj:
             out.resize(slots);
             for (std::size_t s = 0; s < slots; ++s) out[s] = std::conj(in0[s]);
             break;
         case OpKind::kCMult:
+        case OpKind::kCMultRescale:
             out.resize(slots);
             for (std::size_t s = 0; s < slots; ++s) out[s] = in0[s] * n.constant;
             break;

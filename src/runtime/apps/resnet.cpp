@@ -1,6 +1,7 @@
 #include "runtime/apps/resnet.h"
 
 #include "common/check.h"
+#include "runtime/passes/pass_manager.h"
 
 namespace bts::runtime::apps {
 
@@ -90,6 +91,16 @@ build_resnet(const ResnetConfig& cfg, const GraphTraits& traits)
 
     ResnetApp app{std::move(g), act_in, std::move(taps), pool_pt,
                   std::move(layer_outputs)};
+    if (cfg.optimize) {
+        passes::OptimizeResult r = passes::PassManager().optimize(app.graph);
+        app.act = r.remap(app.act);
+        for (auto& layer : app.taps) {
+            for (Value& t : layer) t = r.remap(t);
+        }
+        app.pool_weights = r.remap(app.pool_weights);
+        for (Value& o : app.layer_outputs) o = r.remap(o);
+        app.graph = std::move(r.graph);
+    }
     return app;
 }
 

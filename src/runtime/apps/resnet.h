@@ -38,6 +38,9 @@ struct ResnetConfig
     double bn_scale = 0.9;
     double bn_shift = 0.01;
     double relu_shift = 0.2; //!< CAdd on even relu steps
+    /** Run the pass pipeline on the built graph (handles remapped);
+     *  the Table 6 trace-pin tests set this false. */
+    bool optimize = true;
 
     /** Table 6 scale: the exact workloads::resnet20 configuration. */
     static ResnetConfig paper();

@@ -3,6 +3,7 @@
 #include <functional>
 
 #include "common/check.h"
+#include "runtime/passes/pass_manager.h"
 
 namespace bts::runtime::apps {
 
@@ -82,6 +83,16 @@ build_sort(const SortConfig& cfg, const GraphTraits& traits)
     g.mark_output(v);
 
     SortApp app{std::move(g), v_in, std::move(stages)};
+    if (cfg.optimize) {
+        passes::OptimizeResult r = passes::PassManager().optimize(app.graph);
+        app.values = r.remap(app.values);
+        for (SortApp::Stage& st : app.stages) {
+            st.mask_lo = r.remap(st.mask_lo);
+            st.mask_hi = r.remap(st.mask_hi);
+            st.select = r.remap(st.select);
+        }
+        app.graph = std::move(r.graph);
+    }
     return app;
 }
 

@@ -38,6 +38,9 @@ struct SortConfig
 {
     int log_elements = 14; //!< block size 2^k, k(k+1)/2 stages
     int sign_rounds = 8;   //!< g-kernel iterations per comparison
+    /** Run the pass pipeline on the built graph (handles remapped);
+     *  the Table 6 trace-pin tests set this false. */
+    bool optimize = true;
 
     /** Table 6 scale: the exact workloads::sorting configuration. */
     static SortConfig paper();

@@ -15,6 +15,8 @@ namespace bts::runtime {
 struct Executor::Plan
 {
     std::vector<const EvalKey*> evk; //!< per node; null when unused
+    /** kHRotHoisted only: the resolved rotation key per amount. */
+    std::vector<std::vector<const EvalKey*>> hoisted;
 
     using PlainKey = std::tuple<std::size_t, std::size_t, int>;
     mutable std::mutex plain_mutex;
@@ -90,10 +92,12 @@ Executor::plan_for(const Graph& g) const
     // key fails here, before any node has executed.
     auto plan = std::make_unique<Plan>();
     plan->evk.assign(g.num_nodes(), nullptr);
+    plan->hoisted.assign(g.num_nodes(), {});
     for (std::size_t i = 0; i < g.num_nodes(); ++i) {
         const Node& n = g.node(i);
         switch (n.kind) {
         case OpKind::kHMult:
+        case OpKind::kHMultRescale:
             BTS_CHECK(res_.mult_key != nullptr && !res_.mult_key->empty(),
                       g.name() << ": graph needs a mult key");
             plan->evk[i] = res_.mult_key;
@@ -108,6 +112,19 @@ Executor::plan_for(const Graph& g) const
             plan->evk[i] = &key->second;
             break;
         }
+        case OpKind::kHRotHoisted: {
+            BTS_CHECK(res_.rot_keys != nullptr,
+                      g.name() << ": graph needs rotation keys");
+            std::vector<const EvalKey*>& keys = plan->hoisted[i];
+            keys.reserve(n.amounts.size());
+            for (const int r : n.amounts) {
+                const auto key = res_.rot_keys->find(r);
+                BTS_CHECK(key != res_.rot_keys->end(),
+                          g.name() << ": missing rotation key " << r);
+                keys.push_back(&key->second);
+            }
+            break;
+        }
         case OpKind::kConj:
             BTS_CHECK(res_.conj_key != nullptr && !res_.conj_key->empty(),
                       g.name() << ": graph needs a conjugation key");
@@ -118,11 +135,14 @@ Executor::plan_for(const Graph& g) const
                       g.name() << ": graph needs a bootstrapper");
             break;
         case OpKind::kPMult:
+        case OpKind::kPMultRescale:
         case OpKind::kPAdd:
         case OpKind::kHAdd:
         case OpKind::kHSub:
         case OpKind::kHRescale:
         case OpKind::kCMult:
+        case OpKind::kCMultRescale:
+        case OpKind::kCMultAdd:
         case OpKind::kCAdd:
         case OpKind::kModRaise:
             break;
@@ -162,7 +182,7 @@ check_executed_metadata(const Graph& g, const Node& n,
 
 } // namespace
 
-Ciphertext
+std::vector<Ciphertext>
 Executor::exec_node(const Graph& g, const Plan& plan,
                     std::size_t node_idx, Sched& sched) const
 {
@@ -195,38 +215,11 @@ Executor::exec_node(const Graph& g, const Plan& plan,
         return *v;
     };
 
-    const Evaluator& eval = *res_.eval;
-    Ciphertext out;
-    switch (n.kind) {
-    case OpKind::kHMult:
-        out = eval.mult(in_ct(0), in_ct(1), *plan.evk[node_idx]);
-        break;
-    case OpKind::kHRot:
-        out = eval.rotate(in_ct(0), n.rot_amount, *plan.evk[node_idx]);
-        break;
-    case OpKind::kConj:
-        out = eval.conjugate(in_ct(0), *plan.evk[node_idx]);
-        break;
-    case OpKind::kPMult:
-        out = eval.mult_plain(in_ct(0), in_pt(1));
-        break;
-    case OpKind::kPAdd:
-        out = eval.add_plain(in_ct(0), in_pt(1));
-        break;
-    case OpKind::kHAdd:
-        out = eval.add(in_ct(0), in_ct(1));
-        break;
-    case OpKind::kHSub:
-        out = eval.sub(in_ct(0), in_ct(1));
-        break;
-    case OpKind::kHRescale:
-        out = take_ct(0);
-        eval.rescale_inplace(out);
-        break;
-    case OpKind::kCMult: {
-        const Ciphertext& a = in_ct(0);
-        // Constant plaintexts are a fixed per-node operand: encode once
-        // per (node, slots, level) and reuse across runs and jobs.
+    // Constant plaintexts are a fixed per-node operand: encode once
+    // per (node, slots, level) and reuse across runs and jobs. Shared
+    // by kCMult and its fused variants.
+    const auto cmult_plain =
+        [&](const Ciphertext& a) -> std::shared_ptr<const Plaintext> {
         const Plan::PlainKey key{node_idx, a.slots, a.level};
         std::shared_ptr<const Plaintext> pt;
         {
@@ -246,9 +239,75 @@ Executor::exec_node(const Graph& g, const Plan& plan,
             plan.plains.emplace(key, pt); // first writer wins; ties are
                                           // identical encodings anyway
         }
-        out = eval.mult_plain(a, *pt);
+        return pt;
+    };
+
+    const Evaluator& eval = *res_.eval;
+    Ciphertext out;
+    switch (n.kind) {
+    case OpKind::kHMult:
+        out = eval.mult(in_ct(0), in_ct(1), *plan.evk[node_idx]);
+        break;
+    case OpKind::kHMultRescale:
+        out = eval.mult_rescale(in_ct(0), in_ct(1), *plan.evk[node_idx]);
+        break;
+    case OpKind::kHRot: {
+        // Single rotations go through the hoisted entry point too:
+        // hoisted-single is slightly cheaper than the generic rotate
+        // (the decomposition happens before the automorphism), and it
+        // makes rotation-CSE grouping bit-exact by construction — a
+        // grouped amount produces the identical ciphertext a lone
+        // kHRot would have.
+        std::vector<Ciphertext> r = eval.rotate_hoisted(
+            in_ct(0), {n.rot_amount}, {plan.evk[node_idx]});
+        out = std::move(r[0]);
         break;
     }
+    case OpKind::kHRotHoisted: {
+        std::vector<Ciphertext> outs = eval.rotate_hoisted(
+            in_ct(0), n.amounts, plan.hoisted[node_idx]);
+        if (opts_.check_metadata) {
+            for (std::size_t k = 0; k < outs.size(); ++k) {
+                check_executed_metadata(g, n, g.value(n.outputs[k]),
+                                        outs[k]);
+            }
+        }
+        return outs;
+    }
+    case OpKind::kConj:
+        out = eval.conjugate(in_ct(0), *plan.evk[node_idx]);
+        break;
+    case OpKind::kPMult:
+        out = eval.mult_plain(in_ct(0), in_pt(1));
+        break;
+    case OpKind::kPMultRescale:
+        out = eval.mult_plain_rescale(in_ct(0), in_pt(1));
+        break;
+    case OpKind::kPAdd:
+        out = eval.add_plain(in_ct(0), in_pt(1));
+        break;
+    case OpKind::kHAdd:
+        out = n.lazy ? eval.add_lazy(in_ct(0), in_ct(1))
+                     : eval.add(in_ct(0), in_ct(1));
+        break;
+    case OpKind::kHSub:
+        out = n.lazy ? eval.sub_lazy(in_ct(0), in_ct(1))
+                     : eval.sub(in_ct(0), in_ct(1));
+        break;
+    case OpKind::kHRescale:
+        out = take_ct(0);
+        eval.rescale_inplace(out);
+        break;
+    case OpKind::kCMult:
+        out = eval.mult_plain(in_ct(0), *cmult_plain(in_ct(0)));
+        break;
+    case OpKind::kCMultRescale:
+        out = eval.mult_plain_rescale(in_ct(0), *cmult_plain(in_ct(0)));
+        break;
+    case OpKind::kCMultAdd:
+        out = eval.mult_plain_add_const(in_ct(0), *cmult_plain(in_ct(0)),
+                                        n.constant2);
+        break;
     case OpKind::kCAdd:
         out = take_ct(0);
         eval.add_const_inplace(out, n.constant);
@@ -269,29 +328,37 @@ Executor::exec_node(const Graph& g, const Plan& plan,
     if (opts_.check_metadata) {
         check_executed_metadata(g, n, g.value(n.output), out);
     }
-    return out;
+    std::vector<Ciphertext> outs;
+    outs.push_back(std::move(out));
+    return outs;
 }
 
 void
-Executor::finish_node(const Graph& g, std::size_t node_idx, Ciphertext out,
-                      Sched& sched) const
+Executor::finish_node(const Graph& g, std::size_t node_idx,
+                      std::vector<Ciphertext> outs, Sched& sched) const
 {
     // Caller holds sched.m.
     const Node& n = g.node(node_idx);
-    sched.values[n.output] = std::move(out);
-    ++sched.live;
+    BTS_ASSERT(outs.size() == n.outputs.size(),
+               "node produced the wrong number of values");
+    for (std::size_t k = 0; k < n.outputs.size(); ++k) {
+        sched.values[n.outputs[k]] = std::move(outs[k]);
+        ++sched.live;
+    }
     sched.stats.peak_live_values =
         std::max(sched.stats.peak_live_values, sched.live);
     ++sched.stats.nodes;
     for (const int in : n.inputs) sched.release_use(in);
-    if (sched.uses_left[n.output] == 0) {
-        // Dead code: an output with no consumer and no output mark.
-        sched.values[n.output].reset();
-        --sched.live;
-    }
-    for (const std::size_t consumer : sched.consumers[n.output]) {
-        if (--sched.missing[consumer] == 0) {
-            sched.ready.push_back(consumer);
+    for (const int out_id : n.outputs) {
+        if (sched.uses_left[out_id] == 0) {
+            // Dead code: an output with no consumer and no output mark.
+            sched.values[out_id].reset();
+            --sched.live;
+        }
+        for (const std::size_t consumer : sched.consumers[out_id]) {
+            if (--sched.missing[consumer] == 0) {
+                sched.ready.push_back(consumer);
+            }
         }
     }
     ++sched.done;
@@ -407,7 +474,7 @@ Executor::run(const Graph& g, Binding inputs, ExecStats* stats) const
                 std::max(sched.stats.peak_in_flight, sched.in_flight);
             lock.unlock();
 
-            Ciphertext out;
+            std::vector<Ciphertext> out;
             try {
                 out = exec_node(g, plan, node_idx, sched);
             } catch (...) {
@@ -459,7 +526,7 @@ Executor::run_serial(const Graph& g, Binding inputs,
     for (std::size_t i = 0; i < g.num_nodes(); ++i) {
         BTS_ASSERT(sched.missing[i] == 0,
                    "node order is not topological");
-        Ciphertext out = exec_node(g, plan, i, sched);
+        std::vector<Ciphertext> out = exec_node(g, plan, i, sched);
         std::lock_guard<std::mutex> lock(sched.m);
         sched.stats.peak_in_flight = 1;
         finish_node(g, i, std::move(out), sched);

@@ -138,11 +138,14 @@ class Executor
     std::shared_ptr<const Plan> plan_for(const Graph& g) const;
     /** Bind inputs and build the dependency-count state for one run. */
     void init_sched(const Graph& g, Binding& inputs, Sched& sched) const;
-    /** Execute one node against resolved inputs (schedule-independent). */
-    Ciphertext exec_node(const Graph& g, const Plan& plan,
-                         std::size_t node_idx, Sched& sched) const;
+    /** Execute one node against resolved inputs (schedule-independent).
+     *  Returns one ciphertext per value the node defines — a single
+     *  entry for every kind except kHRotHoisted. */
+    std::vector<Ciphertext> exec_node(const Graph& g, const Plan& plan,
+                                      std::size_t node_idx,
+                                      Sched& sched) const;
     void finish_node(const Graph& g, std::size_t node_idx,
-                     Ciphertext out, Sched& sched) const;
+                     std::vector<Ciphertext> outs, Sched& sched) const;
     std::vector<Ciphertext> collect_outputs(const Graph& g,
                                             Sched& sched) const;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <sstream>
 
 #include "common/check.h"
 
@@ -26,6 +27,11 @@ op_name(OpKind kind)
     case OpKind::kCAdd: return "CAdd";
     case OpKind::kModRaise: return "ModRaise";
     case OpKind::kBootstrap: return "Bootstrap";
+    case OpKind::kHRotHoisted: return "HRotHoisted";
+    case OpKind::kHMultRescale: return "HMultRescale";
+    case OpKind::kPMultRescale: return "PMultRescale";
+    case OpKind::kCMultRescale: return "CMultRescale";
+    case OpKind::kCMultAdd: return "CMultAdd";
     }
     panic("unknown OpKind");
 }
@@ -38,6 +44,8 @@ op_needs_evk(OpKind kind)
     case OpKind::kHRot:
     case OpKind::kConj:
     case OpKind::kBootstrap: // streams many evks via its expansion
+    case OpKind::kHRotHoisted:
+    case OpKind::kHMultRescale:
         return true;
     case OpKind::kPMult:
     case OpKind::kPAdd:
@@ -47,6 +55,36 @@ op_needs_evk(OpKind kind)
     case OpKind::kCMult:
     case OpKind::kCAdd:
     case OpKind::kModRaise:
+    case OpKind::kPMultRescale:
+    case OpKind::kCMultRescale:
+    case OpKind::kCMultAdd:
+        return false;
+    }
+    panic("unknown OpKind");
+}
+
+bool
+op_is_composite(OpKind kind)
+{
+    switch (kind) {
+    case OpKind::kHRotHoisted:
+    case OpKind::kHMultRescale:
+    case OpKind::kPMultRescale:
+    case OpKind::kCMultRescale:
+    case OpKind::kCMultAdd:
+        return true;
+    case OpKind::kHMult:
+    case OpKind::kHRot:
+    case OpKind::kConj:
+    case OpKind::kPMult:
+    case OpKind::kPAdd:
+    case OpKind::kHAdd:
+    case OpKind::kHSub:
+    case OpKind::kHRescale:
+    case OpKind::kCMult:
+    case OpKind::kCAdd:
+    case OpKind::kModRaise:
+    case OpKind::kBootstrap:
         return false;
     }
     panic("unknown OpKind");
@@ -57,13 +95,16 @@ namespace {
 /** Loose build-time scale agreement (the evaluator enforces the exact
  *  kScaleTolerance at run time; metadata is approximate bookkeeping). */
 void
-check_scales_close(double a, double b, const char* op)
+check_scales_close(double a, double b, const char* op,
+                   std::size_t node_idx)
 {
     BTS_CHECK(a > 0.0 && b > 0.0,
-              op << ": operand scales must be positive");
+              "node " << node_idx << " (" << op
+                      << "): operand scales must be positive");
     BTS_CHECK(std::abs(a / b - 1.0) < 1e-3,
-              op << ": operand scale metadata differs (" << a << " vs "
-                 << b << ")");
+              "node " << node_idx << " (" << op
+                      << "): operand scale metadata differs (" << a
+                      << " vs " << b << ")");
 }
 
 } // namespace
@@ -124,13 +165,23 @@ Graph::plain_input(int level, double scale)
     return v;
 }
 
+// Every builder validation message names the node being built — its
+// index and op kind — so an error deep inside a multi-hundred-node
+// application graph points at the offending op, not just the rule it
+// broke ("node 231 (hrescale): ..." instead of "hrescale: ...").
+#define BTS_NODE_CHECK(cond, op, msg)                                       \
+    BTS_CHECK(cond, "node " << nodes_.size() << " (" << (op) << "): "       \
+                            << msg)
+
 const ValueInfo&
 Graph::use_cipher(Value v, const char* op)
 {
-    BTS_CHECK(v.valid() && v.id < static_cast<int>(values_.size()),
-              op << ": operand is not a value of this graph");
+    BTS_NODE_CHECK(v.valid() && v.id < static_cast<int>(values_.size()),
+                   op, "operand is not a value of this graph");
     ValueInfo& info = values_[v.id];
-    BTS_CHECK(!info.is_plain, op << ": expected a ciphertext operand");
+    BTS_NODE_CHECK(!info.is_plain, op,
+                   "expected a ciphertext operand, value " << v.id
+                                                           << " is plain");
     info.num_uses += 1;
     return info;
 }
@@ -138,10 +189,12 @@ Graph::use_cipher(Value v, const char* op)
 const ValueInfo&
 Graph::use_plain(Value v, const char* op)
 {
-    BTS_CHECK(v.valid() && v.id < static_cast<int>(values_.size()),
-              op << ": operand is not a value of this graph");
+    BTS_NODE_CHECK(v.valid() && v.id < static_cast<int>(values_.size()),
+                   op, "operand is not a value of this graph");
     ValueInfo& info = values_[v.id];
-    BTS_CHECK(info.is_plain, op << ": expected a plaintext operand");
+    BTS_NODE_CHECK(info.is_plain, op,
+                   "expected a plaintext operand, value "
+                       << v.id << " is a ciphertext");
     info.num_uses += 1;
     return info;
 }
@@ -152,6 +205,7 @@ Graph::append(Node node, ValueInfo out_info)
     out_info.producer = static_cast<int>(nodes_.size());
     const Value out = fresh_value(out_info);
     node.output = out.id;
+    node.outputs = {out.id};
     nodes_.push_back(std::move(node));
     return out;
 }
@@ -175,7 +229,7 @@ Graph::hadd(Value a, Value b)
 {
     const ValueInfo& ia = use_cipher(a, "hadd");
     const ValueInfo& ib = use_cipher(b, "hadd");
-    check_scales_close(ia.scale, ib.scale, "hadd");
+    check_scales_close(ia.scale, ib.scale, "hadd", nodes_.size());
     Node n;
     n.kind = OpKind::kHAdd;
     n.inputs = {a.id, b.id};
@@ -190,7 +244,7 @@ Graph::hsub(Value a, Value b)
 {
     const ValueInfo& ia = use_cipher(a, "hsub");
     const ValueInfo& ib = use_cipher(b, "hsub");
-    check_scales_close(ia.scale, ib.scale, "hsub");
+    check_scales_close(ia.scale, ib.scale, "hsub", nodes_.size());
     Node n;
     n.kind = OpKind::kHSub;
     n.inputs = {a.id, b.id};
@@ -205,10 +259,10 @@ Graph::pmult(Value ct, Value pt)
 {
     const ValueInfo& ic = use_cipher(ct, "pmult");
     const ValueInfo& ip = use_plain(pt, "pmult");
-    BTS_CHECK(ip.level >= ic.level,
-              "pmult: plaintext level " << ip.level
-                                        << " below the ciphertext's "
-                                        << ic.level);
+    BTS_NODE_CHECK(ip.level >= ic.level, "pmult",
+                   "plaintext level " << ip.level
+                                      << " below the ciphertext's "
+                                      << ic.level);
     Node n;
     n.kind = OpKind::kPMult;
     n.inputs = {ct.id, pt.id};
@@ -223,9 +277,9 @@ Graph::padd(Value ct, Value pt)
 {
     const ValueInfo& ic = use_cipher(ct, "padd");
     const ValueInfo& ip = use_plain(pt, "padd");
-    BTS_CHECK(ip.level >= ic.level,
-              "padd: plaintext level below the ciphertext's");
-    check_scales_close(ic.scale, ip.scale, "padd");
+    BTS_NODE_CHECK(ip.level >= ic.level, "padd",
+                   "plaintext level below the ciphertext's");
+    check_scales_close(ic.scale, ip.scale, "padd", nodes_.size());
     Node n;
     n.kind = OpKind::kPAdd;
     n.inputs = {ct.id, pt.id};
@@ -239,7 +293,7 @@ Value
 Graph::hrot(Value ct, int amount)
 {
     const ValueInfo& ic = use_cipher(ct, "hrot");
-    BTS_CHECK(amount != 0, "hrot: rotation amount must be nonzero");
+    BTS_NODE_CHECK(amount != 0, "hrot", "rotation amount must be nonzero");
     Node n;
     n.kind = OpKind::kHRot;
     n.inputs = {ct.id};
@@ -270,7 +324,7 @@ Graph::hrescale(Value ct)
     const ValueInfo& ic = use_cipher(ct, "hrescale");
     // The graph-level image of TraceBuilder's level-underflow guard:
     // rescaling a level-0 value has no prime left to drop.
-    BTS_CHECK(ic.level >= 1, "hrescale: operand already at level 0");
+    BTS_NODE_CHECK(ic.level >= 1, "hrescale", "operand already at level 0");
     Node n;
     n.kind = OpKind::kHRescale;
     n.inputs = {ct.id};
@@ -312,9 +366,9 @@ Value
 Graph::mod_raise(Value ct)
 {
     const ValueInfo& ic = use_cipher(ct, "mod_raise");
-    BTS_CHECK(ic.level == 0,
-              "mod_raise: expects an exhausted (level-0) value, got level "
-                  << ic.level);
+    BTS_NODE_CHECK(ic.level == 0, "mod_raise",
+                   "expects an exhausted (level-0) value, got level "
+                       << ic.level);
     Node n;
     n.kind = OpKind::kModRaise;
     n.inputs = {ct.id};
@@ -343,6 +397,109 @@ Graph::bootstrap(Value ct)
     return append(std::move(n), out);
 }
 
+std::vector<Value>
+Graph::hrot_hoisted(Value ct, const std::vector<int>& amounts)
+{
+    // Copy, not reference: fresh_value() below grows the value table,
+    // which would invalidate a reference into it mid-loop.
+    const ValueInfo ic = use_cipher(ct, "hrot_hoisted");
+    BTS_NODE_CHECK(!amounts.empty(), "hrot_hoisted",
+                   "needs at least one rotation amount");
+    for (const int r : amounts) {
+        BTS_NODE_CHECK(r != 0, "hrot_hoisted",
+                       "rotation amount must be nonzero");
+    }
+    Node n;
+    n.kind = OpKind::kHRotHoisted;
+    n.inputs = {ct.id};
+    n.amounts = amounts;
+    n.output = -1;
+    const int producer = static_cast<int>(nodes_.size());
+    std::vector<Value> outs;
+    outs.reserve(amounts.size());
+    for (std::size_t k = 0; k < amounts.size(); ++k) {
+        ValueInfo out;
+        out.level = ic.level;
+        out.scale = ic.scale;
+        out.producer = producer;
+        const Value v = fresh_value(out);
+        n.outputs.push_back(v.id);
+        outs.push_back(v);
+    }
+    n.output = n.outputs[0];
+    nodes_.push_back(std::move(n));
+    return outs;
+}
+
+Value
+Graph::hmult_rescale(Value a, Value b)
+{
+    const ValueInfo& ia = use_cipher(a, "hmult_rescale");
+    const ValueInfo& ib = use_cipher(b, "hmult_rescale");
+    const int level = std::min(ia.level, ib.level);
+    BTS_NODE_CHECK(level >= 1, "hmult_rescale",
+                   "operand already at level 0");
+    Node n;
+    n.kind = OpKind::kHMultRescale;
+    n.inputs = {a.id, b.id};
+    ValueInfo out;
+    out.level = level - 1;
+    out.scale = ia.scale * ib.scale / traits_.delta;
+    return append(std::move(n), out);
+}
+
+Value
+Graph::pmult_rescale(Value ct, Value pt)
+{
+    const ValueInfo& ic = use_cipher(ct, "pmult_rescale");
+    const ValueInfo& ip = use_plain(pt, "pmult_rescale");
+    BTS_NODE_CHECK(ip.level >= ic.level, "pmult_rescale",
+                   "plaintext level " << ip.level
+                                      << " below the ciphertext's "
+                                      << ic.level);
+    BTS_NODE_CHECK(ic.level >= 1, "pmult_rescale",
+                   "operand already at level 0");
+    Node n;
+    n.kind = OpKind::kPMultRescale;
+    n.inputs = {ct.id, pt.id};
+    ValueInfo out;
+    out.level = ic.level - 1;
+    out.scale = ic.scale * ip.scale / traits_.delta;
+    return append(std::move(n), out);
+}
+
+Value
+Graph::cmult_rescale(Value ct, Complex c)
+{
+    const ValueInfo& ic = use_cipher(ct, "cmult_rescale");
+    BTS_NODE_CHECK(ic.level >= 1, "cmult_rescale",
+                   "operand already at level 0");
+    Node n;
+    n.kind = OpKind::kCMultRescale;
+    n.inputs = {ct.id};
+    n.constant = c;
+    ValueInfo out;
+    out.level = ic.level - 1;
+    out.scale = ic.scale; // * delta from the CMult, / delta from the
+                          // rescale
+    return append(std::move(n), out);
+}
+
+Value
+Graph::cmult_add(Value ct, Complex mul_c, Complex add_c)
+{
+    const ValueInfo& ic = use_cipher(ct, "cmult_add");
+    Node n;
+    n.kind = OpKind::kCMultAdd;
+    n.inputs = {ct.id};
+    n.constant = mul_c;
+    n.constant2 = add_c;
+    ValueInfo out;
+    out.level = ic.level;
+    out.scale = ic.scale * traits_.delta;
+    return append(std::move(n), out);
+}
+
 void
 Graph::mark_output(Value v)
 {
@@ -355,6 +512,18 @@ Graph::mark_output(Value v)
               "mark_output: value already marked");
     values_[v.id].num_uses += 1; // outputs stay live through execution
     outputs_.push_back(v.id);
+}
+
+void
+Graph::mark_lazy(std::size_t node_idx)
+{
+    BTS_CHECK(node_idx < nodes_.size(),
+              "mark_lazy: node index out of range");
+    Node& n = nodes_[node_idx];
+    BTS_CHECK(n.kind == OpKind::kHAdd || n.kind == OpKind::kHSub,
+              "node " << node_idx << " (" << op_name(n.kind)
+                      << "): only HAdd/HSub can produce lazy residues");
+    n.lazy = true;
 }
 
 const ValueInfo&
@@ -371,6 +540,10 @@ Graph::required_rotations() const
     std::vector<int> amounts;
     for (const Node& n : nodes_) {
         if (n.kind == OpKind::kHRot) amounts.push_back(n.rot_amount);
+        if (n.kind == OpKind::kHRotHoisted) {
+            amounts.insert(amounts.end(), n.amounts.begin(),
+                           n.amounts.end());
+        }
     }
     std::sort(amounts.begin(), amounts.end());
     amounts.erase(std::unique(amounts.begin(), amounts.end()),
@@ -384,6 +557,60 @@ Graph::count_kind(OpKind kind) const
     int n = 0;
     for (const Node& node : nodes_) n += (node.kind == kind);
     return n;
+}
+
+std::vector<std::vector<int>>
+Graph::value_users() const
+{
+    std::vector<std::vector<int>> users(values_.size());
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        for (const int in : nodes_[i].inputs) {
+            users[in].push_back(static_cast<int>(i));
+        }
+    }
+    return users;
+}
+
+std::string
+Graph::debug_string() const
+{
+    std::ostringstream oss;
+    for (const int id : input_ids_) {
+        const ValueInfo& info = values_[id];
+        oss << (info.is_plain ? "plain_input" : "input") << " v" << id
+            << " L" << info.level << " s" << info.scale << "\n";
+    }
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        const Node& n = nodes_[i];
+        oss << "n" << i << ": " << op_name(n.kind);
+        if (n.lazy) oss << "[lazy]";
+        if (n.kind == OpKind::kHRot) oss << " by " << n.rot_amount;
+        if (!n.amounts.empty()) {
+            oss << " by {";
+            for (std::size_t k = 0; k < n.amounts.size(); ++k) {
+                oss << (k ? "," : "") << n.amounts[k];
+            }
+            oss << "}";
+        }
+        if (n.kind == OpKind::kCMult || n.kind == OpKind::kCAdd ||
+            n.kind == OpKind::kCMultRescale ||
+            n.kind == OpKind::kCMultAdd) {
+            oss << " c=(" << n.constant.real() << ","
+                << n.constant.imag() << ")";
+        }
+        if (n.kind == OpKind::kCMultAdd) {
+            oss << " c2=(" << n.constant2.real() << ","
+                << n.constant2.imag() << ")";
+        }
+        for (const int in : n.inputs) oss << " v" << in;
+        oss << " ->";
+        for (const int out : n.outputs) oss << " v" << out;
+        oss << "\n";
+    }
+    oss << "outputs:";
+    for (const int id : outputs_) oss << " v" << id;
+    oss << "\n";
+    return oss.str();
 }
 
 } // namespace bts::runtime

@@ -30,7 +30,12 @@ namespace bts::runtime {
 using Complex = std::complex<double>;
 
 /** Graph-level op kinds: sim::HeOpKind plus the Bootstrap composite
- *  and HSub (an add-cost subtraction the sim models as kHAdd). */
+ *  and HSub (an add-cost subtraction the sim models as kHAdd), plus
+ *  the composite kinds the pass pipeline (src/runtime/passes/)
+ *  introduces — grouped hoisted rotations and fused op pairs. The
+ *  composites never appear in builder-authored graphs; lowering
+ *  expands them back to the primitive kinds above, so the simulator
+ *  trace contract is unchanged. */
 enum class OpKind {
     kHMult,     //!< ciphertext x ciphertext (+ relinearization)
     kHRot,      //!< slot rotation (+ key-switch)
@@ -44,15 +49,26 @@ enum class OpKind {
     kCAdd,      //!< ciphertext + scalar constant
     kModRaise,  //!< bootstrap modulus raise (level 0 -> L)
     kBootstrap, //!< full refresh (composite; any level -> usable level)
+    // ----- pass-introduced composites -----
+    kHRotHoisted,  //!< N rotations of one value, shared decompose+ModUp
+    kHMultRescale, //!< fused HMult + HRescale
+    kPMultRescale, //!< fused PMult + HRescale
+    kCMultRescale, //!< fused CMult + HRescale
+    kCMultAdd,     //!< fused CMult + CAdd
 };
 
-inline constexpr int kNumOpKinds = 12;
+inline constexpr int kNumOpKinds = 17;
 
 /** Human-readable kind name (exhaustive; never returns null). */
 const char* op_name(OpKind kind);
 
 /** @return true if the op streams an evaluation key. */
 bool op_needs_evk(OpKind kind);
+
+/** @return true for the composite kinds only the pass pipeline emits
+ *  (builder-authored graphs never contain them; lowering expands them
+ *  back to primitives). */
+bool op_is_composite(OpKind kind);
 
 /**
  * Level geometry + scale granularity the metadata inference needs.
@@ -129,9 +145,19 @@ struct Node
 {
     OpKind kind = OpKind::kHAdd;
     std::vector<int> inputs; //!< value ids (operand order matters)
-    int output = -1;         //!< value id this node defines
+    int output = -1;         //!< value id this node defines (the first
+                             //!< one, for multi-output nodes)
+    std::vector<int> outputs; //!< all defined value ids; size >= 1,
+                              //!< outputs[0] == output
     int rot_amount = 0;      //!< kHRot only
-    Complex constant{0.0, 0.0}; //!< kCMult / kCAdd only
+    std::vector<int> amounts; //!< kHRotHoisted: one per output
+    Complex constant{0.0, 0.0};  //!< kCMult / kCAdd / fused-CMult kinds
+    Complex constant2{0.0, 0.0}; //!< kCMultAdd: the added constant
+    /** Set by the lazy-residue pass on kHAdd/kHSub whose every
+     *  consumer tolerates [0, 2q) residues: the Executor dispatches
+     *  Evaluator::add_lazy/sub_lazy instead of add/sub, skipping the
+     *  canonicalization pass (see docs/PASSES.md for the contract). */
+    bool lazy = false;
 };
 
 /**
@@ -194,9 +220,31 @@ class Graph
      *  workloads::* generators' ensure() logic. */
     Value bootstrap(Value ct);
 
+    // ----- composite ops (emitted by the pass pipeline; legal to
+    //       build directly, e.g. in tests) -----
+    /** Grouped hoisted rotations: one node rotating @p ct by every
+     *  amount in @p amounts (all nonzero), sharing one key-switch
+     *  decomposition. Returns one value per amount, in order. */
+    std::vector<Value> hrot_hoisted(Value ct,
+                                    const std::vector<int>& amounts);
+    /** Fused HMult+HRescale (operand levels align; requires >= 1). */
+    Value hmult_rescale(Value a, Value b);
+    /** Fused PMult+HRescale. */
+    Value pmult_rescale(Value ct, Value pt);
+    /** Fused CMult+HRescale. */
+    Value cmult_rescale(Value ct, Complex c);
+    /** Fused CMult+CAdd: ct * mul_c + add_c (scale grows by delta). */
+    Value cmult_add(Value ct, Complex mul_c, Complex add_c);
+
     /** Mark @p v as a graph output (kept live; returned by the
      *  executor in mark order). A value can be marked only once. */
     void mark_output(Value v);
+
+    /** Annotate node @p node_idx (kHAdd/kHSub only) as producing lazy
+     *  [0, 2q) residues. Legality — every consumer tolerates lazy
+     *  inputs and the result is not a graph output — is the caller's
+     *  (the lazy-residue pass's) responsibility. */
+    void mark_lazy(std::size_t node_idx);
 
     // ----- introspection -----
     std::size_t num_nodes() const { return nodes_.size(); }
@@ -208,12 +256,21 @@ class Graph
     /** Ciphertext/plaintext input value ids, in declaration order. */
     const std::vector<int>& input_ids() const { return input_ids_; }
 
-    /** Distinct rotation amounts used (the keys execution needs). */
+    /** Distinct rotation amounts used (the keys execution needs),
+     *  including every amount of grouped kHRotHoisted nodes. */
     std::vector<int> required_rotations() const;
     bool uses_conjugation() const { return uses_conj_; }
     bool uses_bootstrap() const { return uses_bootstrap_; }
     /** Count of nodes of one kind. */
     int count_kind(OpKind kind) const;
+    /** Per-value consumer node lists (index = value id). Computed on
+     *  demand; the pass pipeline's use-analysis entry point. */
+    std::vector<std::vector<int>> value_users() const;
+    /** Canonical one-line-per-node text form (kinds, operands,
+     *  amounts, constants, lazy marks, outputs). Two graphs with equal
+     *  debug_string() are structurally identical — the idempotence
+     *  pin the pass tests compare with. */
+    std::string debug_string() const;
 
   private:
     Value fresh_value(ValueInfo info);

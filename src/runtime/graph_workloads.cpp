@@ -16,8 +16,19 @@ traits_for(const hw::CkksInstance& inst)
     return t;
 }
 
+namespace {
+
 Graph
-tmult_graph(const hw::CkksInstance& inst)
+finish(Graph g, const passes::PassOptions& opts)
+{
+    passes::OptimizeResult r = passes::PassManager(opts).optimize(g);
+    return std::move(r.graph);
+}
+
+} // namespace
+
+Graph
+tmult_graph(const hw::CkksInstance& inst, const passes::PassOptions& opts)
 {
     BTS_CHECK(inst.usable_levels() >= 1, "instance cannot bootstrap");
     const GraphTraits t = traits_for(inst);
@@ -33,11 +44,12 @@ tmult_graph(const hw::CkksInstance& inst)
         ct = g.hrescale(ct);
     }
     g.mark_output(ct);
-    return g;
+    return finish(std::move(g), opts);
 }
 
 Graph
-dot_product_graph(const GraphTraits& traits, int level, int log_dim)
+dot_product_graph(const GraphTraits& traits, int level, int log_dim,
+                  const passes::PassOptions& opts)
 {
     BTS_CHECK(level >= 1, "dot product needs one rescale level");
     BTS_CHECK(log_dim >= 1, "dot product needs a nonempty reduction");
@@ -51,12 +63,13 @@ dot_product_graph(const GraphTraits& traits, int level, int log_dim)
         acc = g.hadd(acc, rot);
     }
     g.mark_output(acc);
-    return g;
+    return finish(std::move(g), opts);
 }
 
 Graph
 poly_eval_graph(const GraphTraits& traits, int level,
-                const std::vector<double>& coeffs)
+                const std::vector<double>& coeffs,
+                const passes::PassOptions& opts)
 {
     const int degree = static_cast<int>(coeffs.size()) - 1;
     BTS_CHECK(degree >= 1, "polynomial must have degree >= 1");
@@ -66,28 +79,30 @@ poly_eval_graph(const GraphTraits& traits, int level,
     Graph g("poly_eval_deg" + std::to_string(degree), traits);
     Value x = g.input(level, traits.delta);
     // Horner: acc = c_d * x + c_{d-1}; then acc = acc * x + c_j down to
-    // the constant term. The leading coefficient rides in as a CMult,
-    // so the chain spends exactly `degree` levels.
+    // the constant term. The leading coefficient rides in as a CMult.
+    // No hand-placed rescales: the waterline pass inserts one before
+    // every constant add, so the optimized chain spends exactly
+    // `degree` levels (the raw form spends none and cannot execute —
+    // its constant adds see double-scale operands).
     Value acc = g.cmult(x, coeffs[degree]);
-    acc = g.hrescale(acc);
     acc = g.cadd(acc, Complex(coeffs[degree - 1], 0.0));
     for (int j = degree - 2; j >= 0; --j) {
         acc = g.hmult(acc, x);
-        acc = g.hrescale(acc);
         acc = g.cadd(acc, Complex(coeffs[j], 0.0));
     }
     g.mark_output(acc);
-    return g;
+    return finish(std::move(g), opts);
 }
 
 Graph
-bootstrap_refresh_graph(const GraphTraits& traits)
+bootstrap_refresh_graph(const GraphTraits& traits,
+                        const passes::PassOptions& opts)
 {
     Graph g("bootstrap_refresh", traits);
     Value ct = g.input(0, traits.delta);
     ct = g.bootstrap(ct);
     g.mark_output(ct);
-    return g;
+    return finish(std::move(g), opts);
 }
 
 } // namespace bts::runtime

@@ -21,8 +21,13 @@ to_sim_kind(OpKind kind)
     case OpKind::kCAdd: return sim::HeOpKind::kCAdd;
     case OpKind::kModRaise: return sim::HeOpKind::kModRaise;
     case OpKind::kBootstrap:
-        fatal("kBootstrap has no primitive sim image; lower_to_trace "
-              "expands it");
+    case OpKind::kHRotHoisted:
+    case OpKind::kHMultRescale:
+    case OpKind::kPMultRescale:
+    case OpKind::kCMultRescale:
+    case OpKind::kCMultAdd:
+        fatal(std::string(op_name(kind)) +
+              " has no primitive sim image; lower_to_trace expands it");
     }
     panic("unknown OpKind");
 }
@@ -68,6 +73,42 @@ lower_to_trace(const Graph& g, const hw::CkksInstance& inst)
         if (n.kind == OpKind::kBootstrap) {
             object[n.output] =
                 workloads::append_bootstrap(b, inst, obj(n.inputs[0]));
+            continue;
+        }
+        // Pass-introduced composites expand back to the primitive ops
+        // they fused, keeping the simulator trace contract unchanged:
+        // the sim models each primitive's cost, and fusion/hoisting are
+        // dataflow restructurings, not new hardware ops.
+        if (n.kind == OpKind::kHRotHoisted) {
+            const int src = obj(n.inputs[0]);
+            for (std::size_t k = 0; k < n.amounts.size(); ++k) {
+                object[n.outputs[k]] =
+                    b.add(sim::HeOpKind::kHRot, g.value(n.outputs[k]).level,
+                          {src}, n.amounts[k]);
+            }
+            continue;
+        }
+        if (op_is_composite(n.kind)) {
+            const sim::HeOpKind first =
+                n.kind == OpKind::kHMultRescale ? sim::HeOpKind::kHMult
+                : n.kind == OpKind::kPMultRescale
+                    ? sim::HeOpKind::kPMult
+                    : sim::HeOpKind::kCMult;
+            const sim::HeOpKind second = n.kind == OpKind::kCMultAdd
+                                             ? sim::HeOpKind::kCAdd
+                                             : sim::HeOpKind::kHRescale;
+            // Both primitives execute at the pre-drop level: output
+            // level + 1 for the rescale fusions (CMult+CAdd is
+            // level-preserving).
+            const int mid_level =
+                g.value(n.output).level +
+                (n.kind == OpKind::kCMultAdd ? 0 : 1);
+            std::vector<int> inputs;
+            inputs.reserve(n.inputs.size());
+            for (const int in : n.inputs) inputs.push_back(obj(in));
+            const int mid =
+                b.add(first, mid_level, std::move(inputs), 0);
+            object[n.output] = b.add(second, mid_level, {mid}, 0);
             continue;
         }
         // The level an op *executes at*: HRescale still holds the

@@ -1,0 +1,536 @@
+#include "runtime/passes/pass_manager.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace bts::runtime::passes {
+
+namespace {
+
+/** One pass's rewrite product: the new graph plus old-id -> new-id. */
+struct Rewrite
+{
+    Graph graph;
+    std::vector<int> map;
+};
+
+/**
+ * Replay driver: walks @p g in value-creation order (the order the
+ * original builder calls ran in, so input declarations interleave with
+ * node outputs exactly as they did) re-declaring inputs verbatim and
+ * handing each node, once, to @p emit_node. The callback appends
+ * whatever it wants to @p out and fills map entries for every value
+ * the original node defined (-1 for values it eliminates). Output
+ * marks are replayed at the end.
+ */
+template <typename EmitNode>
+Rewrite
+replay(const Graph& g, EmitNode&& emit_node)
+{
+    Rewrite rw{Graph(g.name(), g.traits()),
+               std::vector<int>(g.num_values(), -1)};
+    std::vector<char> node_done(g.num_nodes(), 0);
+    for (std::size_t id = 0; id < g.num_values(); ++id) {
+        const ValueInfo& info = g.value(static_cast<int>(id));
+        if (info.is_input) {
+            const Value v =
+                info.is_plain
+                    ? rw.graph.plain_input(info.level, info.scale)
+                    : rw.graph.input(info.level, info.scale);
+            rw.map[id] = v.id;
+            continue;
+        }
+        const std::size_t producer =
+            static_cast<std::size_t>(info.producer);
+        if (node_done[producer]) continue;
+        node_done[producer] = 1;
+        emit_node(rw.graph, producer, rw.map);
+    }
+    for (const int id : g.outputs()) {
+        BTS_ASSERT(rw.map[id] >= 0,
+                   "pass eliminated a marked output value");
+        rw.graph.mark_output(Value{rw.map[id]});
+    }
+    return rw;
+}
+
+/** Re-emit node @p idx of @p g unchanged (operands translated through
+ *  @p map), filling the map entries for its outputs. */
+void
+emit_same(Graph& out, const Graph& g, std::size_t idx,
+          std::vector<int>& map)
+{
+    const Node& n = g.node(idx);
+    const auto in = [&](std::size_t slot) {
+        const int mapped = map[n.inputs[slot]];
+        BTS_ASSERT(mapped >= 0, "operand of a live node was eliminated");
+        return Value{mapped};
+    };
+    Value v;
+    switch (n.kind) {
+    case OpKind::kHMult: v = out.hmult(in(0), in(1)); break;
+    case OpKind::kHAdd: v = out.hadd(in(0), in(1)); break;
+    case OpKind::kHSub: v = out.hsub(in(0), in(1)); break;
+    case OpKind::kPMult: v = out.pmult(in(0), in(1)); break;
+    case OpKind::kPAdd: v = out.padd(in(0), in(1)); break;
+    case OpKind::kHRot: v = out.hrot(in(0), n.rot_amount); break;
+    case OpKind::kConj: v = out.conj(in(0)); break;
+    case OpKind::kHRescale: v = out.hrescale(in(0)); break;
+    case OpKind::kCMult: v = out.cmult(in(0), n.constant); break;
+    case OpKind::kCAdd: v = out.cadd(in(0), n.constant); break;
+    case OpKind::kModRaise: v = out.mod_raise(in(0)); break;
+    case OpKind::kBootstrap: v = out.bootstrap(in(0)); break;
+    case OpKind::kHMultRescale:
+        v = out.hmult_rescale(in(0), in(1));
+        break;
+    case OpKind::kPMultRescale:
+        v = out.pmult_rescale(in(0), in(1));
+        break;
+    case OpKind::kCMultRescale:
+        v = out.cmult_rescale(in(0), n.constant);
+        break;
+    case OpKind::kCMultAdd:
+        v = out.cmult_add(in(0), n.constant, n.constant2);
+        break;
+    case OpKind::kHRotHoisted: {
+        const std::vector<Value> outs =
+            out.hrot_hoisted(in(0), n.amounts);
+        for (std::size_t k = 0; k < outs.size(); ++k) {
+            map[n.outputs[k]] = outs[k].id;
+        }
+        return;
+    }
+    }
+    if (n.lazy) out.mark_lazy(out.num_nodes() - 1);
+    map[n.output] = v.id;
+}
+
+// --------------------------------------------------------------------
+// Pass 1: automatic rescale placement (the waterline rule).
+//
+// Insert-only: whenever an operand of a reduced-scale-requiring
+// consumer (multiplications, constant/plaintext adds, bootstrap)
+// still carries a double scale (>= delta^2), insert one HRescale and
+// share it across every such consumer of that value. A graph whose
+// hand-placed rescales already satisfy the rule replays unchanged, so
+// hand placements stay authoritative — the pass exists so builders
+// can stop writing them at all.
+// --------------------------------------------------------------------
+
+Rewrite
+place_rescales(const Graph& g, PassStats& stats)
+{
+    const double delta = g.traits().delta;
+    // "Double scale": at or above delta^2, with slack — scales are
+    // approximate bookkeeping, and delta vs delta^2 differ by a factor
+    // of delta (>= 2^30 in any real instance), so a factor-2 margin
+    // can never misclassify.
+    const double waterline = delta * delta * 0.5;
+    std::map<int, int> memo; // new value id -> its shared rescale's id
+
+    return replay(g, [&](Graph& out, std::size_t idx,
+                         std::vector<int>& map) {
+        const Node& n = g.node(idx);
+        // Returns the reduced-scale form of the (already mapped)
+        // operand, inserting the shared rescale on first need.
+        const auto reduced = [&](int new_id) -> int {
+            if (out.value(new_id).scale < waterline) return new_id;
+            const auto it = memo.find(new_id);
+            if (it != memo.end()) return it->second;
+            const Value r = out.hrescale(Value{new_id});
+            ++stats.rescales_inserted;
+            memo.emplace(new_id, r.id);
+            return r.id;
+        };
+        const auto in_id = [&](std::size_t slot) {
+            const int mapped = map[n.inputs[slot]];
+            BTS_ASSERT(mapped >= 0, "operand eliminated");
+            return mapped;
+        };
+
+        Value v;
+        switch (n.kind) {
+        case OpKind::kHMult:
+            v = out.hmult(Value{reduced(in_id(0))},
+                          Value{reduced(in_id(1))});
+            break;
+        case OpKind::kHMultRescale:
+            v = out.hmult_rescale(Value{reduced(in_id(0))},
+                                  Value{reduced(in_id(1))});
+            break;
+        case OpKind::kPMult:
+            v = out.pmult(Value{reduced(in_id(0))}, Value{in_id(1)});
+            break;
+        case OpKind::kPMultRescale:
+            v = out.pmult_rescale(Value{reduced(in_id(0))},
+                                  Value{in_id(1)});
+            break;
+        case OpKind::kCMult:
+            v = out.cmult(Value{reduced(in_id(0))}, n.constant);
+            break;
+        case OpKind::kCMultRescale:
+            v = out.cmult_rescale(Value{reduced(in_id(0))}, n.constant);
+            break;
+        case OpKind::kCMultAdd:
+            v = out.cmult_add(Value{reduced(in_id(0))}, n.constant,
+                              n.constant2);
+            break;
+        case OpKind::kCAdd:
+            v = out.cadd(Value{reduced(in_id(0))}, n.constant);
+            break;
+        case OpKind::kPAdd:
+            v = out.padd(Value{reduced(in_id(0))}, Value{in_id(1)});
+            break;
+        case OpKind::kBootstrap:
+            v = out.bootstrap(Value{reduced(in_id(0))});
+            break;
+        case OpKind::kHAdd:
+        case OpKind::kHSub: {
+            // Scale-preserving, but a mismatch (one operand still at
+            // delta^2, the other already rescaled) must be repaired by
+            // rescaling the larger side — otherwise pass through and
+            // defer any shared obligation to the consumers.
+            int a = in_id(0), b = in_id(1);
+            const double sa = out.value(a).scale;
+            const double sb = out.value(b).scale;
+            if (std::abs(sa / sb - 1.0) >= 1e-3) {
+                if (sa > sb) {
+                    a = reduced(a);
+                } else {
+                    b = reduced(b);
+                }
+            }
+            v = n.kind == OpKind::kHAdd ? out.hadd(Value{a}, Value{b})
+                                        : out.hsub(Value{a}, Value{b});
+            if (n.lazy) out.mark_lazy(out.num_nodes() - 1);
+            map[n.output] = v.id;
+            return;
+        }
+        case OpKind::kHRot:
+        case OpKind::kConj:
+        case OpKind::kHRescale:
+        case OpKind::kModRaise:
+        case OpKind::kHRotHoisted:
+            emit_same(out, g, idx, map);
+            return;
+        }
+        map[n.output] = v.id;
+    });
+}
+
+// --------------------------------------------------------------------
+// Pass 2: dead-value elimination. A node is live iff one of its
+// results can reach a marked output. Declared inputs are always kept
+// (the Binding contract requires every declared input bound, used or
+// not).
+// --------------------------------------------------------------------
+
+Rewrite
+eliminate_dead(const Graph& g, PassStats& stats)
+{
+    std::vector<char> live(g.num_values(), 0);
+    std::vector<char> node_live(g.num_nodes(), 0);
+    for (const int id : g.outputs()) live[id] = 1;
+    for (std::size_t i = g.num_nodes(); i-- > 0;) {
+        const Node& n = g.node(i);
+        bool l = false;
+        for (const int o : n.outputs) l = l || live[o];
+        node_live[i] = l;
+        if (l) {
+            for (const int in : n.inputs) live[in] = 1;
+        } else {
+            ++stats.nodes_eliminated;
+        }
+    }
+    return replay(g, [&](Graph& out, std::size_t idx,
+                         std::vector<int>& map) {
+        if (node_live[idx]) emit_same(out, g, idx, map);
+    });
+}
+
+// --------------------------------------------------------------------
+// Pass 3: rotation-hoisting CSE. All kHRot nodes reading the same
+// value collapse into one kHRotHoisted node placed where the first of
+// them was: the Executor then pays the decompose+ModUp prefix once
+// for the whole group (Evaluator::rotate_hoisted). Duplicate amounts
+// dedupe into a single shared result — classic CSE.
+// --------------------------------------------------------------------
+
+Rewrite
+group_rotations(const Graph& g, PassStats& stats)
+{
+    // Per input value: the kHRot nodes reading it, in node order.
+    std::map<int, std::vector<std::size_t>> rots_of;
+    for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+        const Node& n = g.node(i);
+        if (n.kind == OpKind::kHRot) rots_of[n.inputs[0]].push_back(i);
+    }
+    // leader[i] >= 0: node i starts a group; grouped[i]: node i is a
+    // member of some group (emitted at the leader's position).
+    std::vector<char> grouped(g.num_nodes(), 0);
+    std::vector<std::vector<std::size_t>> group_members(g.num_nodes());
+    for (const auto& [value_id, members] : rots_of) {
+        (void)value_id;
+        if (members.size() < 2) continue;
+        for (const std::size_t m : members) grouped[m] = 1;
+        group_members[members[0]] = members;
+        stats.rotations_grouped += members.size();
+    }
+
+    return replay(g, [&](Graph& out, std::size_t idx,
+                         std::vector<int>& map) {
+        if (!grouped[idx]) {
+            emit_same(out, g, idx, map);
+            return;
+        }
+        const auto& members = group_members[idx];
+        if (members.empty()) return; // non-leader member: already done
+        // Distinct amounts in first-appearance order; duplicate
+        // rotations share one output — except that two rotations which
+        // are BOTH marked graph outputs must keep distinct result
+        // values, or the replayed output list would mark one value
+        // twice (mark_output rejects that, and the positional output
+        // contract needs one value per marked slot).
+        const auto is_marked = [&](int vid) {
+            const auto& outs = g.outputs();
+            return std::find(outs.begin(), outs.end(), vid) !=
+                   outs.end();
+        };
+        std::vector<int> amounts;
+        std::vector<char> slot_marked;
+        std::vector<std::size_t> out_slot(members.size());
+        for (std::size_t k = 0; k < members.size(); ++k) {
+            const int r = g.node(members[k]).rot_amount;
+            const bool marked = is_marked(g.node(members[k]).output);
+            const auto it =
+                std::find(amounts.begin(), amounts.end(), r);
+            const std::size_t slot =
+                static_cast<std::size_t>(it - amounts.begin());
+            if (it == amounts.end() || (marked && slot_marked[slot])) {
+                out_slot[k] = amounts.size();
+                amounts.push_back(r);
+                slot_marked.push_back(marked ? 1 : 0);
+            } else {
+                out_slot[k] = slot;
+                slot_marked[slot] |= marked ? 1 : 0;
+                ++stats.nodes_eliminated; // duplicate rotation CSE'd
+            }
+        }
+        const int mapped_in = map[g.node(idx).inputs[0]];
+        BTS_ASSERT(mapped_in >= 0, "rotation operand eliminated");
+        const std::vector<Value> outs =
+            out.hrot_hoisted(Value{mapped_in}, amounts);
+        for (std::size_t k = 0; k < members.size(); ++k) {
+            map[g.node(members[k]).output] = outs[out_slot[k]].id;
+        }
+    });
+}
+
+// --------------------------------------------------------------------
+// Pass 4: fusion. A multiplication whose single consumer is the
+// matching follow-up op — HRescale after HMult/PMult/CMult, CAdd
+// after CMult — collapses with it into one fused node dispatched as a
+// single evaluator call (one scheduler hop, no intermediate value).
+// Legal only when the intermediate has exactly one consumer and is
+// not itself a graph output.
+// --------------------------------------------------------------------
+
+Rewrite
+fuse_pairs(const Graph& g, PassStats& stats)
+{
+    const auto users = g.value_users();
+    std::vector<char> is_out(g.num_values(), 0);
+    for (const int id : g.outputs()) is_out[id] = 1;
+
+    // fused_consumer[i] = j: producer node i absorbs consumer node j.
+    std::vector<int> fused_consumer(g.num_nodes(), -1);
+    std::vector<char> absorbed(g.num_nodes(), 0);
+    for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+        const Node& n = g.node(i);
+        if (n.kind != OpKind::kHMult && n.kind != OpKind::kPMult &&
+            n.kind != OpKind::kCMult) {
+            continue;
+        }
+        if (is_out[n.output] || users[n.output].size() != 1) continue;
+        const std::size_t j =
+            static_cast<std::size_t>(users[n.output][0]);
+        const OpKind ck = g.node(j).kind;
+        const bool match =
+            (ck == OpKind::kHRescale) ||
+            (n.kind == OpKind::kCMult && ck == OpKind::kCAdd);
+        if (!match) continue;
+        fused_consumer[i] = static_cast<int>(j);
+        absorbed[j] = 1;
+        ++stats.ops_fused;
+    }
+
+    return replay(g, [&](Graph& out, std::size_t idx,
+                         std::vector<int>& map) {
+        if (absorbed[idx]) return; // emitted with its producer
+        const Node& n = g.node(idx);
+        if (fused_consumer[idx] < 0) {
+            emit_same(out, g, idx, map);
+            return;
+        }
+        const Node& c =
+            g.node(static_cast<std::size_t>(fused_consumer[idx]));
+        const auto in = [&](std::size_t slot) {
+            const int mapped = map[n.inputs[slot]];
+            BTS_ASSERT(mapped >= 0, "operand eliminated");
+            return Value{mapped};
+        };
+        Value v;
+        if (n.kind == OpKind::kHMult) {
+            v = out.hmult_rescale(in(0), in(1));
+        } else if (n.kind == OpKind::kPMult) {
+            v = out.pmult_rescale(in(0), in(1));
+        } else if (c.kind == OpKind::kHRescale) {
+            v = out.cmult_rescale(in(0), n.constant);
+        } else {
+            v = out.cmult_add(in(0), n.constant, c.constant);
+        }
+        map[n.output] = -1; // the intermediate no longer exists
+        map[c.output] = v.id;
+    });
+}
+
+// --------------------------------------------------------------------
+// Pass 5: lazy-residue propagation. kHAdd/kHSub whose every consumer
+// tolerates [0, 2q) residues (multiplicative ops through Barrett /
+// Shoup products, key-switched ops whose first step is an inverse
+// NTT, ModRaise) are annotated lazy: the Executor dispatches
+// Evaluator::add_lazy/sub_lazy, skipping the canonicalization sweep.
+// Results that are graph outputs are never lazy (they leave the
+// runtime's control). In-place annotation — no rewrite needed.
+// --------------------------------------------------------------------
+
+bool
+tolerates_lazy_input(OpKind kind)
+{
+    switch (kind) {
+    case OpKind::kHMult:
+    case OpKind::kHMultRescale:
+    case OpKind::kPMult:
+    case OpKind::kPMultRescale:
+    case OpKind::kCMult:
+    case OpKind::kCMultRescale:
+    case OpKind::kCMultAdd:
+    case OpKind::kHRot:
+    case OpKind::kHRotHoisted:
+    case OpKind::kConj:
+    case OpKind::kModRaise:
+        return true;
+    case OpKind::kHAdd: // add_mod debug-asserts canonical inputs
+    case OpKind::kHSub:
+    case OpKind::kPAdd:
+    case OpKind::kCAdd:     // add_const_inplace adds on raw residues
+    case OpKind::kHRescale: // centered lift reads canonical residues
+    case OpKind::kBootstrap:
+        return false;
+    }
+    panic("unknown OpKind");
+}
+
+void
+propagate_lazy(Graph& g, PassStats& stats)
+{
+    const auto users = g.value_users();
+    std::vector<char> is_out(g.num_values(), 0);
+    for (const int id : g.outputs()) is_out[id] = 1;
+    for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+        const Node& n = g.node(i);
+        if (n.kind != OpKind::kHAdd && n.kind != OpKind::kHSub) continue;
+        if (n.lazy) continue;
+        if (is_out[n.output] || users[n.output].empty()) continue;
+        bool ok = true;
+        for (const int u : users[n.output]) {
+            ok = ok && tolerates_lazy_input(
+                           g.node(static_cast<std::size_t>(u)).kind);
+        }
+        if (!ok) continue;
+        g.mark_lazy(i);
+        ++stats.lazy_nodes;
+    }
+}
+
+} // namespace
+
+OptimizeResult
+PassManager::optimize(const Graph& g) const
+{
+    PassStats stats;
+    // Start from a replayed copy: a fresh uid (so Executors plan the
+    // optimized graph independently) and an identity value map.
+    Rewrite cur = replay(g, [&](Graph& out, std::size_t idx,
+                                std::vector<int>& map) {
+        emit_same(out, g, idx, map);
+    });
+
+    const auto log_pass = [&](const char* name, const PassStats& before) {
+        if (!opts_.log) return;
+        std::ostream& os = *opts_.log;
+        os << "[passes] " << g.name() << " · " << name << ":";
+        if (stats.rescales_inserted != before.rescales_inserted) {
+            os << " rescales_inserted="
+               << (stats.rescales_inserted - before.rescales_inserted);
+        }
+        if (stats.nodes_eliminated != before.nodes_eliminated) {
+            os << " nodes_eliminated="
+               << (stats.nodes_eliminated - before.nodes_eliminated);
+        }
+        if (stats.rotations_grouped != before.rotations_grouped) {
+            os << " rotations_grouped="
+               << (stats.rotations_grouped - before.rotations_grouped);
+        }
+        if (stats.ops_fused != before.ops_fused) {
+            os << " ops_fused=" << (stats.ops_fused - before.ops_fused);
+        }
+        if (stats.lazy_nodes != before.lazy_nodes) {
+            os << " lazy_nodes="
+               << (stats.lazy_nodes - before.lazy_nodes);
+        }
+        os << "\n";
+    };
+
+    // Compose cur.map with a pass's old->new map.
+    const auto apply = [&](Rewrite next) {
+        for (int& m : cur.map) {
+            if (m >= 0) m = next.map[m];
+        }
+        cur.graph = std::move(next.graph);
+    };
+
+    if (opts_.place_rescales) {
+        const PassStats before = stats;
+        apply(place_rescales(cur.graph, stats));
+        log_pass("place-rescales", before);
+    }
+    if (opts_.eliminate_dead) {
+        const PassStats before = stats;
+        apply(eliminate_dead(cur.graph, stats));
+        log_pass("dead-value-elim", before);
+    }
+    if (opts_.group_rotations) {
+        const PassStats before = stats;
+        apply(group_rotations(cur.graph, stats));
+        log_pass("rotation-cse", before);
+    }
+    if (opts_.fuse) {
+        const PassStats before = stats;
+        apply(fuse_pairs(cur.graph, stats));
+        log_pass("fusion", before);
+    }
+    if (opts_.lazy) {
+        const PassStats before = stats;
+        propagate_lazy(cur.graph, stats);
+        log_pass("lazy-residues", before);
+    }
+    return OptimizeResult{std::move(cur.graph), stats,
+                          std::move(cur.map)};
+}
+
+} // namespace bts::runtime::passes

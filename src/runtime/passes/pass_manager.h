@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Graph-compiler pass pipeline: rewrites a validated runtime Graph
+ * into an equivalent optimized Graph (same decrypt result, bit-exact
+ * on the functional Executor) that restructures the dataflow the way
+ * BTS restructures it on-chip — shared key-switch decompositions
+ * across rotations, fused op pairs, lazy [0, 2q) intermediates — so
+ * every workload inherits the kernel-level wins automatically instead
+ * of paying full canonicalization and decomposition at every node
+ * boundary.
+ *
+ * Pass catalog (run in this order; each is individually gateable):
+ *
+ *  1. rescale placement — the waterline rule: defer rescales through
+ *     scale-preserving ops and insert ONE shared HRescale immediately
+ *     before the consumers that need a reduced-scale operand. The pass
+ *     is insert-only: hand-placed rescales are authoritative when
+ *     legal, so a conformant graph passes through untouched.
+ *  2. dead-value elimination — drop nodes whose results can never
+ *     reach a marked output.
+ *  3. rotation-hoisting CSE — rotations of the same value collapse
+ *     into one kHRotHoisted node sharing a single decompose+ModUp
+ *     (duplicate amounts dedupe into one output).
+ *  4. fusion — HMult+HRescale, PMult+HRescale, CMult+HRescale and
+ *     CMult+CAdd pairs collapse into single fused nodes the Executor
+ *     dispatches as one evaluator call.
+ *  5. lazy-residue propagation — kHAdd/kHSub whose every consumer
+ *     tolerates [0, 2q) residues are annotated lazy, skipping the
+ *     canonicalization pass across the node boundary.
+ *
+ * Legality rules and the lazy-edge contract are documented in
+ * docs/PASSES.md.
+ */
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "runtime/graph.h"
+
+namespace bts::runtime::passes {
+
+/** Which passes run. Default: everything on. */
+struct PassOptions
+{
+    bool place_rescales = true;
+    bool eliminate_dead = true;
+    bool group_rotations = true;
+    bool fuse = true;
+    bool lazy = true;
+    /** When set, PassManager logs one stats line per pass. */
+    std::ostream* log = nullptr;
+
+    /** Everything off: optimize() degenerates to a structural copy. */
+    static PassOptions
+    none()
+    {
+        PassOptions o;
+        o.place_rescales = o.eliminate_dead = o.group_rotations = o.fuse =
+            o.lazy = false;
+        return o;
+    }
+
+    /** Only automatic rescale placement — the minimum that makes a
+     *  builder graph without hand-placed rescales executable. */
+    static PassOptions
+    rescale_only()
+    {
+        PassOptions o = none();
+        o.place_rescales = true;
+        return o;
+    }
+};
+
+/** Aggregate pass statistics for one optimize() call. */
+struct PassStats
+{
+    std::size_t rescales_inserted = 0; //!< waterline HRescales added
+    std::size_t nodes_eliminated = 0;  //!< DVE + rotation-CSE dedupe
+    std::size_t rotations_grouped = 0; //!< kHRot folded into groups
+    std::size_t ops_fused = 0;         //!< node pairs collapsed
+    std::size_t lazy_nodes = 0;        //!< adds/subs marked lazy
+};
+
+/** optimize() result: the rewritten graph plus the value-id remap
+ *  (old id -> new id; -1 for values that no longer exist, e.g. dead
+ *  values or fused-away intermediates). Callers holding Value handles
+ *  into the original graph — application structs keeping input ids,
+ *  bindings — translate them through the map. */
+struct OptimizeResult
+{
+    Graph graph;
+    PassStats stats;
+    std::vector<int> value_map;
+
+    /** Translate an original-graph value handle. */
+    Value
+    remap(Value v) const
+    {
+        return Value{v.valid() ? value_map[v.id] : -1};
+    }
+};
+
+/** Runs the pass pipeline. Stateless; cheap to construct. */
+class PassManager
+{
+  public:
+    explicit PassManager(PassOptions opts = {}) : opts_(opts) {}
+
+    /** Rewrite @p g. The input graph is untouched; the result is a new
+     *  graph (fresh uid, so executors plan it independently).
+     *  Idempotent: optimizing an already-optimized graph returns a
+     *  structurally identical one. */
+    OptimizeResult optimize(const Graph& g) const;
+
+  private:
+    PassOptions opts_;
+};
+
+} // namespace bts::runtime::passes

@@ -46,6 +46,26 @@ GraphServer::~GraphServer()
     for (std::thread& t : lanes_) t.join();
 }
 
+const passes::OptimizeResult*
+GraphServer::register_graph(const Graph& g, const passes::PassOptions& opts)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = registered_.find(g.uid());
+        if (it != registered_.end()) return it->second.get();
+    }
+    // Optimize outside the lock: the rewrite is pure, and lanes must
+    // keep draining while a (potentially large) graph is compiled. A
+    // racing duplicate registration is harmless — first insert wins.
+    auto result = std::make_unique<const passes::OptimizeResult>(
+        passes::PassManager(opts).optimize(g));
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto [it, inserted] = registered_.emplace(g.uid(),
+                                                    std::move(result));
+    (void)inserted;
+    return it->second.get();
+}
+
 std::future<JobResult>
 GraphServer::submit(JobRequest req)
 {

@@ -30,6 +30,7 @@
 
 #include "common/random.h"
 #include "runtime/executor.h"
+#include "runtime/passes/pass_manager.h"
 
 namespace bts::runtime {
 
@@ -90,6 +91,19 @@ class GraphServer
      */
     std::future<JobResult> submit(JobRequest req);
 
+    /**
+     * Run @p g through the pass pipeline ONCE and cache the result for
+     * the server's lifetime, keyed by Graph::uid() — registering the
+     * same graph again returns the cached entry, so every lane's
+     * Executor plans (and keeps warm) one optimized graph instead of
+     * re-optimizing per job. Submit against `&result->graph` and
+     * translate any raw-graph Value handles through result->remap()
+     * when binding. The input graph is not retained.
+     */
+    const passes::OptimizeResult*
+    register_graph(const Graph& g,
+                   const passes::PassOptions& opts = {});
+
     /** Block until every admitted job has completed. */
     void drain();
 
@@ -118,6 +132,11 @@ class GraphServer
     std::deque<Job> queue_;
     std::size_t active_ = 0; //!< jobs picked up, not yet finished
     bool stop_ = false;
+
+    /** register_graph() cache: source uid -> optimized graph + remap,
+     *  owned by the server so job requests can borrow the graph. */
+    std::map<u64, std::unique_ptr<const passes::OptimizeResult>>
+        registered_;
 
     // Stats, under mutex_.
     std::size_t submitted_ = 0;

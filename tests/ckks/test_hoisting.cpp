@@ -52,6 +52,41 @@ TEST(Hoisting, DecryptsToRotatedMessage)
     }
 }
 
+TEST(Hoisting, GroupedCallBitEqualsPerAmountHoistedCalls)
+{
+    // THE soundness pin for the rotation-CSE pass: the runtime
+    // Executor dispatches every kHRot through the hoisted entry point
+    // with a single amount, and the pass groups rotations of one value
+    // into a single multi-amount call. The two must be bit-identical —
+    // the shared decompose+ModUp prefix is amount-independent, so
+    // grouping changes how often the prefix is paid, never a single
+    // limb of any result.
+    auto& env = default_env();
+    const auto z = env.random_message(128, 1.0, 306);
+    const Ciphertext ct = env.encrypt(z);
+    const std::vector<int> amounts = {1, 3, 17, 64};
+    const RotationKeys keys =
+        env.keygen.gen_rotation_keys(env.sk, amounts);
+
+    const auto grouped = env.evaluator.rotate_hoisted(ct, amounts, keys);
+    ASSERT_EQ(grouped.size(), amounts.size());
+    for (std::size_t i = 0; i < amounts.size(); ++i) {
+        // Pre-resolved-key overload with one amount: the Executor's
+        // per-node path.
+        const EvalKey& key = keys.at(amounts[i]);
+        const auto single = env.evaluator.rotate_hoisted(
+            ct, {amounts[i]}, std::vector<const EvalKey*>{&key});
+        ASSERT_EQ(single.size(), 1u);
+        EXPECT_TRUE(testing::ct_equal(grouped[i], single[0]))
+            << "amount " << amounts[i];
+        // And the RotationKeys overload agrees too.
+        const auto single2 =
+            env.evaluator.rotate_hoisted(ct, {amounts[i]}, keys);
+        EXPECT_TRUE(testing::ct_equal(grouped[i], single2[0]))
+            << "amount " << amounts[i];
+    }
+}
+
 TEST(Hoisting, ZeroAmountIsIdentity)
 {
     auto& env = default_env();

@@ -39,25 +39,56 @@ class AppPin : public ::testing::TestWithParam<int>
     }
 };
 
+// The pin contract is against the RAW builder form (optimize = false,
+// the pass-off escape hatch); a separate test below shows the default
+// optimized form lowers to the same histogram anyway (lowering expands
+// every pass-introduced composite back to primitives).
+
 TEST_P(AppPin, HelrMatchesTable5Generator)
 {
     const auto i = inst();
-    const auto app = build_helr(HelrConfig::paper(), traits_for(i));
+    auto cfg = HelrConfig::paper();
+    cfg.optimize = false;
+    const auto app = build_helr(cfg, traits_for(i));
     expect_pinned(lower_to_trace(app.graph, i), workloads::helr(i));
 }
 
 TEST_P(AppPin, ResnetMatchesTable6Generator)
 {
     const auto i = inst();
-    const auto app = build_resnet(ResnetConfig::paper(), traits_for(i));
+    auto cfg = ResnetConfig::paper();
+    cfg.optimize = false;
+    const auto app = build_resnet(cfg, traits_for(i));
     expect_pinned(lower_to_trace(app.graph, i), workloads::resnet20(i));
 }
 
 TEST_P(AppPin, SortingMatchesTable6Generator)
 {
     const auto i = inst();
-    const auto app = build_sort(SortConfig::paper(), traits_for(i));
+    auto cfg = SortConfig::paper();
+    cfg.optimize = false;
+    const auto app = build_sort(cfg, traits_for(i));
     expect_pinned(lower_to_trace(app.graph, i), workloads::sorting(i));
+}
+
+TEST_P(AppPin, OptimizedGraphsLowerToSameHistogram)
+{
+    // The pass pipeline regroups and fuses but must not change the op
+    // mix the simulator prices: rotation CSE only merges rotations
+    // with DISTINCT amounts of one value (the apps have no duplicate
+    // amounts to dedupe), and lowering expands every composite, so the
+    // optimized graphs lower to the raw form's exact histogram.
+    const auto i = inst();
+    const GraphTraits t = traits_for(i);
+    expect_pinned(
+        lower_to_trace(build_helr(HelrConfig::paper(), t).graph, i),
+        workloads::helr(i));
+    expect_pinned(
+        lower_to_trace(build_resnet(ResnetConfig::paper(), t).graph, i),
+        workloads::resnet20(i));
+    expect_pinned(
+        lower_to_trace(build_sort(SortConfig::paper(), t).graph, i),
+        workloads::sorting(i));
 }
 
 TEST_P(AppPin, LoweredTracesRespectLevelBounds)

@@ -190,12 +190,21 @@ TEST(Graph, EvkClassification)
 TEST(GraphWorkloads, TmultShape)
 {
     const auto inst = hw::ins2();
+    // Default pipeline: every HMult + HRescale pair fuses.
     const Graph g = tmult_graph(inst);
     EXPECT_EQ(g.count_kind(OpKind::kBootstrap), 1);
-    EXPECT_EQ(g.count_kind(OpKind::kHMult), inst.usable_levels());
-    EXPECT_EQ(g.count_kind(OpKind::kHRescale), inst.usable_levels());
+    EXPECT_EQ(g.count_kind(OpKind::kHMultRescale), inst.usable_levels());
+    EXPECT_EQ(g.count_kind(OpKind::kHMult), 0);
+    EXPECT_EQ(g.count_kind(OpKind::kHRescale), 0);
     ASSERT_EQ(g.outputs().size(), 1u);
     EXPECT_EQ(g.value(g.outputs()[0]).level, 0);
+
+    // Pass-off keeps the hand-written primitive pairs.
+    const Graph raw = tmult_graph(inst, passes::PassOptions::none());
+    EXPECT_EQ(raw.count_kind(OpKind::kHMult), inst.usable_levels());
+    EXPECT_EQ(raw.count_kind(OpKind::kHRescale), inst.usable_levels());
+    ASSERT_EQ(raw.outputs().size(), 1u);
+    EXPECT_EQ(raw.value(raw.outputs()[0]).level, 0);
 }
 
 TEST(GraphWorkloads, PolyEvalConsumesDegreeLevels)

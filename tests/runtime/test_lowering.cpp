@@ -87,7 +87,15 @@ TEST(Lowering, NonBootstrapOpsUntagged)
     GraphTraits t = traits_for(i);
     const Graph g = dot_product_graph(t, 5, 2);
     const sim::Trace trace = lower_to_trace(g, i);
-    ASSERT_EQ(trace.ops.size(), g.num_nodes());
+    // The default-optimized dot fuses its PMult + HRescale into one
+    // node; lowering expands every fused pair back to two primitives.
+    const std::size_t fused = static_cast<std::size_t>(
+        g.count_kind(OpKind::kPMultRescale) +
+        g.count_kind(OpKind::kHMultRescale) +
+        g.count_kind(OpKind::kCMultRescale) +
+        g.count_kind(OpKind::kCMultAdd));
+    EXPECT_EQ(fused, 1u);
+    ASSERT_EQ(trace.ops.size(), g.num_nodes() + fused);
     for (const auto& op : trace.ops) {
         EXPECT_FALSE(op.in_bootstrap);
     }
@@ -139,6 +147,12 @@ TEST(Lowering, BootstrapHasNoPrimitiveImage)
     for (int k = 0; k < kNumOpKinds; ++k) {
         const OpKind kind = static_cast<OpKind>(k);
         if (kind == OpKind::kBootstrap) continue;
+        if (op_is_composite(kind)) {
+            // Pass-introduced composites expand in lower_to_trace and
+            // must fail loudly if asked for a single sim image.
+            EXPECT_THROW(to_sim_kind(kind), std::invalid_argument);
+            continue;
+        }
         if (kind == OpKind::kHSub) {
             // HSub has no sim twin of its own: it lowers to the
             // cost-identical kHAdd.

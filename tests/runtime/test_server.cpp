@@ -200,6 +200,41 @@ TEST(GraphServer, TinyQueueBackpressures)
     EXPECT_EQ(server.stats().completed, 6u);
 }
 
+TEST(GraphServer, RegisterGraphOptimizesOnceAndServesBitExact)
+{
+    auto& e = senv();
+    ServerOptions opts;
+    opts.lanes = 2;
+    GraphServer server(e.resources(), opts);
+
+    // Register a pass-off baseline graph: the server runs the pipeline
+    // once and caches the result for its lifetime.
+    const Graph raw =
+        poly_eval_graph(e.traits, e.traits.max_level, {0.5, -0.25, 1.0},
+                        passes::PassOptions::rescale_only());
+    const passes::OptimizeResult* opt = server.register_graph(raw);
+    ASSERT_NE(opt, nullptr);
+    EXPECT_GT(opt->stats.ops_fused, 0u);
+    // Same uid -> the cached entry, not a re-optimization.
+    EXPECT_EQ(server.register_graph(raw), opt);
+
+    // Jobs against the registered graph are bit-identical to direct
+    // execution of the unoptimized form over the same ciphertext.
+    const Ciphertext ct = e.env.encrypt(
+        e.env.random_message(e.env.ctx.n() / 2, 0.7, 881));
+    Binding braw;
+    braw.bind(Value{raw.input_ids()[0]}, ct);
+    const Executor ref(e.resources());
+    const auto direct = ref.run_serial(raw, std::move(braw));
+
+    JobRequest req;
+    req.graph = &opt->graph;
+    req.inputs.bind(opt->remap(Value{raw.input_ids()[0]}), ct);
+    const JobResult r = server.submit(std::move(req)).get();
+    ASSERT_EQ(r.outputs.size(), direct.size());
+    EXPECT_TRUE(testing::ct_equal(r.outputs[0], direct[0]));
+}
+
 TEST(GraphServer, BootstrapRefreshJobsInTheMix)
 {
     // The shared bootstrap-capable small instance (test_utils.h): the
