@@ -1,0 +1,128 @@
+#include "runtime/analysis/diagnostic.h"
+
+#include <sstream>
+
+namespace bts::runtime::analysis {
+
+const char*
+severity_name(Severity s)
+{
+    switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+    }
+    return "unknown";
+}
+
+std::string
+to_text(const Diagnostic& d)
+{
+    std::ostringstream os;
+    os << severity_name(d.severity) << ": [" << d.rule << "]";
+    if (d.node >= 0) {
+        os << " node " << d.node;
+        if (!d.op.empty()) os << " (" << d.op << ")";
+    }
+    if (d.value >= 0) os << " v" << d.value;
+    os << ": " << d.message;
+    if (!d.hint.empty()) os << " (fix: " << d.hint << ")";
+    return os.str();
+}
+
+std::string
+render_text(const std::string& graph_name,
+            const std::vector<Diagnostic>& diags)
+{
+    std::ostringstream os;
+    os << graph_name << ": " << count_severity(diags, Severity::kError)
+       << " error(s), " << count_severity(diags, Severity::kWarning)
+       << " warning(s)\n";
+    for (const Diagnostic& d : diags) os << "  " << to_text(d) << "\n";
+    return os.str();
+}
+
+namespace {
+
+/** Minimal JSON string escaping (quotes, backslashes, control chars —
+ *  everything a diagnostic message can realistically contain). */
+void
+append_json_string(std::ostringstream& os, const std::string& s)
+{
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+        case '"': os << "\\\""; break;
+        case '\\': os << "\\\\"; break;
+        case '\n': os << "\\n"; break;
+        case '\t': os << "\\t"; break;
+        default:
+            if (const auto u = static_cast<unsigned char>(c); u < 0x20) {
+                os << "\\u00" << "0123456789abcdef"[(u >> 4) & 0xf]
+                   << "0123456789abcdef"[u & 0xf];
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+} // namespace
+
+std::string
+render_json(const std::string& graph_name,
+            const std::vector<Diagnostic>& diags)
+{
+    std::ostringstream os;
+    os << "{\"graph\": ";
+    append_json_string(os, graph_name);
+    os << ", \"errors\": " << count_severity(diags, Severity::kError)
+       << ", \"warnings\": " << count_severity(diags, Severity::kWarning)
+       << ", \"diagnostics\": [";
+    for (std::size_t i = 0; i < diags.size(); ++i) {
+        const Diagnostic& d = diags[i];
+        os << (i ? ", " : "") << "{\"rule\": ";
+        append_json_string(os, d.rule);
+        os << ", \"severity\": \"" << severity_name(d.severity) << "\""
+           << ", \"node\": " << d.node << ", \"op\": ";
+        append_json_string(os, d.op);
+        os << ", \"value\": " << d.value << ", \"message\": ";
+        append_json_string(os, d.message);
+        os << ", \"hint\": ";
+        append_json_string(os, d.hint);
+        os << "}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+bool
+has_errors(const std::vector<Diagnostic>& diags)
+{
+    return count_severity(diags, Severity::kError) > 0;
+}
+
+std::size_t
+count_severity(const std::vector<Diagnostic>& diags, Severity s)
+{
+    std::size_t n = 0;
+    for (const Diagnostic& d : diags) n += (d.severity == s);
+    return n;
+}
+
+VerifyError::VerifyError(std::string graph_name,
+                         std::vector<Diagnostic> diags)
+    : std::invalid_argument("bts: " + render_text(graph_name, diags)),
+      graph_name_(std::move(graph_name)), diags_(std::move(diags))
+{
+}
+
+void
+throw_diagnostic(std::string graph_name, Diagnostic d)
+{
+    throw VerifyError(std::move(graph_name),
+                      std::vector<Diagnostic>{std::move(d)});
+}
+
+} // namespace bts::runtime::analysis

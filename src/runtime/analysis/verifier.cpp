@@ -1,0 +1,921 @@
+#include "runtime/analysis/verifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace bts::runtime::analysis {
+
+namespace {
+
+/** Relative scale agreement for re-derived vs stored metadata. The
+ *  verifier recomputes the exact expressions the builder evaluated,
+ *  so honest graphs agree to the last bit; the loose bound only
+ *  exists to keep the check robust under -ffast-math-style reassoc. */
+bool
+scales_equal(double a, double b)
+{
+    return a > 0.0 && b > 0.0 && std::abs(a / b - 1.0) < 1e-9;
+}
+
+/** The builder's add/sub operand agreement bound (graph.cpp). */
+bool
+scales_compatible(double a, double b)
+{
+    return a > 0.0 && b > 0.0 && std::abs(a / b - 1.0) < 1e-3;
+}
+
+bool
+is_binary(OpKind k)
+{
+    switch (k) {
+    case OpKind::kHMult:
+    case OpKind::kHAdd:
+    case OpKind::kHSub:
+    case OpKind::kPMult:
+    case OpKind::kPAdd:
+    case OpKind::kHMultRescale:
+    case OpKind::kPMultRescale:
+        return true;
+    default: return false;
+    }
+}
+
+/** Does operand slot @p slot of kind @p k take a plaintext? */
+bool
+slot_is_plain(OpKind k, std::size_t slot)
+{
+    return slot == 1 && (k == OpKind::kPMult || k == OpKind::kPAdd ||
+                         k == OpKind::kPMultRescale);
+}
+
+class Verifier
+{
+  public:
+    Verifier(const Graph& g, const AnalysisOptions& opts)
+        : g_(g), opts_(opts), scale_bits_(std::log2(g.traits().delta))
+    {
+        result_.values.resize(g.num_values());
+    }
+
+    Analysis
+    run()
+    {
+        if (opts_.structure && !check_structure()) {
+            // Structural corruption: every later analysis walks the
+            // value/node cross-links, so stop before they misindex.
+            return std::move(result_);
+        }
+        if (opts_.structure) check_metadata();
+        if (opts_.noise) check_noise_and_levels();
+        if (opts_.lazy) check_lazy_contract();
+        if (opts_.keys) check_keys(*opts_.keys);
+        if (opts_.lints) check_lints();
+        return std::move(result_);
+    }
+
+  private:
+    void
+    emit(std::string rule, Severity sev, int node, int value,
+         std::string message, std::string hint = {})
+    {
+        Diagnostic d;
+        d.rule = std::move(rule);
+        d.severity = sev;
+        d.node = node;
+        if (node >= 0 &&
+            node < static_cast<int>(g_.num_nodes())) {
+            d.op = op_name(g_.node(static_cast<std::size_t>(node)).kind);
+        }
+        d.value = value;
+        d.message = std::move(message);
+        d.hint = std::move(hint);
+        result_.diags.push_back(std::move(d));
+    }
+
+    bool
+    value_ok(int id) const
+    {
+        return id >= 0 && id < static_cast<int>(g_.num_values());
+    }
+
+    // ---------------------------------------------------------------
+    // Structure: every cross-link between the node list, the value
+    // table and the output list holds. This is the well-formedness
+    // contract the pass pipeline must preserve between passes; the two
+    // PR 7 ship bugs (dangling ValueInfo reference, double-marked
+    // outputs) were violations of exactly these rules.
+    // ---------------------------------------------------------------
+    bool
+    check_structure()
+    {
+        const std::size_t before = result_.diags.size();
+        const int num_nodes = static_cast<int>(g_.num_nodes());
+
+        for (int i = 0; i < num_nodes; ++i) {
+            const Node& n = g_.node(static_cast<std::size_t>(i));
+            check_node_arity(i, n);
+            check_node_operands(i, n);
+            check_node_outputs(i, n);
+        }
+
+        // Value-side back-links.
+        for (int id = 0; id < static_cast<int>(g_.num_values()); ++id) {
+            const ValueInfo& info = g_.value(id);
+            if (info.is_input) {
+                if (info.producer != -1) {
+                    emit("structure-producer", Severity::kError, -1, id,
+                         "input value claims producer node " +
+                             std::to_string(info.producer));
+                }
+                continue;
+            }
+            if (info.producer < 0 || info.producer >= num_nodes) {
+                emit("structure-producer", Severity::kError, -1, id,
+                     "non-input value has producer " +
+                         std::to_string(info.producer) +
+                         ", node count is " + std::to_string(num_nodes));
+                continue;
+            }
+            const Node& p =
+                g_.node(static_cast<std::size_t>(info.producer));
+            if (std::find(p.outputs.begin(), p.outputs.end(), id) ==
+                p.outputs.end()) {
+                emit("structure-producer", Severity::kError,
+                     info.producer, id,
+                     "value's producer node does not list it as an "
+                     "output");
+            }
+        }
+
+        // Output list: in range, ciphertext, no duplicates.
+        std::vector<char> seen(g_.num_values(), 0);
+        for (const int id : g_.outputs()) {
+            if (!value_ok(id)) {
+                emit("structure-producer", Severity::kError, -1, id,
+                     "marked output id out of range");
+                continue;
+            }
+            if (g_.value(id).is_plain) {
+                emit("structure-producer", Severity::kError, -1, id,
+                     "marked output is a plaintext");
+            }
+            if (seen[id]) {
+                emit("structure-producer", Severity::kError, -1, id,
+                     "value marked as an output twice");
+            }
+            seen[id] = 1;
+        }
+
+        if (result_.diags.size() != before) return false;
+        check_use_counts();
+        return result_.diags.size() == before;
+    }
+
+    void
+    check_node_arity(int i, const Node& n)
+    {
+        const std::size_t want = is_binary(n.kind) ? 2 : 1;
+        if (n.inputs.size() != want) {
+            emit("structure-arity", Severity::kError, i, -1,
+                 std::string(op_name(n.kind)) + " has " +
+                     std::to_string(n.inputs.size()) +
+                     " operand(s), expected " + std::to_string(want));
+        }
+        if (n.kind == OpKind::kHRot && n.rot_amount == 0) {
+            emit("structure-arity", Severity::kError, i, -1,
+                 "rotation amount is zero");
+        }
+        if (n.kind == OpKind::kHRotHoisted) {
+            if (n.amounts.empty()) {
+                emit("structure-arity", Severity::kError, i, -1,
+                     "hoisted rotation group has no amounts");
+            }
+            for (const int r : n.amounts) {
+                if (r == 0) {
+                    emit("structure-arity", Severity::kError, i, -1,
+                         "hoisted rotation amount is zero");
+                }
+            }
+        }
+    }
+
+    void
+    check_node_operands(int i, const Node& n)
+    {
+        for (std::size_t s = 0; s < n.inputs.size(); ++s) {
+            const int in = n.inputs[s];
+            if (!value_ok(in)) {
+                emit("structure-operand", Severity::kError, i, in,
+                     "operand id out of range");
+                continue;
+            }
+            const ValueInfo& info = g_.value(in);
+            if (!info.is_input && info.producer >= i) {
+                emit("structure-operand", Severity::kError, i, in,
+                     "operand is defined by node " +
+                         std::to_string(info.producer) +
+                         ", at or after its use");
+            }
+            if (info.is_plain != slot_is_plain(n.kind, s)) {
+                emit("structure-arity", Severity::kError, i, in,
+                     std::string("operand ") + std::to_string(s) +
+                         " is " + (info.is_plain ? "plain" : "cipher") +
+                         ", " + op_name(n.kind) + " expects " +
+                         (slot_is_plain(n.kind, s) ? "plain"
+                                                   : "cipher"));
+            }
+        }
+    }
+
+    void
+    check_node_outputs(int i, const Node& n)
+    {
+        if (n.outputs.empty()) {
+            emit("structure-producer", Severity::kError, i, -1,
+                 "node defines no values");
+            return;
+        }
+        if (n.output != n.outputs[0]) {
+            emit("structure-producer", Severity::kError, i, n.output,
+                 "node.output disagrees with node.outputs[0]");
+        }
+        const std::size_t want =
+            n.kind == OpKind::kHRotHoisted ? n.amounts.size() : 1;
+        if (n.outputs.size() != want) {
+            emit("structure-producer", Severity::kError, i, -1,
+                 "node defines " + std::to_string(n.outputs.size()) +
+                     " values, expected " + std::to_string(want));
+        }
+        for (const int out : n.outputs) {
+            if (!value_ok(out)) {
+                emit("structure-producer", Severity::kError, i, out,
+                     "output value id out of range");
+                continue;
+            }
+            const ValueInfo& info = g_.value(out);
+            if (info.is_input || info.is_plain) {
+                emit("structure-producer", Severity::kError, i, out,
+                     "node output is marked as an input/plaintext");
+            }
+            if (info.producer != i) {
+                emit("structure-producer", Severity::kError, i, out,
+                     "output's stored producer is " +
+                         std::to_string(info.producer));
+            }
+        }
+    }
+
+    void
+    check_use_counts()
+    {
+        std::vector<int> uses(g_.num_values(), 0);
+        for (std::size_t i = 0; i < g_.num_nodes(); ++i) {
+            for (const int in : g_.node(i).inputs) uses[in] += 1;
+        }
+        for (const int id : g_.outputs()) uses[id] += 1;
+        for (int id = 0; id < static_cast<int>(g_.num_values()); ++id) {
+            result_.values[id].uses = uses[id];
+            if (g_.value(id).num_uses != uses[id]) {
+                emit("structure-use-count", Severity::kError,
+                     g_.value(id).producer, id,
+                     "stored num_uses " +
+                         std::to_string(g_.value(id).num_uses) +
+                         " != derived " + std::to_string(uses[id]),
+                     "the executor frees values after num_uses "
+                     "consumers; a wrong count is a use-after-free or "
+                     "a leak");
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Metadata re-inference: derive every defined value's level and
+    // scale from its operands' STORED metadata with the exact builder
+    // rules, and flag disagreement. Local derivation (stored operands,
+    // not derived ones) pins the first corrupted link in a chain
+    // instead of cascading one bad value into errors on everything
+    // downstream.
+    // ---------------------------------------------------------------
+    void
+    check_metadata()
+    {
+        const GraphTraits& t = g_.traits();
+        for (const int id : g_.input_ids()) {
+            const ValueInfo& info = g_.value(id);
+            if (info.level < 0 || info.level > t.max_level) {
+                emit("meta-level", Severity::kError, -1, id,
+                     "input level " + std::to_string(info.level) +
+                         " outside [0, " +
+                         std::to_string(t.max_level) + "]");
+            }
+            if (info.scale <= 0.0) {
+                emit("meta-scale", Severity::kError, -1, id,
+                     "input scale is not positive");
+            }
+            result_.values[id].level = info.level;
+            result_.values[id].scale = info.scale;
+        }
+        for (std::size_t i = 0; i < g_.num_nodes(); ++i) {
+            check_node_metadata(static_cast<int>(i), g_.node(i));
+        }
+    }
+
+    void
+    check_node_metadata(int i, const Node& n)
+    {
+        const GraphTraits& t = g_.traits();
+        const auto in = [&](std::size_t s) -> const ValueInfo& {
+            return g_.value(n.inputs[s]);
+        };
+        int level = 0;
+        double scale = 1.0;
+        switch (n.kind) {
+        case OpKind::kHMult:
+            level = std::min(in(0).level, in(1).level);
+            scale = in(0).scale * in(1).scale;
+            break;
+        case OpKind::kHAdd:
+        case OpKind::kHSub:
+            level = std::min(in(0).level, in(1).level);
+            scale = in(0).scale;
+            if (!scales_compatible(in(0).scale, in(1).scale)) {
+                emit("scale-mismatch", Severity::kError, i, n.inputs[1],
+                     "add/sub operands at scales " +
+                         std::to_string(in(0).scale) + " vs " +
+                         std::to_string(in(1).scale),
+                     "rescale the larger operand first");
+            }
+            break;
+        case OpKind::kPMult:
+            level = in(0).level;
+            scale = in(0).scale * in(1).scale;
+            check_plain_covers(i, n);
+            break;
+        case OpKind::kPAdd:
+            level = in(0).level;
+            scale = in(0).scale;
+            check_plain_covers(i, n);
+            if (!scales_compatible(in(0).scale, in(1).scale)) {
+                emit("scale-mismatch", Severity::kError, i, n.inputs[1],
+                     "plaintext addend scale " +
+                         std::to_string(in(1).scale) +
+                         " != ciphertext scale " +
+                         std::to_string(in(0).scale),
+                     "encode the plaintext at the ciphertext's scale");
+            }
+            break;
+        case OpKind::kHRot:
+        case OpKind::kConj:
+        case OpKind::kHRotHoisted:
+            level = in(0).level;
+            scale = in(0).scale;
+            break;
+        case OpKind::kHRescale:
+            if (in(0).level < 1) {
+                emit("meta-level", Severity::kError, i, n.inputs[0],
+                     "rescale of a level-0 operand",
+                     "bootstrap before this point");
+                return;
+            }
+            level = in(0).level - 1;
+            scale = in(0).scale / t.delta;
+            break;
+        case OpKind::kCMult:
+            level = in(0).level;
+            scale = in(0).scale * t.delta;
+            break;
+        case OpKind::kCAdd:
+            level = in(0).level;
+            scale = in(0).scale;
+            break;
+        case OpKind::kModRaise:
+            if (in(0).level != 0) {
+                emit("meta-level", Severity::kError, i, n.inputs[0],
+                     "ModRaise of a non-exhausted (level " +
+                         std::to_string(in(0).level) + ") value");
+            }
+            level = t.max_level;
+            scale = in(0).scale;
+            break;
+        case OpKind::kBootstrap:
+            level = t.bootstrap_out_level;
+            scale = t.delta;
+            break;
+        case OpKind::kHMultRescale:
+            if (std::min(in(0).level, in(1).level) < 1) {
+                emit("meta-level", Severity::kError, i, n.inputs[0],
+                     "fused mult+rescale at level 0");
+                return;
+            }
+            level = std::min(in(0).level, in(1).level) - 1;
+            scale = in(0).scale * in(1).scale / t.delta;
+            break;
+        case OpKind::kPMultRescale:
+            check_plain_covers(i, n);
+            if (in(0).level < 1) {
+                emit("meta-level", Severity::kError, i, n.inputs[0],
+                     "fused mult+rescale at level 0");
+                return;
+            }
+            level = in(0).level - 1;
+            scale = in(0).scale * in(1).scale / t.delta;
+            break;
+        case OpKind::kCMultRescale:
+            if (in(0).level < 1) {
+                emit("meta-level", Severity::kError, i, n.inputs[0],
+                     "fused mult+rescale at level 0");
+                return;
+            }
+            level = in(0).level - 1;
+            scale = in(0).scale;
+            break;
+        case OpKind::kCMultAdd:
+            level = in(0).level;
+            scale = in(0).scale * t.delta;
+            break;
+        }
+        for (const int out : n.outputs) {
+            const ValueInfo& stored = g_.value(out);
+            result_.values[out].level = level;
+            result_.values[out].scale = scale;
+            if (stored.level != level) {
+                emit("meta-level", Severity::kError, i, out,
+                     "stored level " + std::to_string(stored.level) +
+                         ", re-derived " + std::to_string(level),
+                     "a pass corrupted the metadata; rebuild the graph "
+                     "through the builder API");
+            }
+            if (!scales_equal(stored.scale, scale)) {
+                emit("meta-scale", Severity::kError, i, out,
+                     "stored scale " + std::to_string(stored.scale) +
+                         ", re-derived " + std::to_string(scale),
+                     "a pass corrupted the metadata; rebuild the graph "
+                     "through the builder API");
+            }
+        }
+    }
+
+    void
+    check_plain_covers(int i, const Node& n)
+    {
+        const ValueInfo& ct = g_.value(n.inputs[0]);
+        const ValueInfo& pt = g_.value(n.inputs[1]);
+        if (pt.level < ct.level) {
+            emit("meta-level", Severity::kError, i, n.inputs[1],
+                 "plaintext level " + std::to_string(pt.level) +
+                     " below the ciphertext's " +
+                     std::to_string(ct.level),
+                 "encode the plaintext at (or above) the ciphertext "
+                 "level");
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Noise-budget estimator + level-budget / bootstrap-placement
+    // prediction. Worst-case abstract interpretation: each ciphertext
+    // value carries noise_bits = log2 |error|, error magnitudes sum in
+    // the linear domain (log_sum), multiplies take the dominant cross
+    // term of e = a*eb + b*ea. The transfer functions are documented
+    // constant-by-constant in docs/ANALYSIS.md. Uses stored metadata
+    // (already validated by check_metadata) so a level corruption
+    // doesn't double-report.
+    // ---------------------------------------------------------------
+
+    /** Compose two error magnitudes given in bits. Independent-error
+     *  (RMS) composition — sqrt(ea^2 + eb^2) in the linear domain —
+     *  the standard CKKS heuristic: fully-correlated linear summation
+     *  overestimates deep inner-product trees by their full depth and
+     *  would flag the paper's own Table 5/6 schedules as broken. A
+     *  balanced add tree grows 0.5 bits per level under RMS. */
+    static double
+    log_sum(double a, double b)
+    {
+        if (a < b) std::swap(a, b);
+        return a + 0.5 * std::log2(1.0 + std::exp2(2.0 * (b - a)));
+    }
+
+    void
+    check_noise_and_levels()
+    {
+        const NoiseModel& m = opts_.noise_model;
+        const double S = scale_bits_;
+        std::vector<double> noise(g_.num_values(), 0.0);
+
+        for (const int id : g_.input_ids()) {
+            if (!g_.value(id).is_plain) noise[id] = m.fresh * S;
+            note_value(id, noise[id]);
+        }
+        for (std::size_t i = 0; i < g_.num_nodes(); ++i) {
+            const Node& n = g_.node(i);
+            const auto nb = [&](std::size_t s) {
+                return noise[n.inputs[s]];
+            };
+            const auto sbits = [&](std::size_t s) {
+                return std::log2(g_.value(n.inputs[s]).scale);
+            };
+            double out = 0.0;
+            switch (n.kind) {
+            case OpKind::kHAdd:
+            case OpKind::kHSub:
+                out = log_sum(nb(0), nb(1));
+                break;
+            case OpKind::kPAdd: // the plaintext operand is noiseless
+            case OpKind::kCAdd:
+                out = nb(0);
+                break;
+            case OpKind::kHMult:
+                out = log_sum(std::max(nb(0) + sbits(1),
+                                       nb(1) + sbits(0)),
+                              m.key_switch * S);
+                break;
+            case OpKind::kPMult:
+                out = nb(0) + sbits(1);
+                break;
+            case OpKind::kCMult:
+            case OpKind::kCMultAdd:
+                out = nb(0) + S; // constants are encoded at delta
+                break;
+            case OpKind::kHRot:
+            case OpKind::kConj:
+            case OpKind::kHRotHoisted:
+                out = log_sum(nb(0), m.key_switch * S);
+                break;
+            case OpKind::kHRescale:
+                out = std::max(nb(0) - S, m.rescale_floor * S);
+                break;
+            case OpKind::kModRaise: out = nb(0); break;
+            case OpKind::kBootstrap: out = m.bootstrap_out * S; break;
+            case OpKind::kHMultRescale:
+                out = std::max(log_sum(std::max(nb(0) + sbits(1),
+                                                nb(1) + sbits(0)),
+                                       m.key_switch * S) -
+                                   S,
+                               m.rescale_floor * S);
+                break;
+            case OpKind::kPMultRescale:
+                out = std::max(nb(0) + sbits(1) - S,
+                               m.rescale_floor * S);
+                break;
+            case OpKind::kCMultRescale:
+                out = std::max(nb(0), m.rescale_floor * S);
+                break;
+            }
+            for (const int o : n.outputs) {
+                noise[o] = out;
+                note_value(o, out);
+                check_budgets(static_cast<int>(i), o, out);
+            }
+            if (n.kind == OpKind::kBootstrap) {
+                check_bootstrap_placement(static_cast<int>(i), n);
+            }
+        }
+        // Input values face the same budget rules (a declared input
+        // whose scale cannot fit its level is unbindable).
+        for (const int id : g_.input_ids()) {
+            if (!g_.value(id).is_plain) check_budgets(-1, id, noise[id]);
+        }
+    }
+
+    void
+    note_value(int id, double noise_bits)
+    {
+        result_.values[id].noise_bits = noise_bits;
+        result_.values[id].budget_bits =
+            std::log2(g_.value(id).scale) - noise_bits;
+    }
+
+    void
+    check_budgets(int node, int id, double noise_bits)
+    {
+        const NoiseModel& m = opts_.noise_model;
+        const double S = scale_bits_;
+        const ValueInfo& info = g_.value(id);
+        const double sbits = std::log2(info.scale);
+
+        // Level budget: a value at k x the canonical scale owes k - 1
+        // rescales before it can be consumed at canonical scale; with
+        // fewer levels left, no bootstrap can ever be reached.
+        const int drops = std::max(
+            0, static_cast<int>(std::lround(sbits / S)) - 1);
+        if (drops > info.level) {
+            emit("level-budget", Severity::kError, node, id,
+                 "value at scale delta^" + std::to_string(drops + 1) +
+                     " owes " + std::to_string(drops) +
+                     " rescale(s) but only " +
+                     std::to_string(info.level) + " level(s) remain",
+                 "bootstrap earlier or rescale between the "
+                 "multiplications");
+            return;
+        }
+        // Modulus capacity: scale must stay below q0 * delta^level.
+        if (sbits > (m.q0_ratio + info.level) * S) {
+            emit("level-budget", Severity::kError, node, id,
+                 "scale (2^" + std::to_string(sbits) +
+                     ") exceeds the level-" +
+                     std::to_string(info.level) + " modulus capacity",
+                 "rescale or bootstrap before this point");
+            return;
+        }
+        const double budget = sbits - noise_bits;
+        if (budget <= 0.0) {
+            emit("noise-budget", Severity::kError, node, id,
+                 "worst-case noise (2^" + std::to_string(noise_bits) +
+                     ") consumes the whole precision budget before "
+                     "this value's bootstrap",
+                 "bootstrap earlier or shorten the add chain");
+        } else if (budget < m.warn_headroom * S) {
+            emit("noise-budget", Severity::kWarning, node, id,
+                 "only " + std::to_string(budget) +
+                     " precision bits of headroom left "
+                     "(worst-case noise model)",
+                 "consider bootstrapping earlier");
+        }
+    }
+
+    void
+    check_bootstrap_placement(int i, const Node& n)
+    {
+        const int boot_out = g_.traits().bootstrap_out_level;
+        const int in_level = g_.value(n.inputs[0]).level;
+        if (boot_out > 0 &&
+            static_cast<double>(in_level) > 0.75 * boot_out) {
+            emit("bootstrap-placement", Severity::kWarning, i,
+                 n.inputs[0],
+                 "bootstrap discards " + std::to_string(in_level) +
+                     " remaining level(s) of a " +
+                     std::to_string(boot_out) + "-level budget",
+                 "spend the remaining levels first, or drop the "
+                 "redundant refresh");
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Lazy-residue contract: a lazy node must be an HAdd/HSub whose
+    // result never leaves the runtime (not a marked output) and whose
+    // every consumer tolerates [0, 2q) residues (docs/PASSES.md).
+    // ---------------------------------------------------------------
+    void
+    check_lazy_contract()
+    {
+        const auto users = g_.value_users();
+        std::vector<char> is_out(g_.num_values(), 0);
+        for (const int id : g_.outputs()) is_out[id] = 1;
+        for (std::size_t i = 0; i < g_.num_nodes(); ++i) {
+            const Node& n = g_.node(i);
+            if (!n.lazy) continue;
+            const int node = static_cast<int>(i);
+            if (n.kind != OpKind::kHAdd && n.kind != OpKind::kHSub) {
+                emit("lazy-contract", Severity::kError, node, n.output,
+                     "lazy mark on a non-add/sub node");
+                continue;
+            }
+            if (is_out[n.output]) {
+                emit("lazy-contract", Severity::kError, node, n.output,
+                     "lazy result is a marked graph output",
+                     "outputs leave the runtime's control and must be "
+                     "canonical");
+            }
+            for (const int u : users[n.output]) {
+                const OpKind ck =
+                    g_.node(static_cast<std::size_t>(u)).kind;
+                if (!op_tolerates_lazy_input(ck)) {
+                    emit("lazy-contract", Severity::kError, node,
+                         n.output,
+                         std::string("consumer node ") +
+                             std::to_string(u) + " (" + op_name(ck) +
+                             ") requires canonical residues",
+                         "clear the lazy mark or reorder the "
+                         "consumers");
+                }
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Required evaluation keys vs the registered key set.
+    // ---------------------------------------------------------------
+    void
+    check_keys(const KeySet& keys)
+    {
+        int first_mult = -1, first_conj = -1, first_boot = -1;
+        std::set<int> missing_rots;
+        int first_missing_rot = -1;
+        for (std::size_t i = 0; i < g_.num_nodes(); ++i) {
+            const Node& n = g_.node(i);
+            const int node = static_cast<int>(i);
+            switch (n.kind) {
+            case OpKind::kHMult:
+            case OpKind::kHMultRescale:
+                if (first_mult < 0) first_mult = node;
+                break;
+            case OpKind::kConj:
+                if (first_conj < 0) first_conj = node;
+                break;
+            case OpKind::kBootstrap:
+                if (first_boot < 0) first_boot = node;
+                break;
+            case OpKind::kHRot:
+                if (!keys.rotations.count(n.rot_amount)) {
+                    missing_rots.insert(n.rot_amount);
+                    if (first_missing_rot < 0) first_missing_rot = node;
+                }
+                break;
+            case OpKind::kHRotHoisted:
+                for (const int r : n.amounts) {
+                    if (!keys.rotations.count(r)) {
+                        missing_rots.insert(r);
+                        if (first_missing_rot < 0) {
+                            first_missing_rot = node;
+                        }
+                    }
+                }
+                break;
+            default: break;
+            }
+        }
+        if (first_mult >= 0 && !keys.mult) {
+            emit("missing-mult-key", Severity::kError, first_mult, -1,
+                 "graph multiplies ciphertexts but the key set has no "
+                 "relinearization key",
+                 "register the multiplication key with the server");
+        }
+        if (first_conj >= 0 && !keys.conj) {
+            emit("missing-conj-key", Severity::kError, first_conj, -1,
+                 "graph conjugates but the key set has no conjugation "
+                 "key",
+                 "generate the conjugation key");
+        }
+        if (first_boot >= 0 && !keys.bootstrap) {
+            emit("missing-bootstrapper", Severity::kError, first_boot,
+                 -1, "graph bootstraps but no bootstrapper is bound",
+                 "construct the server with a Bootstrapper");
+        }
+        if (!missing_rots.empty()) {
+            std::ostringstream os;
+            os << "required rotation key(s) missing:";
+            for (const int r : missing_rots) os << " " << r;
+            emit("missing-rotation-key", Severity::kError,
+                 first_missing_rot, -1, os.str(),
+                 "generate rotation keys for every amount in "
+                 "Graph::required_rotations()");
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Lint rules.
+    // ---------------------------------------------------------------
+    void
+    check_lints()
+    {
+        if (g_.outputs().empty()) {
+            emit("no-outputs", Severity::kWarning, -1, -1,
+                 "graph marks no outputs; execution returns nothing",
+                 "mark_output the results that matter");
+        }
+        for (const int id : g_.input_ids()) {
+            if (result_.values[id].uses == 0) {
+                emit("unused-input", Severity::kWarning, -1, id,
+                     "declared input is never consumed",
+                     "drop the declaration (callers must still bind "
+                     "unused inputs)");
+            }
+        }
+        // dead-node: reachability to marked outputs, the DVE rule.
+        std::vector<char> live(g_.num_values(), 0);
+        for (const int id : g_.outputs()) live[id] = 1;
+        for (std::size_t i = g_.num_nodes(); i-- > 0;) {
+            const Node& n = g_.node(i);
+            bool l = false;
+            for (const int o : n.outputs) l = l || live[o];
+            if (l) {
+                for (const int in : n.inputs) live[in] = 1;
+            } else {
+                emit("dead-node", Severity::kWarning,
+                     static_cast<int>(i), n.output,
+                     "no marked output depends on this node",
+                     "run dead-value elimination, or mark the result");
+            }
+        }
+        // rescale-below-waterline: rescaling a value that is not at
+        // double scale drops the result below the canonical scale.
+        const double waterline =
+            g_.traits().delta * g_.traits().delta * 0.5;
+        for (std::size_t i = 0; i < g_.num_nodes(); ++i) {
+            const Node& n = g_.node(i);
+            if (n.kind != OpKind::kHRescale) continue;
+            if (g_.value(n.inputs[0]).scale < waterline) {
+                emit("rescale-below-waterline", Severity::kWarning,
+                     static_cast<int>(i), n.inputs[0],
+                     "rescale of a canonical-scale value burns a level "
+                     "and drops the scale below delta",
+                     "remove the rescale (the waterline pass places "
+                     "the needed ones)");
+            }
+        }
+    }
+
+    const Graph& g_;
+    const AnalysisOptions& opts_;
+    const double scale_bits_;
+    Analysis result_;
+};
+
+} // namespace
+
+Analysis
+analyze(const Graph& g, const AnalysisOptions& opts)
+{
+    return Verifier(g, opts).run();
+}
+
+std::vector<Diagnostic>
+verify(const Graph& g, const AnalysisOptions& opts)
+{
+    return analyze(g, opts).diags;
+}
+
+void
+verify_or_throw(const Graph& g, const AnalysisOptions& opts)
+{
+    Analysis a = analyze(g, opts);
+    if (has_errors(a.diags)) {
+        throw VerifyError(g.name(), std::move(a.diags));
+    }
+}
+
+std::string
+to_annotated_dot(const Graph& g, const Analysis& a)
+{
+    std::ostringstream os;
+    os << "digraph \"" << g.name() << "\" {\n"
+       << "  rankdir=TB;\n  node [fontsize=10];\n";
+
+    // Worst diagnostic severity per node, for the tint.
+    std::vector<int> worst(g.num_nodes(), -1);
+    for (const Diagnostic& d : a.diags) {
+        if (d.node >= 0 && d.node < static_cast<int>(g.num_nodes())) {
+            worst[d.node] =
+                std::max(worst[d.node], static_cast<int>(d.severity));
+        }
+    }
+    const auto tint = [&](int node) -> const char* {
+        if (node < 0 || worst[node] < 0) return nullptr;
+        return worst[node] == static_cast<int>(Severity::kError)
+                   ? "lightcoral"
+                   : "khaki";
+    };
+    const auto facts_label = [&](std::ostringstream& label, int id) {
+        if (id < 0 || id >= static_cast<int>(a.values.size())) return;
+        const ValueFacts& f = a.values[id];
+        label << "\\nL" << f.level << " noise=" << std::lround(f.noise_bits)
+              << "b budget=" << std::lround(f.budget_bits) << "b";
+    };
+
+    std::vector<char> is_out(g.num_values(), 0);
+    for (const int id : g.outputs()) is_out[id] = 1;
+
+    for (const int id : g.input_ids()) {
+        const ValueInfo& info = g.value(id);
+        std::ostringstream label;
+        label << (info.is_plain ? "pt" : "ct") << " in v" << id;
+        if (!info.is_plain) facts_label(label, id);
+        os << "  v" << id << " [shape=box"
+           << (info.is_plain ? ", style=dashed" : "") << ", label=\""
+           << label.str() << "\""
+           << (is_out[id] ? ", peripheries=2" : "") << "];\n";
+    }
+    for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+        const Node& n = g.node(i);
+        std::ostringstream label;
+        label << "#" << i << " " << op_name(n.kind);
+        if (n.kind == OpKind::kHRot) label << " r=" << n.rot_amount;
+        if (n.lazy) label << " [lazy]";
+        facts_label(label, n.output);
+        bool marks = false;
+        for (const int o : n.outputs) marks = marks || is_out[o];
+        os << "  n" << i << " [label=\"" << label.str() << "\"";
+        if (const char* color = tint(static_cast<int>(i))) {
+            os << ", style=filled, fillcolor=" << color;
+        }
+        os << (marks ? ", peripheries=2" : "") << "];\n";
+    }
+    for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+        for (const int in : g.node(i).inputs) {
+            if (in < 0 || in >= static_cast<int>(g.num_values())) {
+                continue;
+            }
+            const ValueInfo& info = g.value(in);
+            if (info.is_input) {
+                os << "  v" << in;
+            } else {
+                os << "  n" << info.producer;
+            }
+            os << " -> n" << i << " [label=\"v" << in << "\"];\n";
+        }
+    }
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace bts::runtime::analysis

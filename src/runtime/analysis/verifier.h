@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Static graph verifier: abstract interpretation of level / scale /
+ * noise over the runtime IR, plus the lint-rule catalog.
+ *
+ * BTS builds everything on tight static budgets — level consumption
+ * per op, rescale placement, bootstrap timing are all decided before
+ * execution — so a bad graph should be rejected at registration time
+ * with a diagnostic, not discovered as a worker-thread exception under
+ * load. analyze() re-derives every value's metadata from the graph
+ * structure alone and checks it against what the builder stored
+ * (catching pass-manager corruption by construction), runs a
+ * worst-case noise-budget estimator over the dataflow, checks the
+ * lazy-residue and evaluation-key contracts, predicts level-budget
+ * exhaustion, and applies the lint rules. Rule catalog, severities and
+ * the noise model's constants are documented in docs/ANALYSIS.md.
+ *
+ * Rule ids (stable; the mutation tests pin one fixture per rule):
+ *   structure-operand   operand ids out of range / defined after use
+ *   structure-producer  value<->node cross-links inconsistent
+ *   structure-arity     operand count or cipher/plain signature wrong
+ *   structure-use-count stored num_uses != derived consumer count
+ *   meta-level          stored level != re-derived level
+ *   meta-scale          stored scale != re-derived scale
+ *   scale-mismatch      add/sub operands at visibly different scales
+ *   level-budget        value needs more rescale levels than remain
+ *   noise-budget        worst-case noise exhausts the precision budget
+ *   lazy-contract       lazy mark on an illegal node / consumer
+ *   missing-mult-key    graph multiplies, key set has no mult key
+ *   missing-rotation-key  required rotation amount not in the key set
+ *   missing-conj-key    graph conjugates without a conjugation key
+ *   missing-bootstrapper  graph bootstraps without a bootstrapper
+ *   bootstrap-placement bootstrap discards a large remaining budget
+ *   rescale-below-waterline  rescale of an already-canonical scale
+ *   unused-input        declared input no node consumes
+ *   dead-node           node whose results reach no marked output
+ *   no-outputs          graph has no marked outputs
+ */
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "runtime/analysis/diagnostic.h"
+#include "runtime/graph.h"
+
+namespace bts::runtime::analysis {
+
+/**
+ * Per-op noise growth model. A ciphertext value carries noise_bits =
+ * log2 of its estimated error magnitude; error magnitudes compose by
+ * the independent-error (RMS) heuristic standard for CKKS — adds
+ * combine as sqrt(ea^2 + eb^2) (balanced trees grow 0.5 bits per
+ * level; pathological self-accumulation still grows without bound),
+ * multiplies take the dominant cross term max(na + sb, nb + sa) of
+ * e = a*eb + b*ea. The
+ * floor constants are *fractions of log2(delta)*, so the model adapts
+ * from the paper's 50-bit production scales down to the 40-bit test
+ * instances without retuning. A value's precision budget is
+ * scale_bits - noise_bits; the estimator errors when that budget
+ * reaches zero before the value's bootstrap. Constants follow the
+ * paper's parameter-study margins (Section 2.4 / Table 4); see
+ * docs/ANALYSIS.md for the derivation of each one.
+ */
+struct NoiseModel
+{
+    double fresh = 0.25;         //!< encryption noise, x scale bits
+    double key_switch = 0.30;    //!< additive key-switch noise term
+    double rescale_floor = 0.30; //!< rounding noise floor after rescale
+    double bootstrap_out = 0.45; //!< noise of a refreshed ciphertext
+    double warn_headroom = 0.15; //!< warn when budget drops below this
+    /** q0 headroom over the scale prime (60-bit base over 50-bit scale
+     *  primes in Table 4): level-0 capacity is q0_ratio x scale bits. */
+    double q0_ratio = 1.2;
+};
+
+/** The evaluation-key material a graph's execution environment holds;
+ *  checked against the ops the graph actually uses. */
+struct KeySet
+{
+    bool mult = false;
+    bool conj = false;
+    bool bootstrap = false;
+    std::set<int> rotations;
+};
+
+/** Which rule families run (all on by default). */
+struct AnalysisOptions
+{
+    bool structure = true; //!< well-formedness + metadata re-inference
+    bool noise = true;     //!< noise-budget estimator + level budgets
+    bool lazy = true;      //!< lazy-residue contract
+    bool lints = true;     //!< unused-input / dead-node / waterline...
+    NoiseModel noise_model;
+    /** When set, the graph's required evks are checked against it. */
+    std::optional<KeySet> keys;
+
+    /** The well-formedness subset the pass pipeline runs between
+     *  passes: structure + metadata + lazy contract, no noise/lints
+     *  (mid-pipeline graphs legitimately carry dead nodes before DVE
+     *  and unshared rescales before fusion). */
+    static AnalysisOptions
+    wellformed()
+    {
+        AnalysisOptions o;
+        o.noise = false;
+        o.lints = false;
+        return o;
+    }
+};
+
+/** Per-value facts the abstract interpretation derives; the lint
+ *  tool's annotated DOT renders them next to each node. */
+struct ValueFacts
+{
+    int level = 0;          //!< re-derived level
+    double scale = 1.0;     //!< re-derived scale
+    double noise_bits = 0;  //!< worst-case log2 |error|
+    double budget_bits = 0; //!< scale_bits - noise_bits
+    int uses = 0;           //!< derived consumer slots + output marks
+};
+
+/** analyze() result: diagnostics plus the derived per-value facts
+ *  (facts are only meaningful when no structure errors were found). */
+struct Analysis
+{
+    std::vector<Diagnostic> diags;
+    std::vector<ValueFacts> values;
+
+    bool ok() const { return !has_errors(diags); }
+};
+
+/** Run every enabled rule over @p g. Never throws on a bad graph —
+ *  findings come back as diagnostics; structural corruption degrades
+ *  later analyses gracefully instead of crashing them. */
+Analysis analyze(const Graph& g, const AnalysisOptions& opts = {});
+
+/** analyze() and return just the findings. */
+std::vector<Diagnostic> verify(const Graph& g,
+                               const AnalysisOptions& opts = {});
+
+/** analyze(); throw VerifyError carrying every finding if any is an
+ *  error. The GraphServer::register_graph rejection path. */
+void verify_or_throw(const Graph& g, const AnalysisOptions& opts = {});
+
+/** Graphviz DOT of @p g annotated with the analysis: every node shows
+ *  its re-derived level and worst-case noise/budget bits, and nodes
+ *  implicated in a diagnostic are tinted by severity. */
+std::string to_annotated_dot(const Graph& g, const Analysis& a);
+
+} // namespace bts::runtime::analysis

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "runtime/analysis/diagnostic.h"
 
 namespace bts::runtime {
 
@@ -64,6 +65,33 @@ op_needs_evk(OpKind kind)
 }
 
 bool
+op_tolerates_lazy_input(OpKind kind)
+{
+    switch (kind) {
+    case OpKind::kHMult:
+    case OpKind::kHMultRescale:
+    case OpKind::kPMult:
+    case OpKind::kPMultRescale:
+    case OpKind::kCMult:
+    case OpKind::kCMultRescale:
+    case OpKind::kCMultAdd:
+    case OpKind::kHRot:
+    case OpKind::kHRotHoisted:
+    case OpKind::kConj:
+    case OpKind::kModRaise:
+        return true;
+    case OpKind::kHAdd: // add_mod debug-asserts canonical inputs
+    case OpKind::kHSub:
+    case OpKind::kPAdd:
+    case OpKind::kCAdd:     // add_const_inplace adds on raw residues
+    case OpKind::kHRescale: // centered lift reads canonical residues
+    case OpKind::kBootstrap:
+        return false;
+    }
+    panic("unknown OpKind");
+}
+
+bool
 op_is_composite(OpKind kind)
 {
     switch (kind) {
@@ -92,19 +120,40 @@ op_is_composite(OpKind kind)
 
 namespace {
 
+/** Throw a builder validation failure as the same Diagnostic currency
+ *  the static verifier emits (rule id, node index, op kind), so "node
+ *  231 (hrescale): ..." reads identically whether it was raised while
+ *  building the graph or while analyzing it. */
+[[noreturn]] void
+throw_node_error(const std::string& graph, std::size_t node_idx,
+                 const char* rule, const char* op, std::string msg)
+{
+    analysis::Diagnostic d;
+    d.rule = rule;
+    d.severity = analysis::Severity::kError;
+    d.node = static_cast<int>(node_idx);
+    d.op = op;
+    d.message = std::move(msg);
+    analysis::throw_diagnostic(graph, std::move(d));
+}
+
 /** Loose build-time scale agreement (the evaluator enforces the exact
  *  kScaleTolerance at run time; metadata is approximate bookkeeping). */
 void
-check_scales_close(double a, double b, const char* op,
-                   std::size_t node_idx)
+check_scales_close(const std::string& graph, double a, double b,
+                   const char* op, std::size_t node_idx)
 {
-    BTS_CHECK(a > 0.0 && b > 0.0,
-              "node " << node_idx << " (" << op
-                      << "): operand scales must be positive");
-    BTS_CHECK(std::abs(a / b - 1.0) < 1e-3,
-              "node " << node_idx << " (" << op
-                      << "): operand scale metadata differs (" << a
-                      << " vs " << b << ")");
+    if (!(a > 0.0 && b > 0.0)) {
+        throw_node_error(graph, node_idx, "meta-scale", op,
+                         "operand scales must be positive");
+    }
+    if (!(std::abs(a / b - 1.0) < 1e-3)) {
+        std::ostringstream os;
+        os << "operand scale metadata differs (" << a << " vs " << b
+           << ")";
+        throw_node_error(graph, node_idx, "scale-mismatch", op,
+                         os.str());
+    }
 }
 
 } // namespace
@@ -165,21 +214,30 @@ Graph::plain_input(int level, double scale)
     return v;
 }
 
-// Every builder validation message names the node being built — its
-// index and op kind — so an error deep inside a multi-hundred-node
-// application graph points at the offending op, not just the rule it
-// broke ("node 231 (hrescale): ..." instead of "hrescale: ...").
-#define BTS_NODE_CHECK(cond, op, msg)                                       \
-    BTS_CHECK(cond, "node " << nodes_.size() << " (" << (op) << "): "       \
-                            << msg)
+// Every builder validation failure names the node being built — its
+// index and op kind — and carries the violated analysis rule id, so an
+// error deep inside a multi-hundred-node application graph reads like
+// a verifier diagnostic ("node 231 (hrescale): ..." instead of
+// "hrescale: ..."), and catch sites can recover the structured form
+// from analysis::VerifyError::diagnostics().
+#define BTS_NODE_CHECK(cond, rule, op, msg)                                 \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            std::ostringstream bts_node_msg_;                               \
+            bts_node_msg_ << msg;                                           \
+            throw_node_error(name_, nodes_.size(), (rule), (op),            \
+                             bts_node_msg_.str());                          \
+        }                                                                   \
+    } while (0)
 
 const ValueInfo&
 Graph::use_cipher(Value v, const char* op)
 {
     BTS_NODE_CHECK(v.valid() && v.id < static_cast<int>(values_.size()),
-                   op, "operand is not a value of this graph");
+                   "structure-operand", op,
+                   "operand is not a value of this graph");
     ValueInfo& info = values_[v.id];
-    BTS_NODE_CHECK(!info.is_plain, op,
+    BTS_NODE_CHECK(!info.is_plain, "structure-arity", op,
                    "expected a ciphertext operand, value " << v.id
                                                            << " is plain");
     info.num_uses += 1;
@@ -190,9 +248,10 @@ const ValueInfo&
 Graph::use_plain(Value v, const char* op)
 {
     BTS_NODE_CHECK(v.valid() && v.id < static_cast<int>(values_.size()),
-                   op, "operand is not a value of this graph");
+                   "structure-operand", op,
+                   "operand is not a value of this graph");
     ValueInfo& info = values_[v.id];
-    BTS_NODE_CHECK(info.is_plain, op,
+    BTS_NODE_CHECK(info.is_plain, "structure-arity", op,
                    "expected a plaintext operand, value "
                        << v.id << " is a ciphertext");
     info.num_uses += 1;
@@ -229,7 +288,7 @@ Graph::hadd(Value a, Value b)
 {
     const ValueInfo& ia = use_cipher(a, "hadd");
     const ValueInfo& ib = use_cipher(b, "hadd");
-    check_scales_close(ia.scale, ib.scale, "hadd", nodes_.size());
+    check_scales_close(name_, ia.scale, ib.scale, "hadd", nodes_.size());
     Node n;
     n.kind = OpKind::kHAdd;
     n.inputs = {a.id, b.id};
@@ -244,7 +303,7 @@ Graph::hsub(Value a, Value b)
 {
     const ValueInfo& ia = use_cipher(a, "hsub");
     const ValueInfo& ib = use_cipher(b, "hsub");
-    check_scales_close(ia.scale, ib.scale, "hsub", nodes_.size());
+    check_scales_close(name_, ia.scale, ib.scale, "hsub", nodes_.size());
     Node n;
     n.kind = OpKind::kHSub;
     n.inputs = {a.id, b.id};
@@ -259,7 +318,7 @@ Graph::pmult(Value ct, Value pt)
 {
     const ValueInfo& ic = use_cipher(ct, "pmult");
     const ValueInfo& ip = use_plain(pt, "pmult");
-    BTS_NODE_CHECK(ip.level >= ic.level, "pmult",
+    BTS_NODE_CHECK(ip.level >= ic.level, "meta-level", "pmult",
                    "plaintext level " << ip.level
                                       << " below the ciphertext's "
                                       << ic.level);
@@ -277,9 +336,9 @@ Graph::padd(Value ct, Value pt)
 {
     const ValueInfo& ic = use_cipher(ct, "padd");
     const ValueInfo& ip = use_plain(pt, "padd");
-    BTS_NODE_CHECK(ip.level >= ic.level, "padd",
+    BTS_NODE_CHECK(ip.level >= ic.level, "meta-level", "padd",
                    "plaintext level below the ciphertext's");
-    check_scales_close(ic.scale, ip.scale, "padd", nodes_.size());
+    check_scales_close(name_, ic.scale, ip.scale, "padd", nodes_.size());
     Node n;
     n.kind = OpKind::kPAdd;
     n.inputs = {ct.id, pt.id};
@@ -293,7 +352,8 @@ Value
 Graph::hrot(Value ct, int amount)
 {
     const ValueInfo& ic = use_cipher(ct, "hrot");
-    BTS_NODE_CHECK(amount != 0, "hrot", "rotation amount must be nonzero");
+    BTS_NODE_CHECK(amount != 0, "structure-arity", "hrot",
+                   "rotation amount must be nonzero");
     Node n;
     n.kind = OpKind::kHRot;
     n.inputs = {ct.id};
@@ -324,7 +384,8 @@ Graph::hrescale(Value ct)
     const ValueInfo& ic = use_cipher(ct, "hrescale");
     // The graph-level image of TraceBuilder's level-underflow guard:
     // rescaling a level-0 value has no prime left to drop.
-    BTS_NODE_CHECK(ic.level >= 1, "hrescale", "operand already at level 0");
+    BTS_NODE_CHECK(ic.level >= 1, "level-budget", "hrescale",
+                   "operand already at level 0");
     Node n;
     n.kind = OpKind::kHRescale;
     n.inputs = {ct.id};
@@ -366,7 +427,7 @@ Value
 Graph::mod_raise(Value ct)
 {
     const ValueInfo& ic = use_cipher(ct, "mod_raise");
-    BTS_NODE_CHECK(ic.level == 0, "mod_raise",
+    BTS_NODE_CHECK(ic.level == 0, "meta-level", "mod_raise",
                    "expects an exhausted (level-0) value, got level "
                        << ic.level);
     Node n;
@@ -403,10 +464,10 @@ Graph::hrot_hoisted(Value ct, const std::vector<int>& amounts)
     // Copy, not reference: fresh_value() below grows the value table,
     // which would invalidate a reference into it mid-loop.
     const ValueInfo ic = use_cipher(ct, "hrot_hoisted");
-    BTS_NODE_CHECK(!amounts.empty(), "hrot_hoisted",
+    BTS_NODE_CHECK(!amounts.empty(), "structure-arity", "hrot_hoisted",
                    "needs at least one rotation amount");
     for (const int r : amounts) {
-        BTS_NODE_CHECK(r != 0, "hrot_hoisted",
+        BTS_NODE_CHECK(r != 0, "structure-arity", "hrot_hoisted",
                        "rotation amount must be nonzero");
     }
     Node n;
@@ -437,7 +498,7 @@ Graph::hmult_rescale(Value a, Value b)
     const ValueInfo& ia = use_cipher(a, "hmult_rescale");
     const ValueInfo& ib = use_cipher(b, "hmult_rescale");
     const int level = std::min(ia.level, ib.level);
-    BTS_NODE_CHECK(level >= 1, "hmult_rescale",
+    BTS_NODE_CHECK(level >= 1, "level-budget", "hmult_rescale",
                    "operand already at level 0");
     Node n;
     n.kind = OpKind::kHMultRescale;
@@ -453,11 +514,11 @@ Graph::pmult_rescale(Value ct, Value pt)
 {
     const ValueInfo& ic = use_cipher(ct, "pmult_rescale");
     const ValueInfo& ip = use_plain(pt, "pmult_rescale");
-    BTS_NODE_CHECK(ip.level >= ic.level, "pmult_rescale",
+    BTS_NODE_CHECK(ip.level >= ic.level, "meta-level", "pmult_rescale",
                    "plaintext level " << ip.level
                                       << " below the ciphertext's "
                                       << ic.level);
-    BTS_NODE_CHECK(ic.level >= 1, "pmult_rescale",
+    BTS_NODE_CHECK(ic.level >= 1, "level-budget", "pmult_rescale",
                    "operand already at level 0");
     Node n;
     n.kind = OpKind::kPMultRescale;
@@ -472,7 +533,7 @@ Value
 Graph::cmult_rescale(Value ct, Complex c)
 {
     const ValueInfo& ic = use_cipher(ct, "cmult_rescale");
-    BTS_NODE_CHECK(ic.level >= 1, "cmult_rescale",
+    BTS_NODE_CHECK(ic.level >= 1, "level-budget", "cmult_rescale",
                    "operand already at level 0");
     Node n;
     n.kind = OpKind::kCMultRescale;
@@ -520,9 +581,11 @@ Graph::mark_lazy(std::size_t node_idx)
     BTS_CHECK(node_idx < nodes_.size(),
               "mark_lazy: node index out of range");
     Node& n = nodes_[node_idx];
-    BTS_CHECK(n.kind == OpKind::kHAdd || n.kind == OpKind::kHSub,
-              "node " << node_idx << " (" << op_name(n.kind)
-                      << "): only HAdd/HSub can produce lazy residues");
+    if (n.kind != OpKind::kHAdd && n.kind != OpKind::kHSub) {
+        throw_node_error(name_, node_idx, "lazy-contract",
+                         op_name(n.kind),
+                         "only HAdd/HSub can produce lazy residues");
+    }
     n.lazy = true;
 }
 

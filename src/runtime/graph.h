@@ -70,6 +70,13 @@ bool op_needs_evk(OpKind kind);
  *  back to primitives). */
 bool op_is_composite(OpKind kind);
 
+/** @return true if the op can consume a lazy [0, 2q) residue operand
+ *  without canonicalization first: ops whose first step reduces mod q
+ *  anyway, or whose math is linear in the residue representation. The
+ *  lazy-residue pass plants marks under this predicate and the static
+ *  verifier's lazy-contract rule re-checks them (docs/PASSES.md). */
+bool op_tolerates_lazy_input(OpKind kind);
+
 /**
  * Level geometry + scale granularity the metadata inference needs.
  * For simulator lowering these must match the target CkksInstance; for
@@ -271,6 +278,16 @@ class Graph
      *  debug_string() are structurally identical — the idempotence
      *  pin the pass tests compare with. */
     std::string debug_string() const;
+
+    // ----- unchecked mutation hooks -----
+    // Bypass every builder invariant: the only legitimate uses are the
+    // verifier's mutation tests (which need graphs the builder refuses
+    // to construct) and deliberately-corrupting mock passes. Anything
+    // touched through these must be re-validated with
+    // analysis::verify() before execution.
+    ValueInfo& mutable_value(int id) { return values_[id]; }
+    Node& mutable_node(std::size_t i) { return nodes_[i]; }
+    std::vector<int>& mutable_outputs() { return outputs_; }
 
   private:
     Value fresh_value(ValueInfo info);

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <map>
 #include <ostream>
 
 #include "common/check.h"
+#include "runtime/analysis/verifier.h"
 
 namespace bts::runtime::passes {
 
@@ -408,33 +410,6 @@ fuse_pairs(const Graph& g, PassStats& stats)
 // runtime's control). In-place annotation — no rewrite needed.
 // --------------------------------------------------------------------
 
-bool
-tolerates_lazy_input(OpKind kind)
-{
-    switch (kind) {
-    case OpKind::kHMult:
-    case OpKind::kHMultRescale:
-    case OpKind::kPMult:
-    case OpKind::kPMultRescale:
-    case OpKind::kCMult:
-    case OpKind::kCMultRescale:
-    case OpKind::kCMultAdd:
-    case OpKind::kHRot:
-    case OpKind::kHRotHoisted:
-    case OpKind::kConj:
-    case OpKind::kModRaise:
-        return true;
-    case OpKind::kHAdd: // add_mod debug-asserts canonical inputs
-    case OpKind::kHSub:
-    case OpKind::kPAdd:
-    case OpKind::kCAdd:     // add_const_inplace adds on raw residues
-    case OpKind::kHRescale: // centered lift reads canonical residues
-    case OpKind::kBootstrap:
-        return false;
-    }
-    panic("unknown OpKind");
-}
-
 void
 propagate_lazy(Graph& g, PassStats& stats)
 {
@@ -448,13 +423,31 @@ propagate_lazy(Graph& g, PassStats& stats)
         if (is_out[n.output] || users[n.output].empty()) continue;
         bool ok = true;
         for (const int u : users[n.output]) {
-            ok = ok && tolerates_lazy_input(
+            ok = ok && op_tolerates_lazy_input(
                            g.node(static_cast<std::size_t>(u)).kind);
         }
         if (!ok) continue;
         g.mark_lazy(i);
         ++stats.lazy_nodes;
     }
+}
+
+/** Resolve VerifyMode::kAuto: Debug builds always verify; Release
+ *  builds verify when BTS_DEBUG is set in the environment. */
+bool
+verify_enabled(VerifyMode mode)
+{
+    switch (mode) {
+    case VerifyMode::kOn: return true;
+    case VerifyMode::kOff: return false;
+    case VerifyMode::kAuto:
+#ifndef NDEBUG
+        return true;
+#else
+        return std::getenv("BTS_DEBUG") != nullptr;
+#endif
+    }
+    return false;
 }
 
 } // namespace
@@ -496,6 +489,26 @@ PassManager::optimize(const Graph& g) const
         os << "\n";
     };
 
+    // Inter-pass verification: the well-formedness subset (structure
+    // cross-links + metadata re-inference + lazy contract) after every
+    // pass, so a corrupting pass fails HERE with its name instead of
+    // corrupting every downstream pass and surfacing as an executor
+    // throw. Cost is linear in graph size, and the rewrites themselves
+    // replay through the validating builder, so kAuto only pays it in
+    // Debug builds (or under BTS_DEBUG=1).
+    const bool verify = verify_enabled(opts_.verify);
+    const auto verify_after = [&](const std::string& pass_name) {
+        if (!verify) return;
+        const analysis::Analysis a = analysis::analyze(
+            cur.graph, analysis::AnalysisOptions::wellformed());
+        if (!a.ok()) {
+            panic("pass '" + pass_name + "' corrupted graph '" +
+                  g.name() + "':\n" +
+                  analysis::render_text(cur.graph.name(), a.diags));
+        }
+    };
+    verify_after("initial-replay");
+
     // Compose cur.map with a pass's old->new map.
     const auto apply = [&](Rewrite next) {
         for (int& m : cur.map) {
@@ -508,26 +521,35 @@ PassManager::optimize(const Graph& g) const
         const PassStats before = stats;
         apply(place_rescales(cur.graph, stats));
         log_pass("place-rescales", before);
+        verify_after("place-rescales");
     }
     if (opts_.eliminate_dead) {
         const PassStats before = stats;
         apply(eliminate_dead(cur.graph, stats));
         log_pass("dead-value-elim", before);
+        verify_after("dead-value-elim");
     }
     if (opts_.group_rotations) {
         const PassStats before = stats;
         apply(group_rotations(cur.graph, stats));
         log_pass("rotation-cse", before);
+        verify_after("rotation-cse");
     }
     if (opts_.fuse) {
         const PassStats before = stats;
         apply(fuse_pairs(cur.graph, stats));
         log_pass("fusion", before);
+        verify_after("fusion");
     }
     if (opts_.lazy) {
         const PassStats before = stats;
         propagate_lazy(cur.graph, stats);
         log_pass("lazy-residues", before);
+        verify_after("lazy-residues");
+    }
+    for (const CustomPass& cp : opts_.custom_passes) {
+        cp.run(cur.graph);
+        verify_after(cp.name);
     }
     return OptimizeResult{std::move(cur.graph), stats,
                           std::move(cur.map)};

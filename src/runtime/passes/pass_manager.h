@@ -33,12 +33,32 @@
  */
 #pragma once
 
+#include <functional>
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "runtime/graph.h"
 
 namespace bts::runtime::passes {
+
+/** A caller-supplied in-place rewrite appended after the builtin
+ *  passes (in order). Under inter-pass verification each custom pass
+ *  is followed by the same well-formedness check the builtin ones get,
+ *  and a corrupting pass is reported BY NAME — the hook the pipeline's
+ *  regression tests use to prove the verifier catches pass bugs. */
+struct CustomPass
+{
+    std::string name;
+    std::function<void(Graph&)> run;
+};
+
+/** Inter-pass verification policy. */
+enum class VerifyMode {
+    kAuto, //!< on in Debug builds or when BTS_DEBUG is in the env
+    kOn,
+    kOff,
+};
 
 /** Which passes run. Default: everything on. */
 struct PassOptions
@@ -48,6 +68,14 @@ struct PassOptions
     bool group_rotations = true;
     bool fuse = true;
     bool lazy = true;
+    /** Run analysis::AnalysisOptions::wellformed() over the graph
+     *  after every pass, panicking with the offending pass's name on
+     *  the first error — turning a silent IR corruption (the PR 7
+     *  dangling-ValueInfo and double-marked-output bugs) into an
+     *  immediate named failure. */
+    VerifyMode verify = VerifyMode::kAuto;
+    /** Extra in-place passes run after the builtin pipeline. */
+    std::vector<CustomPass> custom_passes;
     /** When set, PassManager logs one stats line per pass. */
     std::ostream* log = nullptr;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "runtime/analysis/verifier.h"
 
 namespace bts::runtime {
 
@@ -54,6 +55,25 @@ GraphServer::register_graph(const Graph& g, const passes::PassOptions& opts)
         const auto it = registered_.find(g.uid());
         if (it != registered_.end()) return it->second.get();
     }
+    // Admission control: reject a bad graph HERE, as a structured
+    // VerifyError the client can render, instead of caching it and
+    // failing every submitted job with a worker-lane exception. The
+    // key check runs against what this server actually holds — a graph
+    // can be well-formed yet unservable on these resources.
+    analysis::AnalysisOptions verify_opts;
+    analysis::KeySet keys;
+    keys.mult = res_.mult_key != nullptr && !res_.mult_key->empty();
+    keys.conj = res_.conj_key != nullptr && !res_.conj_key->empty();
+    keys.bootstrap = res_.bootstrapper != nullptr;
+    if (res_.rot_keys != nullptr) {
+        for (const auto& [amount, key] : *res_.rot_keys) {
+            if (!key.empty()) keys.rotations.insert(amount);
+        }
+    }
+    verify_opts.keys = keys;
+    verify_opts.lints = false; // warnings don't block registration
+    verify_opts.noise = true;
+    analysis::verify_or_throw(g, verify_opts);
     // Optimize outside the lock: the rewrite is pure, and lanes must
     // keep draining while a (potentially large) graph is compiled. A
     // racing duplicate registration is harmless — first insert wins.

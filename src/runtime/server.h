@@ -99,6 +99,13 @@ class GraphServer
      * re-optimizing per job. Submit against `&result->graph` and
      * translate any raw-graph Value handles through result->remap()
      * when binding. The input graph is not retained.
+     *
+     * Admission control: the graph is statically verified first —
+     * structure, metadata, noise/level budgets, and its required
+     * evaluation keys against what this server holds — and any
+     * error-level finding throws analysis::VerifyError (with the
+     * structured diagnostics) instead of caching a graph whose every
+     * job would fail on a worker lane.
      */
     const passes::OptimizeResult*
     register_graph(const Graph& g,

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "ckks/test_utils.h"
+#include "runtime/analysis/verifier.h"
 #include "runtime/graph_workloads.h"
 #include "runtime/server.h"
 
@@ -291,6 +292,60 @@ TEST(GraphServer, BootstrapRefreshJobsInTheMix)
     server.drain();
     EXPECT_EQ(server.stats().completed, 3u);
     EXPECT_EQ(server.stats().failed, 0u);
+}
+
+TEST(GraphServer, RegisterRejectsGraphNeedingMissingKeys)
+{
+    // Admission control: the env holds rotation keys {1, 2, 4} and no
+    // bootstrapper, so a graph rotating by 3 (or bootstrapping) is
+    // rejected at registration with structured diagnostics instead of
+    // failing every job on a worker lane.
+    auto& e = senv();
+    GraphServer server(e.resources(), ServerOptions{});
+
+    Graph rot("needs-rot-3", e.traits);
+    rot.mark_output(rot.hrot(rot.input(e.traits.max_level,
+                                       e.traits.delta), 3));
+    try {
+        server.register_graph(rot);
+        FAIL() << "expected VerifyError";
+    } catch (const analysis::VerifyError& ex) {
+        ASSERT_FALSE(ex.diagnostics().empty());
+        EXPECT_EQ(ex.diagnostics()[0].rule, "missing-rotation-key");
+        EXPECT_NE(std::string(ex.what()).find(" 3"), std::string::npos);
+    }
+
+    Graph boot("needs-boot", e.traits);
+    boot.mark_output(boot.bootstrap(
+        boot.input(0, e.traits.delta)));
+    try {
+        server.register_graph(boot);
+        FAIL() << "expected VerifyError";
+    } catch (const analysis::VerifyError& ex) {
+        ASSERT_FALSE(ex.diagnostics().empty());
+        EXPECT_EQ(ex.diagnostics()[0].rule, "missing-bootstrapper");
+    }
+
+    // Rejected graphs are not cached: a conforming graph still admits.
+    EXPECT_NE(server.register_graph(*e.dot), nullptr);
+}
+
+TEST(GraphServer, RegisterRejectsCorruptedGraph)
+{
+    auto& e = senv();
+    GraphServer server(e.resources(), ServerOptions{});
+    Graph g = *e.poly; // fresh uid; safe to corrupt a copy
+    g.mutable_value(g.node(0).output).level += 1;
+    try {
+        server.register_graph(g);
+        FAIL() << "expected VerifyError";
+    } catch (const analysis::VerifyError& ex) {
+        ASSERT_FALSE(ex.diagnostics().empty());
+        EXPECT_EQ(ex.diagnostics()[0].rule, "meta-level");
+        // The historical builder-error shape is greppable in what().
+        EXPECT_NE(std::string(ex.what()).find("node 0"),
+                  std::string::npos);
+    }
 }
 
 } // namespace

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * bts_lint: run the static graph verifier over builtin workload/app
+ * graphs and report the diagnostics — the repository's "compile-check
+ * the circuits" tool. No keys, no ciphertexts, no execution: a full
+ * Table 5/6 application graph lints in milliseconds, which is what
+ * lets CI catch graph regressions on every push.
+ *
+ * Usage:
+ *   bts_lint --list
+ *   bts_lint --all-builtin [--raw] [--instance=ins1|ins2|ins3]
+ *            [--format=text|json]
+ *   bts_lint --graph=helr [--dot=helr.dot] [...]
+ *
+ * --raw lints the unoptimized builder-authored form next to the
+ * default pass-pipeline output; --dot writes a Graphviz rendering
+ * annotated with each node's re-derived level and worst-case
+ * noise/budget bits (requires exactly one selected graph). Exit code:
+ * 0 when no error-level diagnostic was produced, 1 otherwise, 2 on
+ * usage errors.
+ */
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "hwparams/instance.h"
+#include "runtime/analysis/verifier.h"
+#include "runtime/apps/helr.h"
+#include "runtime/apps/resnet.h"
+#include "runtime/apps/sort.h"
+#include "runtime/graph_workloads.h"
+
+namespace {
+
+using namespace bts;
+using namespace bts::runtime;
+
+struct Builtin
+{
+    const char* name;
+    std::function<Graph(const hw::CkksInstance&, bool raw)> build;
+};
+
+const std::vector<Builtin>&
+builtins()
+{
+    static const std::vector<Builtin> list = {
+        {"tmult",
+         [](const hw::CkksInstance& inst, bool raw) {
+             return tmult_graph(inst, raw ? passes::PassOptions::none()
+                                          : passes::PassOptions{});
+         }},
+        {"dot_product",
+         [](const hw::CkksInstance& inst, bool raw) {
+             const GraphTraits t = traits_for(inst);
+             return dot_product_graph(t, t.bootstrap_out_level, 8,
+                                      raw ? passes::PassOptions::none()
+                                          : passes::PassOptions{});
+         }},
+        {"poly_eval",
+         [](const hw::CkksInstance& inst, bool raw) {
+             const GraphTraits t = traits_for(inst);
+             return poly_eval_graph(t, t.bootstrap_out_level,
+                                    {0.3, -1.0, 0.5, 0.25},
+                                    raw ? passes::PassOptions::none()
+                                        : passes::PassOptions{});
+         }},
+        {"bootstrap_refresh",
+         [](const hw::CkksInstance& inst, bool raw) {
+             return bootstrap_refresh_graph(
+                 traits_for(inst), raw ? passes::PassOptions::none()
+                                       : passes::PassOptions{});
+         }},
+        {"helr",
+         [](const hw::CkksInstance& inst, bool raw) {
+             apps::HelrConfig cfg = apps::HelrConfig::paper();
+             cfg.optimize = !raw;
+             return std::move(
+                 apps::build_helr(cfg, traits_for(inst)).graph);
+         }},
+        {"resnet",
+         [](const hw::CkksInstance& inst, bool raw) {
+             apps::ResnetConfig cfg = apps::ResnetConfig::paper();
+             cfg.optimize = !raw;
+             return std::move(
+                 apps::build_resnet(cfg, traits_for(inst)).graph);
+         }},
+        {"sort",
+         [](const hw::CkksInstance& inst, bool raw) {
+             apps::SortConfig cfg = apps::SortConfig::paper();
+             cfg.optimize = !raw;
+             return std::move(
+                 apps::build_sort(cfg, traits_for(inst)).graph);
+         }},
+    };
+    return list;
+}
+
+int
+usage(const char* argv0)
+{
+    std::cerr
+        << "usage: " << argv0
+        << " [--all-builtin | --graph=<name>...] [--raw]\n"
+           "       [--instance=ins1|ins2|ins3] [--format=text|json]\n"
+           "       [--dot=<path>] [--list]\n"
+           "exit 0: no error diagnostics; 1: errors found; 2: usage\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::vector<std::string> names;
+    std::string format = "text";
+    std::string dot_path;
+    std::string instance = "ins1";
+    bool raw = false;
+    bool all = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&](const char* prefix) {
+            return arg.substr(std::strlen(prefix));
+        };
+        if (arg == "--list") {
+            for (const Builtin& b : builtins()) {
+                std::cout << b.name << "\n";
+            }
+            return 0;
+        } else if (arg == "--all-builtin") {
+            all = true;
+        } else if (arg == "--raw") {
+            raw = true;
+        } else if (arg.rfind("--graph=", 0) == 0) {
+            names.push_back(value("--graph="));
+        } else if (arg.rfind("--format=", 0) == 0) {
+            format = value("--format=");
+        } else if (arg.rfind("--dot=", 0) == 0) {
+            dot_path = value("--dot=");
+        } else if (arg.rfind("--instance=", 0) == 0) {
+            instance = value("--instance=");
+        } else {
+            std::cerr << "bts_lint: unknown argument '" << arg << "'\n";
+            return usage(argv[0]);
+        }
+    }
+    if (format != "text" && format != "json") {
+        std::cerr << "bts_lint: unknown format '" << format << "'\n";
+        return usage(argv[0]);
+    }
+    if (all) {
+        for (const Builtin& b : builtins()) names.push_back(b.name);
+    }
+    if (names.empty()) return usage(argv[0]);
+    if (!dot_path.empty() && names.size() != 1) {
+        std::cerr << "bts_lint: --dot needs exactly one graph\n";
+        return usage(argv[0]);
+    }
+
+    hw::CkksInstance inst;
+    if (instance == "ins1") {
+        inst = hw::ins1();
+    } else if (instance == "ins2") {
+        inst = hw::ins2();
+    } else if (instance == "ins3") {
+        inst = hw::ins3();
+    } else {
+        std::cerr << "bts_lint: unknown instance '" << instance << "'\n";
+        return usage(argv[0]);
+    }
+
+    bool any_errors = false;
+    bool first = true;
+    if (format == "json") std::cout << "[";
+    for (const std::string& name : names) {
+        const Builtin* builtin = nullptr;
+        for (const Builtin& b : builtins()) {
+            if (name == b.name) {
+                builtin = &b;
+                break;
+            }
+        }
+        if (builtin == nullptr) {
+            std::cerr << "bts_lint: unknown graph '" << name
+                      << "' (try --list)\n";
+            return usage(argv[0]);
+        }
+        try {
+            const Graph g = builtin->build(inst, raw);
+            const analysis::Analysis a = analysis::analyze(g);
+            any_errors = any_errors || !a.ok();
+            if (format == "json") {
+                std::cout << (first ? "" : ",\n")
+                          << analysis::render_json(g.name(), a.diags);
+            } else {
+                std::cout << analysis::render_text(g.name(), a.diags);
+            }
+            first = false;
+            if (!dot_path.empty()) {
+                std::ofstream out(dot_path);
+                if (!out) {
+                    std::cerr << "bts_lint: cannot write '" << dot_path
+                              << "'\n";
+                    return 2;
+                }
+                out << analysis::to_annotated_dot(g, a);
+            }
+        } catch (const analysis::VerifyError& e) {
+            // The builder itself refused the graph: report its
+            // diagnostics in the same shape as analysis findings.
+            any_errors = true;
+            if (format == "json") {
+                std::cout << (first ? "" : ",\n")
+                          << analysis::render_json(e.graph_name(),
+                                                   e.diagnostics());
+            } else {
+                std::cout << analysis::render_text(e.graph_name(),
+                                                   e.diagnostics());
+            }
+            first = false;
+        } catch (const std::exception& e) {
+            any_errors = true;
+            std::cerr << "bts_lint: building '" << name
+                      << "' failed: " << e.what() << "\n";
+        }
+    }
+    if (format == "json") std::cout << "]\n";
+    return any_errors ? 1 : 0;
+}
