@@ -542,6 +542,102 @@ BENCHMARK(BM_Serving)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+void
+BM_ServingCostAdmission(benchmark::State& state)
+{
+    // Cost-aware admission vs FIFO on one lane, mixed traffic: each
+    // iteration front-loads 2 expensive bootstrap-refresh jobs and
+    // then 6 cheap dot products. Under FIFO the cheap jobs queue
+    // behind the refreshes; with cost-aware admission (Arg(0)=1) SJF
+    // pulls them ahead, which is the cheap-client p99 the counters
+    // expose. est_ratio vs exec_ratio is the predicted-vs-measured
+    // calibration check: the static cost model's expensive/cheap cost
+    // ratio against the wall-clock one (model seconds are simulator
+    // time, so only the ratio is comparable).
+    static ServeBench* sb = new ServeBench();
+    const bool cost_aware = state.range(0) != 0;
+    const ServeBench::GraphSet& gs = sb->sets[1];
+
+    runtime::ServerOptions opts;
+    opts.lanes = 1; // queue ordering, not lane count, under test
+    opts.cost_aware = cost_aware;
+    runtime::GraphServer server(sb->resources(), opts);
+    // Register so admission has cost estimates, and rebind the
+    // prebuilt payloads onto the server's cached optimized graphs.
+    const runtime::passes::OptimizeResult* dot =
+        server.register_graph(*gs.dot);
+    const runtime::passes::OptimizeResult* refresh =
+        server.register_graph(*gs.refresh);
+    const auto rebind = [](const runtime::Binding& from,
+                           const runtime::passes::OptimizeResult* to) {
+        runtime::Binding b;
+        for (const auto& [id, ct] : from.ciphers) {
+            b.bind(to->remap(runtime::Value{id}), ct);
+        }
+        for (const auto& [id, pt] : from.plains) {
+            b.bind(to->remap(runtime::Value{id}), pt);
+        }
+        return b;
+    };
+    const runtime::Binding dot_b = rebind(gs.dot_binding, dot);
+    const runtime::Binding refresh_b =
+        rebind(gs.refresh_binding, refresh);
+
+    constexpr int kRefresh = 2, kDot = 6;
+    double est_dot = 0, est_refresh = 0;
+    double exec_dot = 0, exec_refresh = 0;
+    for (auto _ : state) {
+        std::vector<std::future<runtime::JobResult>> futures;
+        futures.reserve(kRefresh + kDot);
+        const auto submit = [&](const runtime::Graph* g,
+                                const runtime::Binding& b,
+                                const char* client) {
+            runtime::JobRequest req;
+            req.graph = g;
+            req.inputs = b; // copy: each job owns its payload
+            req.client = client;
+            futures.push_back(server.submit(std::move(req)));
+        };
+        for (int i = 0; i < kRefresh; ++i) {
+            submit(&refresh->graph, refresh_b, "expensive");
+        }
+        for (int i = 0; i < kDot; ++i) {
+            submit(&dot->graph, dot_b, "cheap");
+        }
+        for (std::size_t i = 0; i < futures.size(); ++i) {
+            const runtime::JobResult r = futures[i].get();
+            benchmark::DoNotOptimize(r.outputs.data());
+            if (i < kRefresh) {
+                est_refresh += r.est_cost_s;
+                exec_refresh += r.exec_s;
+            } else {
+                est_dot += r.est_cost_s;
+                exec_dot += r.exec_s;
+            }
+        }
+    }
+    server.drain();
+    const runtime::ServerStats s = server.stats();
+    state.SetItemsProcessed(state.iterations() * (kRefresh + kDot));
+    state.counters["cost_aware"] = cost_aware ? 1 : 0;
+    const auto it = s.p99_latency_by_client_s.find("cheap");
+    state.counters["cheap_p99_ms"] =
+        it == s.p99_latency_by_client_s.end() ? 0.0
+                                              : 1e3 * it->second;
+    state.counters["p99_ms"] = 1e3 * s.p99_latency_s;
+    // Predicted vs measured cost ratio (expensive / cheap class).
+    state.counters["est_ratio"] =
+        est_dot > 0 ? (est_refresh / kRefresh) / (est_dot / kDot) : 0;
+    state.counters["exec_ratio"] =
+        exec_dot > 0 ? (exec_refresh / kRefresh) / (exec_dot / kDot)
+                     : 0;
+}
+BENCHMARK(BM_ServingCostAdmission)
+    ->Arg(0)
+    ->Arg(1)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 /**
  * Shared machinery for BM_Helr / BM_AppServing: the L=20 variant of
  * the serving instance (same N=2^8 / slots=64 / radix-8 bootstrap as

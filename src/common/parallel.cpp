@@ -27,7 +27,7 @@ ThreadPool::ThreadPool(int n_threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         shutdown_ = true;
     }
     work_cv_.notify_all();
@@ -41,14 +41,13 @@ ThreadPool::worker_loop()
     for (;;) {
         TaskState* task = nullptr;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             // A worker can wake after the caller already finished the
             // task and reset task_; require a live task to proceed.
-            work_cv_.wait(lock, [&] {
-                return shutdown_ ||
-                       (generation_ != seen_generation &&
-                        task_ != nullptr);
-            });
+            while (!shutdown_ && !(generation_ != seen_generation &&
+                                   task_ != nullptr)) {
+                work_cv_.wait(mutex_);
+            }
             if (shutdown_) return;
             seen_generation = generation_;
             task = task_;
@@ -68,7 +67,7 @@ ThreadPool::participate(TaskState& task)
         try {
             (*task.body)(i);
         } catch (...) {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             if (!task.error) task.error = std::current_exception();
             // Drain the remaining indices so the loop quiesces fast.
             task.next.store(task.end);
@@ -77,7 +76,7 @@ ThreadPool::participate(TaskState& task)
     t_in_parallel_region = false;
     bool last = false;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         task.active -= 1;
         last = task.active == 0;
     }
@@ -98,14 +97,14 @@ ThreadPool::run(std::size_t begin, std::size_t end,
 
     // One task in flight at a time: a second external caller queues
     // here instead of clobbering the task_ slot mid-run.
-    std::lock_guard<std::mutex> run_lock(run_mutex_);
+    MutexLock run_lock(run_mutex_);
 
     TaskState task;
     task.body = &body;
     task.next.store(begin);
     task.end = end;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         task_ = &task;
         generation_ += 1;
         task.active += 1; // the caller's own participation
@@ -113,8 +112,8 @@ ThreadPool::run(std::size_t begin, std::size_t end,
     work_cv_.notify_all();
     participate(task);
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        done_cv_.wait(lock, [&] { return task.active == 0; });
+        MutexLock lock(mutex_);
+        while (task.active != 0) done_cv_.wait(mutex_);
         task_ = nullptr;
     }
     if (task.error) std::rethrow_exception(task.error);

@@ -25,13 +25,12 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace bts {
@@ -72,6 +71,9 @@ class ThreadPool
         const std::function<void(std::size_t)>* body = nullptr;
         std::atomic<std::size_t> next{0};
         std::size_t end = 0;
+        // error and active are protected by the owning pool's mutex_
+        // (clang's analysis cannot express a cross-object guard, so
+        // this is a comment-level contract enforced by review + TSan).
         std::exception_ptr error; //!< first exception, under mutex_
         int active = 0;           //!< participants still inside the task
     };
@@ -80,13 +82,13 @@ class ThreadPool
     void participate(TaskState& task);
 
     std::vector<std::thread> workers_;
-    std::mutex run_mutex_; //!< serializes concurrent external run() calls
-    std::mutex mutex_;
-    std::condition_variable work_cv_; //!< wakes workers on a new task
-    std::condition_variable done_cv_; //!< wakes the caller on completion
-    TaskState* task_ = nullptr;       //!< current task, under mutex_
-    u64 generation_ = 0;              //!< bumps once per run()
-    bool shutdown_ = false;
+    Mutex run_mutex_; //!< serializes concurrent external run() calls
+    Mutex mutex_;
+    CondVar work_cv_; //!< wakes workers on a new task
+    CondVar done_cv_; //!< wakes the caller on completion
+    TaskState* task_ BTS_GUARDED_BY(mutex_) = nullptr; //!< current task
+    u64 generation_ BTS_GUARDED_BY(mutex_) = 0; //!< bumps once per run()
+    bool shutdown_ BTS_GUARDED_BY(mutex_) = false;
 };
 
 /**

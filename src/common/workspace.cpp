@@ -1,7 +1,8 @@
 #include "common/workspace.h"
 
 #include <algorithm>
-#include <mutex>
+
+#include "common/thread_annotations.h"
 
 namespace bts {
 
@@ -18,7 +19,7 @@ class BufferPool
     {
         if (min_capacity == 0) return {}; // don't pin a cached buffer
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             // Best fit: smallest cached buffer that is large enough, so
             // one oversized allocation does not get pinned to tiny asks.
             std::size_t best = free_.size();
@@ -35,13 +36,20 @@ class BufferPool
                 free_.erase(free_.begin() +
                             static_cast<std::ptrdiff_t>(best));
                 hits_ += 1;
+                check_out(out.capacity() * sizeof(u64));
                 out.clear();
                 return out;
             }
             misses_ += 1;
         }
         U64Buffer out;
-        out.reserve(min_capacity);
+        out.reserve(min_capacity); // allocate OUTSIDE the lock
+        {
+            // Account the actual capacity (the allocator may round up)
+            // so release() balances the books exactly.
+            MutexLock lock(mutex_);
+            check_out(out.capacity() * sizeof(u64));
+        }
         return out;
     }
 
@@ -50,7 +58,8 @@ class BufferPool
     {
         const std::size_t bytes = buf.capacity() * sizeof(u64);
         if (bytes == 0) return;
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
+        check_in(bytes);
         if (cached_bytes_ + bytes > kMaxBytes) {
             return; // drop on the floor: vector frees to the allocator
         }
@@ -75,19 +84,59 @@ class BufferPool
     WorkspaceStats
     stats()
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        return {hits_, misses_};
+        MutexLock lock(mutex_);
+        return {hits_,
+                misses_,
+                outstanding_buffers_,
+                outstanding_bytes_,
+                peak_buffers_,
+                peak_bytes_};
+    }
+
+    void
+    reset_stats()
+    {
+        MutexLock lock(mutex_);
+        hits_ = 0;
+        misses_ = 0;
+        // Rebase the high-water marks to what is checked out right now;
+        // the gauges keep tracking those buffers until they come back.
+        peak_buffers_ = outstanding_buffers_;
+        peak_bytes_ = outstanding_bytes_;
     }
 
   private:
     static constexpr std::size_t kMaxBuffers = 64;
     static constexpr std::size_t kMaxBytes = 512u << 20; // 512 MiB
 
-    std::mutex mutex_;
-    std::vector<U64Buffer> free_;
-    std::size_t cached_bytes_ = 0;
-    std::size_t hits_ = 0;
-    std::size_t misses_ = 0;
+    void
+    check_out(std::size_t bytes) BTS_REQUIRES(mutex_)
+    {
+        outstanding_buffers_ += 1;
+        outstanding_bytes_ += bytes;
+        peak_buffers_ = std::max(peak_buffers_, outstanding_buffers_);
+        peak_bytes_ = std::max(peak_bytes_, outstanding_bytes_);
+    }
+
+    void
+    check_in(std::size_t bytes) BTS_REQUIRES(mutex_)
+    {
+        // Saturate rather than underflow: a buffer that grew past its
+        // acquired capacity (vector reallocation) returns more bytes
+        // than were checked out.
+        outstanding_buffers_ -= outstanding_buffers_ > 0 ? 1 : 0;
+        outstanding_bytes_ -= std::min(outstanding_bytes_, bytes);
+    }
+
+    Mutex mutex_;
+    std::vector<U64Buffer> free_ BTS_GUARDED_BY(mutex_);
+    std::size_t cached_bytes_ BTS_GUARDED_BY(mutex_) = 0;
+    std::size_t hits_ BTS_GUARDED_BY(mutex_) = 0;
+    std::size_t misses_ BTS_GUARDED_BY(mutex_) = 0;
+    std::size_t outstanding_buffers_ BTS_GUARDED_BY(mutex_) = 0;
+    std::size_t outstanding_bytes_ BTS_GUARDED_BY(mutex_) = 0;
+    std::size_t peak_buffers_ BTS_GUARDED_BY(mutex_) = 0;
+    std::size_t peak_bytes_ BTS_GUARDED_BY(mutex_) = 0;
 };
 
 /**
@@ -121,6 +170,12 @@ WorkspaceStats
 workspace_stats()
 {
     return pool().stats();
+}
+
+void
+reset_workspace_stats()
+{
+    pool().reset_stats();
 }
 
 } // namespace bts

@@ -78,14 +78,29 @@ U64Buffer acquire_buffer(std::size_t min_capacity);
 /** Return a buffer to the pool (its contents become unspecified). */
 void release_buffer(U64Buffer&& buf);
 
-/** Pool observability for tests: hits / misses since process start. */
+/** Pool observability for tests and capacity planning. hits/misses
+ *  count since process start (or the last reset); the outstanding_*
+ *  gauges track buffers currently checked out of the pool, and the
+ *  peak_* high-water marks record the largest outstanding footprint
+ *  seen — the measured side of the static liveness analysis
+ *  (runtime/analysis/resource.h). */
 struct WorkspaceStats
 {
     std::size_t hits = 0;   //!< acquires served from the free list
     std::size_t misses = 0; //!< acquires that hit the allocator
+    std::size_t outstanding_buffers = 0; //!< acquired, not yet released
+    std::size_t outstanding_bytes = 0;   //!< their capacity in bytes
+    std::size_t peak_buffers = 0; //!< high-water outstanding_buffers
+    std::size_t peak_bytes = 0;   //!< high-water outstanding_bytes
 };
 
 WorkspaceStats workspace_stats();
+
+/** Reset hits/misses and rebase the high-water marks to the CURRENT
+ *  outstanding footprint (the gauges themselves are not touched —
+ *  buffers already checked out stay accounted). Call before a measured
+ *  region to get its peak in isolation. */
+void reset_workspace_stats();
 
 /**
  * RAII scratch array of @p size u64 (unspecified initial contents),

@@ -36,10 +36,15 @@ struct Executor::Sched
     std::vector<std::optional<Ciphertext>> values;   //!< per value id
     std::vector<const Plaintext*> plains;            //!< per value id
     std::vector<int> uses_left;                      //!< per value id
+    /** Bytes each value occupied when it materialized; charged to the
+     *  live set for the value's semantic lifetime (see
+     *  ExecStats::peak_live_bytes). */
+    std::vector<std::size_t> value_bytes;
     std::size_t num_nodes = 0;
     std::size_t done = 0;
     std::size_t in_flight = 0;
     std::size_t live = 0;
+    std::size_t live_bytes = 0;
     std::size_t window = 1;
     ExecStats stats;
     std::exception_ptr error;
@@ -56,9 +61,23 @@ struct Executor::Sched
             // way, when the last consumer finishes.
             values[value_id].reset();
             --live;
+            live_bytes -= value_bytes[value_id];
         }
     }
 };
+
+namespace {
+
+/** Resident footprint of one ciphertext: both components' residue
+ *  matrices, 2 (level+1) rows of N 8-byte words. */
+std::size_t
+ciphertext_bytes(const Ciphertext& ct)
+{
+    return (ct.b.num_primes() + ct.a.num_primes()) * ct.b.degree() *
+           sizeof(u64);
+}
+
+} // namespace
 
 Executor::Executor(EvalResources res, ExecOptions opts)
     : res_(res), opts_(opts)
@@ -342,11 +361,15 @@ Executor::finish_node(const Graph& g, std::size_t node_idx,
     BTS_ASSERT(outs.size() == n.outputs.size(),
                "node produced the wrong number of values");
     for (std::size_t k = 0; k < n.outputs.size(); ++k) {
+        sched.value_bytes[n.outputs[k]] = ciphertext_bytes(outs[k]);
+        sched.live_bytes += sched.value_bytes[n.outputs[k]];
         sched.values[n.outputs[k]] = std::move(outs[k]);
         ++sched.live;
     }
     sched.stats.peak_live_values =
         std::max(sched.stats.peak_live_values, sched.live);
+    sched.stats.peak_live_bytes =
+        std::max(sched.stats.peak_live_bytes, sched.live_bytes);
     ++sched.stats.nodes;
     for (const int in : n.inputs) sched.release_use(in);
     for (const int out_id : n.outputs) {
@@ -354,6 +377,7 @@ Executor::finish_node(const Graph& g, std::size_t node_idx,
             // Dead code: an output with no consumer and no output mark.
             sched.values[out_id].reset();
             --sched.live;
+            sched.live_bytes -= sched.value_bytes[out_id];
         }
         for (const std::size_t consumer : sched.consumers[out_id]) {
             if (--sched.missing[consumer] == 0) {
@@ -387,6 +411,7 @@ Executor::init_sched(const Graph& g, Binding& inputs, Sched& sched) const
     sched.values.resize(num_values);
     sched.plains.assign(num_values, nullptr);
     sched.uses_left.assign(num_values, 0);
+    sched.value_bytes.assign(num_values, 0);
     sched.consumers.assign(num_values, {});
     sched.missing.assign(g.num_nodes(), 0);
 
@@ -424,16 +449,20 @@ Executor::init_sched(const Graph& g, Binding& inputs, Sched& sched) const
                                    << it->second.level
                                    << ", graph declares " << info.level);
             }
+            sched.value_bytes[id] = ciphertext_bytes(it->second);
+            sched.live_bytes += sched.value_bytes[id];
             sched.values[id] = std::move(it->second);
             ++sched.live;
             if (sched.uses_left[id] == 0) {
                 // Declared but unused: drop immediately.
                 sched.values[id].reset();
                 --sched.live;
+                sched.live_bytes -= sched.value_bytes[id];
             }
         }
     }
     sched.stats.peak_live_values = sched.live;
+    sched.stats.peak_live_bytes = sched.live_bytes;
 
     for (std::size_t i = 0; i < g.num_nodes(); ++i) {
         const Node& n = g.node(i);

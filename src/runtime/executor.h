@@ -79,6 +79,12 @@ struct ExecStats
     std::size_t nodes = 0;             //!< nodes executed
     std::size_t peak_in_flight = 0;    //!< max concurrently-running nodes
     std::size_t peak_live_values = 0;  //!< max resident ciphertexts
+    /** Peak bytes of the live ciphertext set, weighing each value by
+     *  its materialized size (2 (level+1) N 8) for its whole semantic
+     *  lifetime — i.e. until its last consumer finishes, whether or
+     *  not an in-place op stole the storage early. On serial runs this
+     *  equals analysis::ResourceSummary::peak_live_bytes exactly. */
+    std::size_t peak_live_bytes = 0;
     std::size_t plain_cache_hits = 0;  //!< CMult plaintext handle reuse
     std::size_t plain_cache_misses = 0;
 };

@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/analysis/resource.h"
 #include "runtime/graph.h"
 
 namespace bts::runtime::passes {
@@ -100,6 +101,17 @@ struct PassOptions
     }
 };
 
+/** Before/after resource profile of one pass that ran — what the pass
+ *  did to the graph's static cost shape, not just its node count.
+ *  Instance-free (analysis::analyze_liveness), so it is available for
+ *  every optimize() call without a CkksInstance in scope. */
+struct PassResourceDelta
+{
+    std::string pass;
+    analysis::LivenessStats before;
+    analysis::LivenessStats after;
+};
+
 /** Aggregate pass statistics for one optimize() call. */
 struct PassStats
 {
@@ -108,6 +120,8 @@ struct PassStats
     std::size_t rotations_grouped = 0; //!< kHRot folded into groups
     std::size_t ops_fused = 0;         //!< node pairs collapsed
     std::size_t lazy_nodes = 0;        //!< adds/subs marked lazy
+    /** One entry per pass that ran (builtin and custom), in order. */
+    std::vector<PassResourceDelta> resource_deltas;
 };
 
 /** optimize() result: the rewritten graph plus the value-id remap

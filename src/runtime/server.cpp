@@ -1,6 +1,7 @@
 #include "runtime/server.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/check.h"
 #include "runtime/analysis/verifier.h"
@@ -13,6 +14,30 @@ double
 seconds(std::chrono::steady_clock::duration d)
 {
     return std::chrono::duration<double>(d).count();
+}
+
+/**
+ * Describe the server's functional CkksContext as a CkksInstance so
+ * the resource analyzer can price graphs against it. boot_levels is
+ * per graph: the analyzer requires usable_levels == the graph's
+ * declared bootstrap output level, which is a property of the bound
+ * Bootstrapper, not of the parameter set.
+ */
+hw::CkksInstance
+serving_instance(const CkksContext& ctx, const Graph& g)
+{
+    hw::CkksInstance inst;
+    inst.name = "serving";
+    inst.n = ctx.n();
+    inst.max_level = ctx.max_level();
+    inst.dnum = ctx.dnum();
+    inst.q0_bits = ctx.params().q0_bits;
+    inst.scale_bits = ctx.params().scale_bits;
+    inst.boot_levels =
+        g.uses_bootstrap()
+            ? ctx.max_level() - g.traits().bootstrap_out_level
+            : 0;
+    return inst;
 }
 
 } // namespace
@@ -39,7 +64,7 @@ GraphServer::~GraphServer()
 {
     drain();
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stop_ = true;
     }
     queue_cv_.notify_all();
@@ -51,7 +76,7 @@ const passes::OptimizeResult*
 GraphServer::register_graph(const Graph& g, const passes::PassOptions& opts)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         const auto it = registered_.find(g.uid());
         if (it != registered_.end()) return it->second.get();
     }
@@ -79,32 +104,78 @@ GraphServer::register_graph(const Graph& g, const passes::PassOptions& opts)
     // racing duplicate registration is harmless — first insert wins.
     auto result = std::make_unique<const passes::OptimizeResult>(
         passes::PassManager(opts).optimize(g));
-    std::lock_guard<std::mutex> lock(mutex_);
+    // Price the optimized graph once (also outside the lock): the
+    // summary feeds cost-aware admission for every job submitted
+    // against it. A graph the serving context's level geometry cannot
+    // express (the analyzer throws) is served without an estimate.
+    bool have_summary = false;
+    analysis::ResourceSummary summary;
+    try {
+        summary = analysis::analyze_resources(
+            result->graph,
+            serving_instance(res_.eval->context(), result->graph));
+        have_summary = true;
+    } catch (const std::exception&) {
+    }
+    MutexLock lock(mutex_);
     const auto [it, inserted] = registered_.emplace(g.uid(),
                                                     std::move(result));
-    (void)inserted;
+    if (inserted && have_summary) {
+        summaries_.emplace(it->second->graph.uid(), std::move(summary));
+    }
     return it->second.get();
+}
+
+const analysis::ResourceSummary*
+GraphServer::resource_summary(const Graph& g) const
+{
+    MutexLock lock(mutex_);
+    const auto it = summaries_.find(g.uid());
+    return it != summaries_.end() ? &it->second : nullptr;
 }
 
 std::future<JobResult>
 GraphServer::submit(JobRequest req)
 {
     BTS_CHECK(req.graph != nullptr, "job has no graph");
+    BTS_CHECK(req.deadline_s >= 0, "deadline must be >= 0");
     Job job;
     job.req = std::move(req);
     std::future<JobResult> fut = job.promise.get_future();
     {
-        std::unique_lock<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
+        const auto est = summaries_.find(job.req.graph->uid());
+        if (est != summaries_.end()) {
+            job.est_cost_s = est->second.total_work_s;
+        }
+        // Charged to the cost budget only when there IS an estimate.
+        const double charge = std::max(job.est_cost_s, 0.0);
         // stop_ must be part of the wait predicate: a submitter blocked
         // on a full queue can otherwise wake after the lanes exited and
-        // enqueue a job nobody will ever pop (broken promise).
-        space_cv_.wait(lock, [&] {
-            return stop_ || queue_.size() < opts_.queue_capacity;
-        });
+        // enqueue a job nobody will ever pop (broken promise). The cost
+        // budget admits into an empty queue unconditionally, so one
+        // over-budget job can never deadlock admission.
+        while (!(stop_ ||
+                 (queue_.size() < opts_.queue_capacity &&
+                  (opts_.max_queued_cost_s <= 0 || queue_.empty() ||
+                   queued_cost_s_ + charge <=
+                       opts_.max_queued_cost_s)))) {
+            space_cv_.wait(mutex_);
+        }
         BTS_CHECK(!stop_, "server is shutting down");
         job.submitted = Clock::now();
+        if (job.req.deadline_s > 0) {
+            job.has_deadline = true;
+            job.deadline =
+                job.submitted +
+                std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(job.req.deadline_s));
+        }
         if (submitted_ == 0) first_submit_ = job.submitted;
         ++submitted_;
+        queued_cost_s_ += charge;
+        peak_queued_cost_s_ = std::max(peak_queued_cost_s_,
+                                       queued_cost_s_);
         queue_.push_back(std::move(job));
     }
     queue_cv_.notify_one();
@@ -114,8 +185,39 @@ GraphServer::submit(JobRequest req)
 void
 GraphServer::drain()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
-    idle_cv_.wait(lock, [&] { return queue_.empty() && active_ == 0; });
+    MutexLock lock(mutex_);
+    while (!(queue_.empty() && active_ == 0)) idle_cv_.wait(mutex_);
+}
+
+std::size_t
+GraphServer::pick_job() const
+{
+    if (!opts_.cost_aware) return 0;
+    // Priority desc, then earliest deadline (deadline jobs ahead of
+    // deadline-free ones), then smallest estimate (SJF — keeps cheap
+    // traffic from queueing behind one expensive job; no estimate
+    // orders as infinitely expensive), then FIFO. O(queue) per pickup,
+    // bounded by queue_capacity.
+    const auto cost_key = [](const Job& j) {
+        return j.est_cost_s < 0
+                   ? std::numeric_limits<double>::infinity()
+                   : j.est_cost_s;
+    };
+    const auto better = [&](const Job& a, const Job& b) {
+        if (a.req.priority != b.req.priority) {
+            return a.req.priority > b.req.priority;
+        }
+        if (a.has_deadline != b.has_deadline) return a.has_deadline;
+        if (a.has_deadline && a.deadline != b.deadline) {
+            return a.deadline < b.deadline;
+        }
+        return cost_key(a) < cost_key(b);
+    };
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < queue_.size(); ++i) {
+        if (better(queue_[i], queue_[best])) best = i;
+    }
+    return best;
 }
 
 void
@@ -125,18 +227,25 @@ GraphServer::lane_loop(int lane_idx)
     for (;;) {
         Job job;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            queue_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+            MutexLock lock(mutex_);
+            while (!stop_ && queue_.empty()) queue_cv_.wait(mutex_);
             if (queue_.empty()) return; // stop_ and no work left
-            job = std::move(queue_.front());
-            queue_.pop_front();
+            const std::size_t idx = pick_job();
+            job = std::move(queue_[idx]);
+            queue_.erase(queue_.begin() +
+                         static_cast<std::ptrdiff_t>(idx));
+            queued_cost_s_ -= std::max(job.est_cost_s, 0.0);
             ++active_;
         }
-        space_cv_.notify_one();
+        // notify_all, not notify_one: with cost backpressure,
+        // submitters block on different budgets — the one woken might
+        // not be the one whose predicate just became true.
+        space_cv_.notify_all();
 
         const Clock::time_point start = Clock::now();
         JobResult result;
         result.queue_s = seconds(start - job.submitted);
+        result.est_cost_s = std::max(job.est_cost_s, 0.0);
         bool ok = true;
         try {
             result.outputs =
@@ -152,7 +261,7 @@ GraphServer::lane_loop(int lane_idx)
         if (ok) job.promise.set_value(std::move(result));
 
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             --active_;
             last_complete_ = end;
             if (ok) {
@@ -163,15 +272,18 @@ GraphServer::lane_loop(int lane_idx)
                 // has equal probability of being in the sample.
                 constexpr std::size_t kReservoir = 4096;
                 const double latency = seconds(end - job.submitted);
-                ++latency_seen_;
-                if (latencies_s_.size() < kReservoir) {
-                    latencies_s_.push_back(latency);
-                } else {
-                    const u64 slot = latency_rng_.uniform(latency_seen_);
-                    if (slot < kReservoir) {
-                        latencies_s_[slot] = latency;
+                const auto offer = [&](std::vector<double>& sample,
+                                       std::size_t seen) {
+                    if (sample.size() < kReservoir) {
+                        sample.push_back(latency);
+                    } else {
+                        const u64 slot = latency_rng_.uniform(seen);
+                        if (slot < kReservoir) sample[slot] = latency;
                     }
-                }
+                };
+                offer(latencies_s_, ++latency_seen_);
+                offer(client_latencies_s_[job.req.client],
+                      ++client_latency_seen_[job.req.client]);
             } else {
                 ++failed_;
             }
@@ -185,13 +297,17 @@ GraphServer::stats() const
 {
     ServerStats s;
     std::vector<double> sorted;
+    std::map<std::string, std::vector<double>> client_sorted;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         s.submitted = submitted_;
         s.completed = completed_;
         s.failed = failed_;
         s.completed_by_client = completed_by_client_;
+        s.queued_cost_s = queued_cost_s_;
+        s.peak_queued_cost_s = peak_queued_cost_s_;
         sorted = latencies_s_;
+        client_sorted = client_latencies_s_;
         if (completed_ > 0) {
             s.mean_exec_s =
                 exec_total_s_ / static_cast<double>(completed_);
@@ -203,15 +319,19 @@ GraphServer::stats() const
     }
     // Sort outside the lock: stats() must not stall admission or lane
     // completion while it computes percentiles.
+    const auto pct = [](std::vector<double>& sample, double p) {
+        std::sort(sample.begin(), sample.end());
+        const std::size_t idx = static_cast<std::size_t>(
+            p * static_cast<double>(sample.size() - 1));
+        return sample[idx];
+    };
     if (!sorted.empty()) {
-        std::sort(sorted.begin(), sorted.end());
-        const auto pct = [&](double p) {
-            const std::size_t idx = static_cast<std::size_t>(
-                p * static_cast<double>(sorted.size() - 1));
-            return sorted[idx];
-        };
-        s.p50_latency_s = pct(0.50);
-        s.p99_latency_s = pct(0.99);
+        s.p50_latency_s = pct(sorted, 0.50);
+        s.p99_latency_s = pct(sorted, 0.99);
+    }
+    for (auto& [client, sample] : client_sorted) {
+        if (sample.empty()) continue;
+        s.p99_latency_by_client_s[client] = pct(sample, 0.99);
     }
     return s;
 }

@@ -20,7 +20,6 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <future>
 #include <map>
@@ -29,6 +28,8 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/thread_annotations.h"
+#include "runtime/analysis/resource.h"
 #include "runtime/executor.h"
 #include "runtime/passes/pass_manager.h"
 
@@ -41,6 +42,13 @@ struct JobRequest
     const Graph* graph = nullptr;
     Binding inputs;
     std::string client; //!< ServerStats::completed_by_client bucket
+    /** Scheduling class (cost-aware mode): higher-priority jobs are
+     *  always picked before lower, regardless of cost or deadline. */
+    int priority = 0;
+    /** Relative deadline in seconds from submission; 0 = none. Within
+     *  a priority class, deadline jobs run earliest-deadline-first
+     *  ahead of deadline-free ones. */
+    double deadline_s = 0;
 };
 
 /** What a completed job hands back through its future. */
@@ -49,6 +57,10 @@ struct JobResult
     std::vector<Ciphertext> outputs;
     double queue_s = 0; //!< admission -> lane pickup
     double exec_s = 0;  //!< lane pickup -> completion
+    /** The statically estimated cost (ResourceSummary::total_work_s)
+     *  admission scheduled this job by; 0 when the graph was never
+     *  registered (no estimate). */
+    double est_cost_s = 0;
 };
 
 /** Harness knobs. */
@@ -57,6 +69,24 @@ struct ServerOptions
     int lanes = 1;        //!< concurrent jobs (one Executor per lane)
     int lanes_per_job = 1; //!< intra-graph executor lanes on each lane
     std::size_t queue_capacity = 64; //!< admission bound (backpressure)
+    /**
+     * Cost-aware admission (default on): lanes pick the queued job
+     * with the highest priority, then the earliest deadline, then the
+     * smallest estimated cost (shortest-job-first keeps a stream of
+     * cheap jobs from queueing behind one expensive one), then FIFO.
+     * Estimates come from the ResourceSummary register_graph() caches;
+     * a job whose graph has no summary is ordered as if infinitely
+     * expensive (conservative) but is never rejected. Off = pure FIFO,
+     * the pre-cost-model behaviour.
+     */
+    bool cost_aware = true;
+    /**
+     * Cost backpressure: submit() additionally blocks while the
+     * estimated cost already queued exceeds this many seconds (so the
+     * queue is bounded by predicted work, not just job count). An
+     * empty queue always admits one job of any size. 0 = unlimited.
+     */
+    double max_queued_cost_s = 0;
 };
 
 /** Aggregate serving metrics since construction. */
@@ -69,9 +99,16 @@ struct ServerStats
     std::map<std::string, std::size_t> completed_by_client;
     double p50_latency_s = 0; //!< submit -> completion, successful jobs
     double p99_latency_s = 0;
+    /** Per-client p99 latency — the cost-aware admission benchmark's
+     *  cheap-traffic tail under mixed workloads. */
+    std::map<std::string, double> p99_latency_by_client_s;
     double mean_exec_s = 0;
     /** completed / (last completion - first admission). */
     double jobs_per_s = 0;
+    /** Estimated cost currently sitting in the queue, and its
+     *  high-water mark (cost backpressure observability). */
+    double queued_cost_s = 0;
+    double peak_queued_cost_s = 0;
 };
 
 /** The job queue + worker lanes. */
@@ -111,6 +148,18 @@ class GraphServer
     register_graph(const Graph& g,
                    const passes::PassOptions& opts = {});
 
+    /**
+     * The resource analysis register_graph() cached for an optimized
+     * graph (pass the graph jobs are submitted against, i.e.
+     * result->graph). Null when @p g was never registered here, or
+     * when the analysis was skipped because the serving context's
+     * level geometry cannot express it (such graphs are served with
+     * no estimate). The summary is computed against a pseudo-instance
+     * describing this server's CkksContext, so total_work_s ranks
+     * jobs relatively; it is not wall-clock for the software backend.
+     */
+    const analysis::ResourceSummary* resource_summary(const Graph& g) const;
+
     /** Block until every admitted job has completed. */
     void drain();
 
@@ -125,40 +174,63 @@ class GraphServer
         JobRequest req;
         std::promise<JobResult> promise;
         Clock::time_point submitted;
+        Clock::time_point deadline{}; //!< absolute; valid iff has_deadline
+        bool has_deadline = false;
+        /** Estimated cost; negative = no estimate (ordered as
+         *  infinitely expensive, charged 0 to the cost backpressure). */
+        double est_cost_s = -1;
     };
 
     void lane_loop(int lane_idx);
+    /** Index of the job a lane should take next (queue must be
+     *  non-empty). FIFO front unless cost_aware. */
+    std::size_t pick_job() const BTS_REQUIRES(mutex_);
 
     EvalResources res_;
     ServerOptions opts_;
 
-    mutable std::mutex mutex_;
-    std::condition_variable queue_cv_; //!< lanes: work available / stop
-    std::condition_variable space_cv_; //!< submitters: capacity freed
-    std::condition_variable idle_cv_;  //!< drain(): all work finished
-    std::deque<Job> queue_;
-    std::size_t active_ = 0; //!< jobs picked up, not yet finished
-    bool stop_ = false;
+    mutable Mutex mutex_;
+    CondVar queue_cv_; //!< lanes: work available / stop
+    CondVar space_cv_; //!< submitters: capacity freed
+    CondVar idle_cv_;  //!< drain(): all work finished
+    std::deque<Job> queue_ BTS_GUARDED_BY(mutex_);
+    /** Jobs picked up, not yet finished. */
+    std::size_t active_ BTS_GUARDED_BY(mutex_) = 0;
+    bool stop_ BTS_GUARDED_BY(mutex_) = false;
 
     /** register_graph() cache: source uid -> optimized graph + remap,
      *  owned by the server so job requests can borrow the graph. */
     std::map<u64, std::unique_ptr<const passes::OptimizeResult>>
-        registered_;
+        registered_ BTS_GUARDED_BY(mutex_);
+    /** Cached resource analyses, keyed by the OPTIMIZED graph's uid
+     *  (what jobs submit against); the admission cost estimates. */
+    std::map<u64, analysis::ResourceSummary> summaries_
+        BTS_GUARDED_BY(mutex_);
+    /** Estimated cost queued but not yet picked up (backpressure). */
+    double queued_cost_s_ BTS_GUARDED_BY(mutex_) = 0;
+    double peak_queued_cost_s_ BTS_GUARDED_BY(mutex_) = 0;
 
     // Stats, under mutex_.
-    std::size_t submitted_ = 0;
-    std::size_t completed_ = 0;
-    std::size_t failed_ = 0;
-    std::map<std::string, std::size_t> completed_by_client_;
-    double exec_total_s_ = 0;
+    std::size_t submitted_ BTS_GUARDED_BY(mutex_) = 0;
+    std::size_t completed_ BTS_GUARDED_BY(mutex_) = 0;
+    std::size_t failed_ BTS_GUARDED_BY(mutex_) = 0;
+    std::map<std::string, std::size_t> completed_by_client_
+        BTS_GUARDED_BY(mutex_);
+    double exec_total_s_ BTS_GUARDED_BY(mutex_) = 0;
     /** Bounded uniform sample of per-job latencies (reservoir
      *  sampling), so a long-lived server's memory and its stats()
-     *  percentile cost stay O(capacity), not O(jobs served). */
-    std::vector<double> latencies_s_;
-    std::size_t latency_seen_ = 0; //!< total latencies offered
-    Xoshiro256 latency_rng_{0x5e21};
-    Clock::time_point first_submit_{};
-    Clock::time_point last_complete_{};
+     *  percentile cost stay O(capacity), not O(jobs served) —
+     *  whole-server and per-client (mixed-workload tail tracking). */
+    std::vector<double> latencies_s_ BTS_GUARDED_BY(mutex_);
+    /** Total latencies offered to the reservoir. */
+    std::size_t latency_seen_ BTS_GUARDED_BY(mutex_) = 0;
+    std::map<std::string, std::vector<double>> client_latencies_s_
+        BTS_GUARDED_BY(mutex_);
+    std::map<std::string, std::size_t> client_latency_seen_
+        BTS_GUARDED_BY(mutex_);
+    Xoshiro256 latency_rng_ BTS_GUARDED_BY(mutex_){0x5e21};
+    Clock::time_point first_submit_ BTS_GUARDED_BY(mutex_){};
+    Clock::time_point last_complete_ BTS_GUARDED_BY(mutex_){};
 
     std::vector<std::unique_ptr<Executor>> executors_; //!< per lane
     std::vector<std::thread> lanes_;

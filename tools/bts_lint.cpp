@@ -11,6 +11,9 @@
  *   bts_lint --all-builtin [--raw] [--instance=ins1|ins2|ins3]
  *            [--format=text|json]
  *   bts_lint --graph=helr [--dot=helr.dot] [...]
+ *   bts_lint --graph=helr --cost [--schedule]
+ *            [--max-peak-live-mib=N] [--max-evk-ws-mib=N]
+ *            [--min-parallelism=X]
  *
  * --raw lints the unoptimized builder-authored form next to the
  * default pass-pipeline output; --dot writes a Graphviz rendering
@@ -18,6 +21,16 @@
  * noise/budget bits (requires exactly one selected graph). Exit code:
  * 0 when no error-level diagnostic was produced, 1 otherwise, 2 on
  * usage errors.
+ *
+ * --cost runs the static resource analyzer (runtime/analysis/resource.h)
+ * against the selected instance and appends the cost report (exact op
+ * counts, work split, evk traffic, peak live set, critical path); with
+ * --dot the rendering is the cost/liveness-annotated form instead of
+ * the verifier's. --schedule prints the per-node serial schedule
+ * table. The --max-peak-live-mib / --max-evk-ws-mib /
+ * --min-parallelism budgets turn resource findings into RS- rule
+ * diagnostics (rs-peak-live, rs-evk-working-set, rs-critical-path)
+ * merged into the lint report — errors count toward the exit code.
  */
 #include <cstring>
 #include <fstream>
@@ -27,6 +40,7 @@
 #include <vector>
 
 #include "hwparams/instance.h"
+#include "runtime/analysis/resource.h"
 #include "runtime/analysis/verifier.h"
 #include "runtime/apps/helr.h"
 #include "runtime/apps/resnet.h"
@@ -107,6 +121,8 @@ usage(const char* argv0)
         << " [--all-builtin | --graph=<name>...] [--raw]\n"
            "       [--instance=ins1|ins2|ins3] [--format=text|json]\n"
            "       [--dot=<path>] [--list]\n"
+           "       [--cost] [--schedule] [--max-peak-live-mib=<N>]\n"
+           "       [--max-evk-ws-mib=<N>] [--min-parallelism=<X>]\n"
            "exit 0: no error diagnostics; 1: errors found; 2: usage\n";
     return 2;
 }
@@ -122,11 +138,18 @@ main(int argc, char** argv)
     std::string instance = "ins1";
     bool raw = false;
     bool all = false;
+    bool cost = false;
+    bool schedule = false;
+    bool limits_set = false;
+    bts::runtime::analysis::ResourceLimits limits;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const auto value = [&](const char* prefix) {
             return arg.substr(std::strlen(prefix));
+        };
+        const auto num = [&](const char* prefix) {
+            return std::stod(value(prefix));
         };
         if (arg == "--list") {
             for (const Builtin& b : builtins()) {
@@ -145,6 +168,21 @@ main(int argc, char** argv)
             dot_path = value("--dot=");
         } else if (arg.rfind("--instance=", 0) == 0) {
             instance = value("--instance=");
+        } else if (arg == "--cost") {
+            cost = true;
+        } else if (arg == "--schedule") {
+            schedule = true;
+        } else if (arg.rfind("--max-peak-live-mib=", 0) == 0) {
+            limits.max_peak_live_bytes =
+                num("--max-peak-live-mib=") * 1024.0 * 1024.0;
+            limits_set = true;
+        } else if (arg.rfind("--max-evk-ws-mib=", 0) == 0) {
+            limits.max_evk_working_set_bytes =
+                num("--max-evk-ws-mib=") * 1024.0 * 1024.0;
+            limits_set = true;
+        } else if (arg.rfind("--min-parallelism=", 0) == 0) {
+            limits.min_parallelism = num("--min-parallelism=");
+            limits_set = true;
         } else {
             std::cerr << "bts_lint: unknown argument '" << arg << "'\n";
             return usage(argv[0]);
@@ -194,12 +232,42 @@ main(int argc, char** argv)
         try {
             const Graph g = builtin->build(inst, raw);
             const analysis::Analysis a = analysis::analyze(g);
-            any_errors = any_errors || !a.ok();
+            std::vector<analysis::Diagnostic> diags = a.diags;
+            const bool want_resources = cost || schedule || limits_set;
+            analysis::ResourceSummary summary;
+            if (want_resources) {
+                summary = analysis::analyze_resources(g, inst);
+                if (limits_set) {
+                    const std::vector<analysis::Diagnostic> rs =
+                        analysis::check_resources(summary, limits);
+                    diags.insert(diags.end(), rs.begin(), rs.end());
+                }
+            }
+            any_errors = any_errors || analysis::has_errors(diags);
             if (format == "json") {
-                std::cout << (first ? "" : ",\n")
-                          << analysis::render_json(g.name(), a.diags);
+                std::cout << (first ? "" : ",\n");
+                if (cost) {
+                    // Wrapper object so the lint payload keeps its
+                    // grep-stable shape under the "lint" key.
+                    std::cout << "{\"lint\": "
+                              << analysis::render_json(g.name(), diags)
+                              << ", \"resources\": "
+                              << analysis::render_resource_json(g.name(),
+                                                                summary)
+                              << "}";
+                } else {
+                    std::cout << analysis::render_json(g.name(), diags);
+                }
             } else {
-                std::cout << analysis::render_text(g.name(), a.diags);
+                std::cout << analysis::render_text(g.name(), diags);
+                if (cost) {
+                    std::cout << analysis::render_resource_text(g.name(),
+                                                                summary);
+                }
+                if (schedule) {
+                    std::cout << analysis::render_schedule_text(g,
+                                                                summary);
+                }
             }
             first = false;
             if (!dot_path.empty()) {
@@ -209,7 +277,8 @@ main(int argc, char** argv)
                               << "'\n";
                     return 2;
                 }
-                out << analysis::to_annotated_dot(g, a);
+                out << (cost ? analysis::to_resource_dot(g, summary)
+                             : analysis::to_annotated_dot(g, a));
             }
         } catch (const analysis::VerifyError& e) {
             // The builder itself refused the graph: report its
