@@ -1,26 +1,49 @@
 /**
  * @file
- * Fig. 8 reproduction: the execution timeline of one max-level HMult on
- * INS-1 — HBM / NTTU / BConvU / element-wise phase bars, plus the
- * scratchpad occupancy and bandwidth-utilization curves.
+ * Fig. 8 reproduction, two arms:
  *
- * Expected shape: the op is bound by the ~112 MiB evk stream (~120 us
- * at ~1 TB/s, 98% HBM utilization); NTTUs busy ~3/4 of the time;
- * BConvU ~1/3; peak scratchpad usage at BConv.ax (~183 MB).
+ *  1. SIM — the analytic execution timeline of one max-level HMult on
+ *     INS-1 (sim/timeline.h): HBM / NTTU / BConvU / element-wise phase
+ *     bars plus scratchpad occupancy and bandwidth curves. Expected
+ *     shape: bound by the ~112 MiB evk stream (~120 us at ~1 TB/s, 98%
+ *     HBM utilization); NTTUs busy ~3/4; BConvU ~1/3.
+ *
+ *  2. MEASURED — the same timeline concept captured from the *real*
+ *     functional library via runtime telemetry (runtime/telemetry/):
+ *     one max-level HMult is traced, and the kernel/evaluator spans
+ *     (ntt.fwd / ntt.inv / bconv / keyswitch / rescale) print as a
+ *     track/phase/start/end table. Pass --trace=FILE to also dump the
+ *     capture as Chrome trace-event JSON for Perfetto.
+ *
+ * The two arms answer the same question at different fidelities: the
+ * sim arm prices the op on BTS hardware, the measured arm shows where
+ * the host software actually spends the op's time.
  */
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 
+#include "ckks/encryptor.h"
+#include "ckks/evaluator.h"
+#include "ckks/keygen.h"
+#include "runtime/telemetry/chrome_trace.h"
+#include "runtime/telemetry/trace.h"
 #include "sim/timeline.h"
 
-int
-main()
+namespace {
+
+using namespace bts;
+namespace tel = bts::runtime::telemetry;
+
+void
+print_sim_arm()
 {
-    using namespace bts;
     const sim::BtsConfig hw;
     const auto inst = hw::ins1();
     const auto tl = sim::hmult_timeline(hw, inst);
 
-    printf("=== Fig. 8: HMult timeline on %s ===\n", inst.name.c_str());
+    printf("=== Fig. 8 (sim): HMult timeline on %s ===\n",
+           inst.name.c_str());
     printf("total: %.1f us | HBM util %.0f%% | NTTU busy %.0f%% | "
            "BConvU busy %.0f%%\n",
            tl.total_ns / 1e3, tl.hbm_util * 100, tl.nttu_busy_frac * 100,
@@ -41,5 +64,84 @@ main()
         printf("%12.0f %16.1f %9.0f%%\n", u.t_ns, u.scratchpad_mb,
                u.bandwidth_util * 100);
     }
+}
+
+/** Trace one real max-level HMult and print the captured kernel /
+ *  evaluator spans as the measured timeline table. */
+void
+print_measured_arm(const char* trace_path)
+{
+    CkksParams p;
+    p.n = 1 << 12;
+    p.max_level = 8;
+    p.dnum = 3;
+    CkksContext ctx(p);
+    CkksEncoder encoder(ctx);
+    Evaluator eval(ctx, encoder);
+    KeyGenerator keygen(ctx, 1);
+    Encryptor encryptor(ctx, 2);
+    const SecretKey sk = keygen.gen_secret_key();
+    const EvalKey mult_key = keygen.gen_mult_key(sk);
+    const std::vector<Complex> z(ctx.n() / 2, Complex(0.5, 0.25));
+    const Ciphertext ct = encryptor.encrypt_symmetric(
+        encoder.encode(z, ctx.delta(), ctx.max_level()), sk);
+
+    tel::set_thread_name("main");
+    tel::set_enabled(static_cast<u32>(tel::Category::kKernel) |
+                     static_cast<u32>(tel::Category::kEvaluator));
+    tel::reset_trace();
+    const Ciphertext out = eval.mult(ct, ct, mult_key);
+    tel::set_enabled(0);
+    (void)out;
+    const tel::Trace trace = tel::collect_trace();
+
+    printf("\n=== Fig. 8 (measured): HMult spans, N=2^12 L=8 host run "
+           "===\n");
+    printf("%-8s %-26s %12s %12s %8s\n", "track", "phase", "start(ns)",
+           "end(ns)", "limbs");
+    u64 t_base = ~u64{0};
+    for (const auto& th : trace.threads) {
+        for (const auto& ev : th.events) {
+            if (ev.t0_ns < t_base) t_base = ev.t0_ns;
+        }
+    }
+    for (const auto& th : trace.threads) {
+        const char* track =
+            th.name.empty() ? "thread" : th.name.c_str();
+        for (const auto& ev : th.events) {
+            if (ev.kind != tel::EventKind::kSpan) continue;
+            printf("%-8s %-26s %12llu %12llu %8lld\n", track, ev.name,
+                   static_cast<unsigned long long>(ev.t0_ns - t_base),
+                   static_cast<unsigned long long>(ev.t1_ns - t_base),
+                   static_cast<long long>(ev.arg));
+        }
+    }
+    printf("(%zu events captured, %llu dropped)\n", trace.total_events(),
+           static_cast<unsigned long long>(trace.total_dropped()));
+
+    if (trace_path != nullptr) {
+        std::ofstream os(trace_path);
+        if (!os) {
+            fprintf(stderr, "cannot open %s\n", trace_path);
+            return;
+        }
+        tel::write_chrome_trace(trace, os);
+        printf("wrote Chrome trace JSON to %s\n", trace_path);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const char* trace_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+            trace_path = argv[i] + 8;
+        }
+    }
+    print_sim_arm();
+    print_measured_arm(trace_path);
     return 0;
 }

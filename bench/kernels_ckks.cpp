@@ -24,6 +24,7 @@
 #include "runtime/apps/sort.h"
 #include "runtime/graph_workloads.h"
 #include "runtime/server.h"
+#include "runtime/telemetry/trace.h"
 
 namespace {
 
@@ -138,6 +139,66 @@ BENCHMARK(BM_NttLimbSweep)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_TelemetryOverhead(benchmark::State& state)
+{
+    // The telemetry acceptance number: BM_NttLimbSweep's 4-thread body
+    // with the tracing hooks compiled in, Arg(0)=0 runtime-disabled
+    // (the default state every non-traced run pays — must stay within
+    // noise of BM_NttLimbSweep/4) and Arg(0)=1 with the kKernel
+    // category live (one span emitted per iteration).
+    namespace tel = runtime::telemetry;
+    const std::size_t n = 1 << 16;
+    const int limbs = 24;
+    const bool traced = state.range(0) != 0;
+
+    static const std::vector<u64> primes =
+        generate_ntt_primes(50, 2 * n, limbs);
+    static const std::vector<NttTables>* tables = [n] {
+        auto* t = new std::vector<NttTables>;
+        t->reserve(primes.size());
+        for (u64 q : primes) t->emplace_back(n, q);
+        return t;
+    }();
+    std::vector<const NttTables*> table_ptrs;
+    for (const auto& t : *tables) table_ptrs.push_back(&t);
+
+    Sampler s(7);
+    RnsPoly poly(n, primes, Domain::kCoeff);
+    for (int i = 0; i < limbs; ++i) {
+        poly.component(i).copy_from(s.uniform_poly(n, primes[i]));
+    }
+
+    const int saved_threads = num_threads();
+    set_num_threads(4);
+    if (traced) {
+        tel::set_enabled(static_cast<u32>(tel::Category::kKernel));
+        tel::reset_trace();
+    }
+    for (auto _ : state) {
+        poly.to_ntt(table_ptrs);
+        benchmark::DoNotOptimize(poly.component(0).data());
+        state.PauseTiming();
+        poly.set_domain(Domain::kCoeff); // re-arm without timing an iNTT
+        state.ResumeTiming();
+    }
+    tel::set_enabled(0);
+    if (traced) {
+        state.counters["events"] = static_cast<double>(
+            tel::collect_trace().total_events());
+        tel::reset_trace();
+    }
+    set_num_threads(saved_threads);
+    state.SetItemsProcessed(state.iterations() * limbs * n / 2 *
+                            log2_exact(n));
+    state.counters["traced"] = traced ? 1 : 0;
+}
+BENCHMARK(BM_TelemetryOverhead)
+    ->Arg(0)
+    ->Arg(1)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

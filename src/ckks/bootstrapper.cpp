@@ -5,6 +5,7 @@
 
 #include "common/bit_ops.h"
 #include "common/check.h"
+#include "runtime/telemetry/trace.h"
 
 namespace bts {
 
@@ -126,6 +127,7 @@ Bootstrapper::set_keys(const EvalKey* mult_key, const RotationKeys* rot_keys,
 Ciphertext
 Bootstrapper::stage_raise_and_subsum(const Ciphertext& ct) const
 {
+    BTS_TRACE_SPAN(kBootstrap, "bootstrap.subsum");
     BTS_CHECK(ct.level == 0, "bootstrap input must be exhausted (level 0)");
     Ciphertext raised = eval_.mod_raise(ct);
 
@@ -153,6 +155,7 @@ Bootstrapper::stage_raise_and_subsum(const Ciphertext& ct) const
 std::pair<Ciphertext, Ciphertext>
 Bootstrapper::stage_coeff_to_slot(const Ciphertext& raised) const
 {
+    BTS_TRACE_SPAN(kBootstrap, "bootstrap.cts");
     Ciphertext t = cts_dense_ ? cts_dense_->apply(eval_, raised, *rot_keys_)
                               : cts_factored_->apply(eval_, raised,
                                                      *rot_keys_);
@@ -176,6 +179,7 @@ Bootstrapper::stage_coeff_to_slot(const Ciphertext& raised) const
 Ciphertext
 Bootstrapper::stage_eval_mod(const Ciphertext& u) const
 {
+    BTS_TRACE_SPAN(kBootstrap, "bootstrap.evalmod");
     const ChebyshevEvaluator cheby(eval_);
     Ciphertext v = cheby.evaluate(u, sine_series_, *mult_key_);
     // The sine output is gap*m_k/q0 in value; fold gap, Delta and q0
@@ -190,6 +194,7 @@ Ciphertext
 Bootstrapper::stage_slot_to_coeff(const Ciphertext& v_re,
                                   const Ciphertext& v_im) const
 {
+    BTS_TRACE_SPAN(kBootstrap, "bootstrap.stc");
     Ciphertext w = v_re;
     Ciphertext im = eval_.mult_by_i(v_im);
     eval_.drop_level_inplace(w, std::min(w.level, im.level));
@@ -204,6 +209,7 @@ Bootstrapper::stage_slot_to_coeff(const Ciphertext& v_re,
 Ciphertext
 Bootstrapper::bootstrap(const Ciphertext& ct) const
 {
+    BTS_TRACE_SPAN(kBootstrap, "bootstrap");
     BTS_CHECK(mult_key_ && rot_keys_ && conj_key_,
               "bootstrapper keys not installed (call set_keys)");
     BTS_CHECK(ct.slots == config_.slots,

@@ -7,6 +7,7 @@
 #include "common/parallel.h"
 #include "common/workspace.h"
 #include "math/mod_arith.h"
+#include "runtime/telemetry/trace.h"
 
 namespace bts {
 
@@ -173,6 +174,8 @@ Evaluator::accumulate_evk_product(RnsPoly& acc_b, RnsPoly& acc_a,
 std::pair<RnsPoly, RnsPoly>
 Evaluator::key_switch(const RnsPoly& d, const EvalKey& evk, int level) const
 {
+    BTS_TRACE_SPAN_VAR(trace_span, kEvaluator, "keyswitch");
+    trace_span.set_level(level);
     BTS_CHECK(d.domain() == Domain::kNtt, "key_switch expects NTT domain");
     BTS_CHECK(static_cast<int>(d.num_primes()) == level + 1,
               "polynomial does not match the stated level");
@@ -332,6 +335,9 @@ Evaluator::rotate_hoisted(const Ciphertext& ct,
                           const std::vector<int>& amounts,
                           const std::vector<const EvalKey*>& keys) const
 {
+    BTS_TRACE_SPAN_VAR(trace_span, kEvaluator, "rotate.hoisted");
+    trace_span.set_level(ct.level);
+    trace_span.set_arg(static_cast<i64>(amounts.size()));
     BTS_CHECK(keys.size() == amounts.size(),
               "one key per rotation amount expected");
     const int level = ct.level;
@@ -529,6 +535,8 @@ Evaluator::rescale_poly(RnsPoly& poly) const
 void
 Evaluator::rescale_inplace(Ciphertext& ct) const
 {
+    BTS_TRACE_SPAN_VAR(trace_span, kEvaluator, "rescale");
+    trace_span.set_level(ct.level);
     BTS_CHECK(ct.level >= 1, "no level left to rescale");
     const u64 q_last = ct.b.prime(ct.level);
     rescale_poly(ct.b);
@@ -771,6 +779,8 @@ Evaluator::add_const_inplace(Ciphertext& ct, Complex c) const
 Ciphertext
 Evaluator::mod_raise(const Ciphertext& ct) const
 {
+    BTS_TRACE_SPAN_VAR(trace_span, kEvaluator, "modraise");
+    trace_span.set_level(ct.level);
     BTS_CHECK(ct.level == 0, "mod_raise expects a level-0 ciphertext");
     const u64 q0 = ctx_.q_primes()[0];
     const u64 half = q0 >> 1;

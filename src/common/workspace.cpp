@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/thread_annotations.h"
+#include "runtime/telemetry/trace.h"
 
 namespace bts {
 
@@ -157,12 +158,19 @@ pool()
 U64Buffer
 acquire_buffer(std::size_t min_capacity)
 {
+    // kWorkspace is the highest-frequency category (every scratch
+    // buffer of every kernel); keep it out of the default trace masks
+    // unless pool behaviour itself is under study.
+    BTS_TRACE_INSTANT(kWorkspace, "ws.acquire",
+                      min_capacity * sizeof(u64));
     return pool().acquire(min_capacity);
 }
 
 void
 release_buffer(U64Buffer&& buf)
 {
+    BTS_TRACE_INSTANT(kWorkspace, "ws.release",
+                      buf.capacity() * sizeof(u64));
     pool().release(std::move(buf));
 }
 

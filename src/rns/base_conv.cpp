@@ -4,6 +4,7 @@
 #include "common/parallel.h"
 #include "common/workspace.h"
 #include "math/mod_arith.h"
+#include "runtime/telemetry/trace.h"
 
 namespace bts {
 
@@ -32,6 +33,8 @@ BaseConverter::BaseConverter(const RnsBase& source, const RnsBase& target)
 RnsPoly
 BaseConverter::convert(const RnsPoly& input) const
 {
+    BTS_TRACE_SPAN_VAR(trace_span, kKernel, "bconv");
+    trace_span.set_arg(static_cast<i64>(source_.size()));
     BTS_CHECK(input.domain() == Domain::kCoeff,
               "BConv operates in the coefficient domain");
     BTS_CHECK(input.num_primes() == source_.size(),
@@ -88,6 +91,8 @@ BaseConverter::convert(const RnsPoly& input) const
 RnsPoly
 BaseConverter::convert_grouped(const RnsPoly& input, int l_sub) const
 {
+    BTS_TRACE_SPAN_VAR(trace_span, kKernel, "bconv.grouped");
+    trace_span.set_arg(static_cast<i64>(source_.size()));
     BTS_CHECK(l_sub >= 1, "l_sub must be positive");
     BTS_CHECK(input.domain() == Domain::kCoeff,
               "BConv operates in the coefficient domain");

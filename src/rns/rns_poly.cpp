@@ -8,6 +8,7 @@
 #include "common/parallel.h"
 #include "common/workspace.h"
 #include "math/mod_arith.h"
+#include "runtime/telemetry/trace.h"
 
 namespace bts {
 
@@ -320,6 +321,8 @@ RnsPoly::sub_mul_scalar_inplace(const RnsPoly& other,
 void
 RnsPoly::to_ntt(const std::vector<const NttTables*>& tables)
 {
+    BTS_TRACE_SPAN_VAR(trace_span, kKernel, "ntt.fwd");
+    trace_span.set_arg(static_cast<i64>(num_primes()));
     BTS_CHECK(domain_ == Domain::kCoeff, "already in NTT domain");
     BTS_CHECK(tables.size() >= num_primes(), "NTT table count mismatch");
     for (std::size_t i = 0; i < num_primes(); ++i) {
@@ -333,6 +336,8 @@ RnsPoly::to_ntt(const std::vector<const NttTables*>& tables)
 void
 RnsPoly::to_ntt_lazy(const std::vector<const NttTables*>& tables)
 {
+    BTS_TRACE_SPAN_VAR(trace_span, kKernel, "ntt.fwd_lazy");
+    trace_span.set_arg(static_cast<i64>(num_primes()));
     BTS_CHECK(domain_ == Domain::kCoeff, "already in NTT domain");
     BTS_CHECK(tables.size() >= num_primes(), "NTT table count mismatch");
     for (std::size_t i = 0; i < num_primes(); ++i) {
@@ -346,6 +351,8 @@ RnsPoly::to_ntt_lazy(const std::vector<const NttTables*>& tables)
 void
 RnsPoly::to_coeff(const std::vector<const NttTables*>& tables)
 {
+    BTS_TRACE_SPAN_VAR(trace_span, kKernel, "ntt.inv");
+    trace_span.set_arg(static_cast<i64>(num_primes()));
     BTS_CHECK(domain_ == Domain::kNtt, "already in coefficient domain");
     BTS_CHECK(tables.size() >= num_primes(), "NTT table count mismatch");
     for (std::size_t i = 0; i < num_primes(); ++i) {

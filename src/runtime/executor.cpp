@@ -7,6 +7,8 @@
 #include <tuple>
 
 #include "common/check.h"
+#include "runtime/telemetry/metrics.h"
+#include "runtime/telemetry/trace.h"
 
 namespace bts::runtime {
 
@@ -48,6 +50,10 @@ struct Executor::Sched
     std::size_t window = 1;
     ExecStats stats;
     std::exception_ptr error;
+    /** Predicted per-node cost (telemetry span tags); null when no
+     *  prediction was installed for this graph. Immutable during the
+     *  run, so read without sched.m. */
+    const std::vector<double>* node_costs = nullptr;
 
     /** Drop a ciphertext value whose last consumer finished; its
      *  backing buffers return to the workspace pool immediately. */
@@ -77,6 +83,24 @@ ciphertext_bytes(const Ciphertext& ct)
            sizeof(u64);
 }
 
+/** Per-process executor metrics; references are stable for the
+ *  registry's (leaked-singleton) lifetime, so resolve them once. */
+void
+record_run_metrics(const ExecStats& stats)
+{
+    using telemetry::MetricsRegistry;
+    static telemetry::Counter& runs = MetricsRegistry::instance().counter(
+        "bts_executor_runs_total", "graph executions completed");
+    static telemetry::Counter& nodes = MetricsRegistry::instance().counter(
+        "bts_executor_nodes_total", "graph nodes dispatched");
+    static telemetry::Gauge& peak = MetricsRegistry::instance().gauge(
+        "bts_executor_peak_live_bytes",
+        "largest per-run peak of the live ciphertext set");
+    runs.inc(1);
+    nodes.inc(stats.nodes);
+    peak.set_max(static_cast<double>(stats.peak_live_bytes));
+}
+
 } // namespace
 
 Executor::Executor(EvalResources res, ExecOptions opts)
@@ -98,6 +122,22 @@ Executor::clear_plan_cache() const
 {
     std::lock_guard<std::mutex> lock(plans_mutex_);
     plans_.clear();
+    node_costs_.clear();
+}
+
+void
+Executor::set_node_costs(const Graph& g, std::vector<double> cost_s) const
+{
+    BTS_CHECK(cost_s.size() == g.num_nodes(),
+              g.name() << ": node cost vector has " << cost_s.size()
+                       << " entries for " << g.num_nodes() << " nodes");
+    std::lock_guard<std::mutex> lock(plans_mutex_);
+    // Same retention policy as the plan cache: uids are never reused,
+    // so stale entries only waste memory — drop everything at the cap.
+    constexpr std::size_t kMaxCachedCosts = 64;
+    if (node_costs_.size() >= kMaxCachedCosts) node_costs_.clear();
+    node_costs_[g.uid()] =
+        std::make_shared<const std::vector<double>>(std::move(cost_s));
 }
 
 std::shared_ptr<const Executor::Plan>
@@ -206,6 +246,15 @@ Executor::exec_node(const Graph& g, const Plan& plan,
                     std::size_t node_idx, Sched& sched) const
 {
     const Node& n = g.node(node_idx);
+    // One span per dispatched node, tagged with the output value id and
+    // the statically predicted cost (when installed): the raw material
+    // for the predicted-vs-measured closure in telemetry/profile.h.
+    BTS_TRACE_SPAN_VAR(node_span, kNode, op_name(n.kind));
+    node_span.set_level(g.value(n.output).level);
+    node_span.set_arg(n.output);
+    if (sched.node_costs != nullptr) {
+        node_span.set_cost((*sched.node_costs)[node_idx]);
+    }
     const auto in_ct = [&](std::size_t slot) -> const Ciphertext& {
         const std::optional<Ciphertext>& v = sched.values[n.inputs[slot]];
         BTS_ASSERT(v.has_value(), "operand not resident");
@@ -481,7 +530,14 @@ Executor::run(const Graph& g, Binding inputs, ExecStats* stats) const
 {
     const std::shared_ptr<const Plan> plan_owner = plan_for(g);
     const Plan& plan = *plan_owner;
+    std::shared_ptr<const std::vector<double>> costs_owner;
+    {
+        std::lock_guard<std::mutex> lock(plans_mutex_);
+        auto it = node_costs_.find(g.uid());
+        if (it != node_costs_.end()) costs_owner = it->second;
+    }
     Sched sched;
+    sched.node_costs = costs_owner.get();
     init_sched(g, inputs, sched);
     sched.window = opts_.max_in_flight > 0
                        ? static_cast<std::size_t>(opts_.max_in_flight)
@@ -531,6 +587,7 @@ Executor::run(const Graph& g, Binding inputs, ExecStats* stats) const
     if (sched.error) std::rethrow_exception(sched.error);
     BTS_ASSERT(sched.done == sched.num_nodes,
                "scheduler finished with unexecuted nodes");
+    record_run_metrics(sched.stats);
     if (stats) {
         *stats = sched.stats;
         std::lock_guard<std::mutex> lock(plan.plain_mutex);
@@ -546,7 +603,14 @@ Executor::run_serial(const Graph& g, Binding inputs,
 {
     const std::shared_ptr<const Plan> plan_owner = plan_for(g);
     const Plan& plan = *plan_owner;
+    std::shared_ptr<const std::vector<double>> costs_owner;
+    {
+        std::lock_guard<std::mutex> lock(plans_mutex_);
+        auto it = node_costs_.find(g.uid());
+        if (it != node_costs_.end()) costs_owner = it->second;
+    }
     Sched sched;
+    sched.node_costs = costs_owner.get();
     init_sched(g, inputs, sched);
     sched.window = 1;
 
@@ -561,6 +625,7 @@ Executor::run_serial(const Graph& g, Binding inputs,
         finish_node(g, i, std::move(out), sched);
     }
 
+    record_run_metrics(sched.stats);
     if (stats) {
         *stats = sched.stats;
         std::lock_guard<std::mutex> lock(plan.plain_mutex);

@@ -137,6 +137,18 @@ class Executor
      *  their plan alive through a shared_ptr. */
     void clear_plan_cache() const;
 
+    /**
+     * Install the statically predicted per-node costs for @p g (one
+     * entry per node, in node order — ResourceSummary::nodes'
+     * cost_s). Telemetry only: each node's dispatch span is tagged
+     * with its prediction, closing the predicted-vs-measured loop in
+     * runtime/telemetry/profile.h. GraphServer::register_graph calls
+     * this on every lane executor; uninstalled graphs trace with a
+     * zero cost tag. Keyed by Graph::uid(), so costs can never attach
+     * to the wrong graph.
+     */
+    void set_node_costs(const Graph& g, std::vector<double> cost_s) const;
+
   private:
     struct Plan;   // resolved evk handles + plaintext cache, per graph
     struct Sched;  // one run's scheduler state
@@ -158,8 +170,11 @@ class Executor
     EvalResources res_;
     ExecOptions opts_;
     std::unique_ptr<ThreadPool> pool_; //!< lanes > 1 only
-    mutable std::mutex plans_mutex_;   //!< guards plans_
+    mutable std::mutex plans_mutex_;   //!< guards plans_, node_costs_
     mutable std::map<u64, std::shared_ptr<const Plan>> plans_;
+    /** Predicted per-node costs (set_node_costs), by graph uid. */
+    mutable std::map<u64, std::shared_ptr<const std::vector<double>>>
+        node_costs_;
 };
 
 } // namespace bts::runtime

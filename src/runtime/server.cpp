@@ -5,6 +5,8 @@
 
 #include "common/check.h"
 #include "runtime/analysis/verifier.h"
+#include "runtime/telemetry/metrics.h"
+#include "runtime/telemetry/trace.h"
 
 namespace bts::runtime {
 
@@ -15,6 +17,38 @@ seconds(std::chrono::steady_clock::duration d)
 {
     return std::chrono::duration<double>(d).count();
 }
+
+/** Per-process serving metrics (see executor.cpp's record_run_metrics
+ *  for the resolve-once idiom). */
+struct ServerMetrics
+{
+    telemetry::Counter& submitted;
+    telemetry::Counter& completed;
+    telemetry::Counter& failed;
+    telemetry::Gauge& queue_depth;
+    telemetry::Histogram& latency;
+
+    static ServerMetrics&
+    instance()
+    {
+        using telemetry::MetricsRegistry;
+        MetricsRegistry& reg = MetricsRegistry::instance();
+        static ServerMetrics* m = new ServerMetrics{
+            reg.counter("bts_server_jobs_submitted_total",
+                        "jobs admitted into the serving queue"),
+            reg.counter("bts_server_jobs_completed_total",
+                        "jobs whose future resolved with outputs"),
+            reg.counter("bts_server_jobs_failed_total",
+                        "jobs whose future resolved with an exception"),
+            reg.gauge("bts_server_queue_depth",
+                      "jobs waiting for a lane right now"),
+            reg.histogram("bts_server_job_latency_seconds",
+                          telemetry::latency_buckets(),
+                          "submit-to-completion latency"),
+        };
+        return *m;
+    }
+};
 
 /**
  * Describe the server's functional CkksContext as a CkksInstance so
@@ -117,6 +151,20 @@ GraphServer::register_graph(const Graph& g, const passes::PassOptions& opts)
         have_summary = true;
     } catch (const std::exception&) {
     }
+    if (have_summary) {
+        // Hand the per-node predictions to every lane executor: each
+        // node's telemetry span carries its predicted cost, which is
+        // what bts_profile closes the loop against. Keyed by graph uid
+        // on the executor side, so pre-registration is race-free.
+        std::vector<double> costs;
+        costs.reserve(summary.nodes.size());
+        for (const auto& node : summary.nodes) {
+            costs.push_back(node.cost_s);
+        }
+        for (const auto& exec : executors_) {
+            exec->set_node_costs(result->graph, costs);
+        }
+    }
     MutexLock lock(mutex_);
     const auto [it, inserted] = registered_.emplace(g.uid(),
                                                     std::move(result));
@@ -139,6 +187,7 @@ GraphServer::submit(JobRequest req)
 {
     BTS_CHECK(req.graph != nullptr, "job has no graph");
     BTS_CHECK(req.deadline_s >= 0, "deadline must be >= 0");
+    BTS_TRACE_INSTANT(kServer, "job.submitted", req.graph->uid());
     Job job;
     job.req = std::move(req);
     std::future<JobResult> fut = job.promise.get_future();
@@ -177,6 +226,11 @@ GraphServer::submit(JobRequest req)
         peak_queued_cost_s_ = std::max(peak_queued_cost_s_,
                                        queued_cost_s_);
         queue_.push_back(std::move(job));
+        BTS_TRACE_INSTANT(kServer, "job.admitted", queue_.size());
+        BTS_TRACE_COUNTER(kServer, "server.queue_depth", queue_.size());
+        ServerMetrics::instance().submitted.inc(1);
+        ServerMetrics::instance().queue_depth.set(
+            static_cast<double>(queue_.size()));
     }
     queue_cv_.notify_one();
     return fut;
@@ -223,6 +277,10 @@ GraphServer::pick_job() const
 void
 GraphServer::lane_loop(int lane_idx)
 {
+    // Name the lane before any event is emitted: the Chrome-trace
+    // exporter turns per-thread buffers into per-lane tracks (Fig 8's
+    // lane axis), so the name is the track label.
+    telemetry::set_thread_name("lane " + std::to_string(lane_idx));
     Executor& exec = *executors_[lane_idx];
     for (;;) {
         Job job;
@@ -236,6 +294,12 @@ GraphServer::lane_loop(int lane_idx)
                          static_cast<std::ptrdiff_t>(idx));
             queued_cost_s_ -= std::max(job.est_cost_s, 0.0);
             ++active_;
+            BTS_TRACE_INSTANT(kServer, "job.scheduled",
+                              job.req.graph->uid());
+            BTS_TRACE_COUNTER(kServer, "server.queue_depth",
+                              queue_.size());
+            ServerMetrics::instance().queue_depth.set(
+                static_cast<double>(queue_.size()));
         }
         // notify_all, not notify_one: with cost backpressure,
         // submitters block on different budgets — the one woken might
@@ -247,15 +311,27 @@ GraphServer::lane_loop(int lane_idx)
         result.queue_s = seconds(start - job.submitted);
         result.est_cost_s = std::max(job.est_cost_s, 0.0);
         bool ok = true;
-        try {
-            result.outputs =
-                exec.run(*job.req.graph, std::move(job.req.inputs));
-        } catch (...) {
-            ok = false;
-            job.promise.set_exception(std::current_exception());
+        {
+            BTS_TRACE_SPAN_VAR(job_span, kServer, "job");
+            job_span.set_arg(
+                static_cast<i64>(job.req.graph->uid()));
+            job_span.set_cost(result.est_cost_s);
+            try {
+                result.outputs =
+                    exec.run(*job.req.graph, std::move(job.req.inputs));
+            } catch (...) {
+                ok = false;
+                job.promise.set_exception(std::current_exception());
+            }
         }
         const Clock::time_point end = Clock::now();
         result.exec_s = seconds(end - start);
+        BTS_TRACE_INSTANT(kServer, "job.done", job.req.graph->uid());
+        (ok ? ServerMetrics::instance().completed
+            : ServerMetrics::instance().failed)
+            .inc(1);
+        ServerMetrics::instance().latency.observe(
+            seconds(end - job.submitted));
         // Fulfil the promise BEFORE decrementing active_: drain()
         // returning must imply every admitted job's future is ready.
         if (ok) job.promise.set_value(std::move(result));

@@ -1,0 +1,128 @@
+#include "runtime/telemetry/chrome_trace.h"
+
+#include <cstdio>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace bts::runtime::telemetry {
+
+namespace {
+
+/** JSON string escape (names are static strings under our control,
+ *  but thread names are caller data). */
+std::string
+json_escape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char hex[8];
+                std::snprintf(hex, sizeof hex, "\\u%04x", c);
+                out += hex;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+const char*
+category_name(Category cat)
+{
+    switch (cat) {
+    case Category::kNode: return "node";
+    case Category::kEvaluator: return "evaluator";
+    case Category::kKernel: return "kernel";
+    case Category::kServer: return "server";
+    case Category::kWorkspace: return "workspace";
+    case Category::kBootstrap: return "bootstrap";
+    }
+    return "unknown";
+}
+
+/** Microsecond timestamp rebased to the capture's first event. */
+double
+rebased_us(u64 t_ns, u64 t_min_ns)
+{
+    return static_cast<double>(t_ns - t_min_ns) / 1e3;
+}
+
+} // namespace
+
+void
+write_chrome_trace(const Trace& trace, std::ostream& os)
+{
+    u64 t_min = std::numeric_limits<u64>::max();
+    for (const ThreadTrace& t : trace.threads) {
+        for (const TraceEvent& ev : t.events) {
+            if (ev.t0_ns < t_min) t_min = ev.t0_ns;
+        }
+    }
+    if (t_min == std::numeric_limits<u64>::max()) t_min = 0;
+
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    const auto sep = [&] {
+        if (!first) os << ",\n";
+        first = false;
+    };
+
+    // Thread-name metadata first: Perfetto labels the per-lane tracks.
+    for (const ThreadTrace& t : trace.threads) {
+        if (t.name.empty()) continue;
+        sep();
+        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+           << "\"tid\":" << t.tid << ",\"args\":{\"name\":\""
+           << json_escape(t.name) << "\"}}";
+    }
+
+    for (const ThreadTrace& t : trace.threads) {
+        for (const TraceEvent& ev : t.events) {
+            sep();
+            os << "{\"name\":\"" << json_escape(ev.name ? ev.name : "")
+               << "\",\"cat\":\"" << category_name(ev.cat)
+               << "\",\"pid\":0,\"tid\":" << t.tid << ",\"ts\":"
+               << rebased_us(ev.t0_ns, t_min);
+            switch (ev.kind) {
+            case EventKind::kSpan:
+                os << ",\"ph\":\"X\",\"dur\":"
+                   << rebased_us(ev.t1_ns, ev.t0_ns) << ",\"args\":{";
+                os << "\"level\":" << ev.level << ",\"arg\":" << ev.arg;
+                if (ev.cost_s > 0) {
+                    os << ",\"predicted_cost_s\":" << ev.cost_s;
+                }
+                os << "}}";
+                break;
+            case EventKind::kInstant:
+                os << ",\"ph\":\"i\",\"s\":\"t\",\"args\":{\"arg\":"
+                   << ev.arg << "}}";
+                break;
+            case EventKind::kCounter:
+                os << ",\"ph\":\"C\",\"args\":{\"value\":" << ev.arg
+                   << "}}";
+                break;
+            }
+        }
+    }
+    os << "],\"otherData\":{\"dropped_events\":" << trace.total_dropped()
+       << "}}";
+}
+
+std::string
+to_chrome_trace_json(const Trace& trace)
+{
+    std::ostringstream os;
+    write_chrome_trace(trace, os);
+    return os.str();
+}
+
+} // namespace bts::runtime::telemetry

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Chrome trace-event JSON exporter: turns a collected Trace into the
+ * format Perfetto / chrome://tracing load directly, one track per
+ * emitting thread — the measured counterpart of the paper's Fig. 8
+ * lane-occupancy timeline.
+ *
+ * Mapping:
+ *   span    -> "X" complete event (ts/dur in microseconds, rebased to
+ *              the earliest event so traces start at t=0), args carry
+ *              the level/arg/cost tags
+ *   instant -> "i" thread-scoped instant
+ *   counter -> "C" counter event (value = arg), e.g. queue depth
+ *   thread  -> "M" thread_name metadata when set_thread_name was used
+ *
+ * The top-level object is {"traceEvents": [...], "otherData":
+ * {"dropped_events": N}} so overflow is visible in the artifact.
+ */
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "runtime/telemetry/trace.h"
+
+namespace bts::runtime::telemetry {
+
+/** Serialize @p trace as Chrome trace-event JSON onto @p os. */
+void write_chrome_trace(const Trace& trace, std::ostream& os);
+
+/** Same, returned as a string. */
+std::string to_chrome_trace_json(const Trace& trace);
+
+} // namespace bts::runtime::telemetry

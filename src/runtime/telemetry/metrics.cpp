@@ -1,0 +1,281 @@
+#include "runtime/telemetry/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/workspace.h"
+
+namespace bts::runtime::telemetry {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1)
+{
+    BTS_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()),
+              "histogram bucket bounds must be sorted ascending");
+}
+
+void
+Histogram::observe(double v)
+{
+    // First bucket whose upper edge holds v; the +Inf bucket is last.
+    const auto it =
+        std::lower_bound(bounds_.begin(), bounds_.end(), v);
+    const std::size_t idx =
+        static_cast<std::size_t>(it - bounds_.begin());
+    buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+std::vector<u64>
+Histogram::bucket_counts() const
+{
+    std::vector<u64> out(buckets_.size());
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        out[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    return out;
+}
+
+void
+Histogram::reset()
+{
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry&
+MetricsRegistry::instance()
+{
+    // Leaked for the same reason as the workspace pool: metrics are
+    // pushed from destructors of static fixtures during teardown.
+    static MetricsRegistry* r = [] {
+        auto* reg = new MetricsRegistry;
+        reg->register_collector("workspace", [] {
+            const WorkspaceStats ws = workspace_stats();
+            return std::vector<Sample>{
+                {"bts_workspace_pool_hits_total",
+                 "buffer acquires served from the free list",
+                 static_cast<double>(ws.hits)},
+                {"bts_workspace_pool_misses_total",
+                 "buffer acquires that hit the allocator",
+                 static_cast<double>(ws.misses)},
+                {"bts_workspace_outstanding_buffers",
+                 "buffers currently checked out of the pool",
+                 static_cast<double>(ws.outstanding_buffers)},
+                {"bts_workspace_outstanding_bytes",
+                 "capacity of the outstanding buffers",
+                 static_cast<double>(ws.outstanding_bytes)},
+                {"bts_workspace_peak_buffers",
+                 "high-water outstanding buffer count",
+                 static_cast<double>(ws.peak_buffers)},
+                {"bts_workspace_peak_bytes",
+                 "high-water outstanding bytes",
+                 static_cast<double>(ws.peak_bytes)},
+            };
+        });
+        return reg;
+    }();
+    return *r;
+}
+
+Counter&
+MetricsRegistry::counter(const std::string& name, const std::string& help)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    Entry<Counter>& e = counters_[name];
+    if (!e.metric) {
+        e.metric = std::make_unique<Counter>();
+        e.help = help;
+    }
+    return *e.metric;
+}
+
+Gauge&
+MetricsRegistry::gauge(const std::string& name, const std::string& help)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    Entry<Gauge>& e = gauges_[name];
+    if (!e.metric) {
+        e.metric = std::make_unique<Gauge>();
+        e.help = help;
+    }
+    return *e.metric;
+}
+
+Histogram&
+MetricsRegistry::histogram(const std::string& name,
+                           std::vector<double> bounds,
+                           const std::string& help)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    Entry<Histogram>& e = histograms_[name];
+    if (!e.metric) {
+        e.metric = std::make_unique<Histogram>(std::move(bounds));
+        e.help = help;
+    }
+    return *e.metric;
+}
+
+void
+MetricsRegistry::register_collector(const std::string& id, Collector fn)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    collectors_[id] = std::move(fn);
+}
+
+namespace {
+
+/** %g-style shortest float that Prometheus and JSON both accept. */
+std::string
+num(double v)
+{
+    std::ostringstream os;
+    os << v;
+    return os.str();
+}
+
+void
+help_and_type(std::ostringstream& os, const std::string& name,
+              const std::string& help, const char* type)
+{
+    if (!help.empty()) os << "# HELP " << name << ' ' << help << '\n';
+    os << "# TYPE " << name << ' ' << type << '\n';
+}
+
+} // namespace
+
+std::string
+MetricsRegistry::render_prometheus() const
+{
+    // Sample collectors outside the lock: a collector may itself call
+    // back into another mutex (the workspace pool's).
+    std::map<std::string, Collector> collectors;
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        collectors = collectors_;
+    }
+    std::vector<std::vector<Sample>> collected;
+    collected.reserve(collectors.size());
+    for (const auto& [id, fn] : collectors) collected.push_back(fn());
+
+    std::ostringstream os;
+    std::lock_guard<std::mutex> lock(m_);
+    for (const auto& [name, e] : counters_) {
+        help_and_type(os, name, e.help, "counter");
+        os << name << ' ' << e.metric->value() << '\n';
+    }
+    for (const auto& [name, e] : gauges_) {
+        help_and_type(os, name, e.help, "gauge");
+        os << name << ' ' << num(e.metric->value()) << '\n';
+    }
+    for (const auto& [name, e] : histograms_) {
+        help_and_type(os, name, e.help, "histogram");
+        const std::vector<u64> counts = e.metric->bucket_counts();
+        const std::vector<double>& bounds = e.metric->bounds();
+        u64 cumulative = 0;
+        for (std::size_t i = 0; i < bounds.size(); ++i) {
+            cumulative += counts[i];
+            os << name << "_bucket{le=\"" << num(bounds[i]) << "\"} "
+               << cumulative << '\n';
+        }
+        cumulative += counts.back();
+        os << name << "_bucket{le=\"+Inf\"} " << cumulative << '\n';
+        os << name << "_sum " << num(e.metric->sum()) << '\n';
+        os << name << "_count " << e.metric->count() << '\n';
+    }
+    for (const auto& samples : collected) {
+        for (const Sample& s : samples) {
+            help_and_type(os, s.name, s.help, "gauge");
+            os << s.name << ' ' << num(s.value) << '\n';
+        }
+    }
+    return os.str();
+}
+
+std::string
+MetricsRegistry::render_json() const
+{
+    std::map<std::string, Collector> collectors;
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        collectors = collectors_;
+    }
+    std::vector<std::vector<Sample>> collected;
+    collected.reserve(collectors.size());
+    for (const auto& [id, fn] : collectors) collected.push_back(fn());
+
+    std::ostringstream os;
+    std::lock_guard<std::mutex> lock(m_);
+    os << "{\"counters\":{";
+    bool first = true;
+    for (const auto& [name, e] : counters_) {
+        os << (first ? "" : ",") << '"' << name
+           << "\":" << e.metric->value();
+        first = false;
+    }
+    os << "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, e] : gauges_) {
+        os << (first ? "" : ",") << '"' << name
+           << "\":" << num(e.metric->value());
+        first = false;
+    }
+    os << "},\"histograms\":{";
+    first = true;
+    for (const auto& [name, e] : histograms_) {
+        os << (first ? "" : ",") << '"' << name << "\":{\"count\":"
+           << e.metric->count() << ",\"sum\":" << num(e.metric->sum())
+           << ",\"buckets\":[";
+        const std::vector<u64> counts = e.metric->bucket_counts();
+        const std::vector<double>& bounds = e.metric->bounds();
+        for (std::size_t i = 0; i < counts.size(); ++i) {
+            os << (i == 0 ? "" : ",") << "{\"le\":";
+            if (i < bounds.size()) {
+                os << '"' << num(bounds[i]) << '"';
+            } else {
+                os << "\"+Inf\"";
+            }
+            os << ",\"count\":" << counts[i] << '}';
+        }
+        os << "]}";
+        first = false;
+    }
+    os << "},\"collected\":{";
+    first = true;
+    for (const auto& samples : collected) {
+        for (const Sample& s : samples) {
+            os << (first ? "" : ",") << '"' << s.name
+               << "\":" << num(s.value);
+            first = false;
+        }
+    }
+    os << "}}";
+    return os.str();
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(m_);
+    for (auto& [name, e] : counters_) e.metric->reset();
+    for (auto& [name, e] : gauges_) e.metric->reset();
+    for (auto& [name, e] : histograms_) e.metric->reset();
+}
+
+std::vector<double>
+latency_buckets()
+{
+    std::vector<double> b;
+    for (double edge = 1e-4; edge < 200.0; edge *= 4.0) {
+        b.push_back(edge);
+    }
+    return b;
+}
+
+} // namespace bts::runtime::telemetry

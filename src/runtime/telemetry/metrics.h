@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Process-wide metrics registry: counters, gauges and fixed-bucket
+ * histograms with Prometheus text exposition and a JSON snapshot.
+ *
+ * This is the single stats surface the serving stack reports through:
+ * the Executor and GraphServer push node/job/queue metrics here, and
+ * pull-model collectors absorb the existing ad-hoc stats structs
+ * (WorkspaceStats is registered as a built-in collector; ExecStats /
+ * ServerStats keep their thin per-object accessors for tests, but
+ * their aggregate counterparts live here).
+ *
+ * Thread safety: instrument handles (Counter&, Gauge&, Histogram&) are
+ * stable for the registry's lifetime and internally atomic — hot paths
+ * hold a reference and never touch the registry lock. Registration and
+ * rendering take a mutex.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace bts::runtime::telemetry {
+
+/** Monotonically increasing count (relaxed atomics: totals, not
+ *  synchronization). */
+class Counter
+{
+  public:
+    void
+    inc(u64 delta = 1)
+    {
+        v_.fetch_add(delta, std::memory_order_relaxed);
+    }
+    u64
+    value() const
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+    void
+    reset()
+    {
+        v_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<u64> v_{0};
+};
+
+/** Last-written value, plus a monotonic-max mode for high-water marks. */
+class Gauge
+{
+  public:
+    void
+    set(double v)
+    {
+        v_.store(v, std::memory_order_relaxed);
+    }
+    /** Raise to @p v if larger (peak_live_bytes-style watermarks). */
+    void
+    set_max(double v)
+    {
+        double cur = v_.load(std::memory_order_relaxed);
+        while (v > cur &&
+               !v_.compare_exchange_weak(cur, v,
+                                         std::memory_order_relaxed)) {
+        }
+    }
+    double
+    value() const
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+    void
+    reset()
+    {
+        v_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> v_{0};
+};
+
+/** Fixed-bucket histogram (Prometheus semantics: `bounds` are the
+ *  inclusive upper edges; an implicit +Inf bucket catches the rest). */
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<double> bounds);
+
+    void observe(double v);
+
+    const std::vector<double>&
+    bounds() const
+    {
+        return bounds_;
+    }
+    u64
+    count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+    double
+    sum() const
+    {
+        return sum_.load(std::memory_order_relaxed);
+    }
+    /** Per-bucket (non-cumulative) counts; last entry is +Inf. */
+    std::vector<u64> bucket_counts() const;
+    void reset();
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<std::atomic<u64>> buckets_; //!< bounds_.size() + 1
+    std::atomic<u64> count_{0};
+    std::atomic<double> sum_{0};
+};
+
+/** One pull-model sample (rendered as an untyped gauge). */
+struct Sample
+{
+    std::string name;
+    std::string help;
+    double value = 0;
+};
+
+/** The process-wide registry. */
+class MetricsRegistry
+{
+  public:
+    /** Collectors are invoked at render time to sample state that
+     *  already has an owner (the workspace pool, a live server). */
+    using Collector = std::function<std::vector<Sample>()>;
+
+    /** Singleton with the built-in workspace-pool collector installed. */
+    static MetricsRegistry& instance();
+
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    /** Find-or-create by name; the reference stays valid for the
+     *  registry's lifetime. `help` is recorded on first creation. */
+    Counter& counter(const std::string& name,
+                     const std::string& help = "");
+    Gauge& gauge(const std::string& name, const std::string& help = "");
+    /** `bounds` applies on first creation only. */
+    Histogram& histogram(const std::string& name,
+                         std::vector<double> bounds,
+                         const std::string& help = "");
+
+    /** Install (or replace) the collector registered under @p id. */
+    void register_collector(const std::string& id, Collector fn);
+
+    /** Prometheus text exposition format (HELP/TYPE + samples). */
+    std::string render_prometheus() const;
+    /** The same content as one JSON object. */
+    std::string render_json() const;
+
+    /** Zero every counter/gauge/histogram (collectors untouched) —
+     *  for tests and per-run deltas. */
+    void reset();
+
+  private:
+    template <typename T>
+    struct Entry
+    {
+        std::unique_ptr<T> metric;
+        std::string help;
+    };
+
+    mutable std::mutex m_;
+    std::map<std::string, Entry<Counter>> counters_;
+    std::map<std::string, Entry<Gauge>> gauges_;
+    std::map<std::string, Entry<Histogram>> histograms_;
+    std::map<std::string, Collector> collectors_;
+};
+
+/** Default latency buckets (seconds): 100us .. ~100s, x4 steps. */
+std::vector<double> latency_buckets();
+
+} // namespace bts::runtime::telemetry
